@@ -1,0 +1,80 @@
+//! Ablation — constraint handling in the evolutionary loop.
+//!
+//! The paper reports that penalising violations exploded response times
+//! ("no solution found yet even after having computed for a whole week")
+//! and that discarding invalid individuals "excludes too many"; it adopts
+//! repair. This bench compares the four repair wirings the engine
+//! supports on the same instance:
+//!
+//! * `Off`       — constraint-domination only (unmodified NSGA-III);
+//! * `Parents`   — the literal Fig. 4 pipeline (repair selected parents);
+//! * `Offspring` — repair after variation;
+//! * `Both`      — the full hybrid.
+//!
+//! Printed per mode: final feasible fraction and rejection rate; timed
+//! per mode: the full allocation run.
+
+use cpo_bench::bench_problem;
+use cpo_core::prelude::*;
+use cpo_moea::prelude::RepairMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn quick_config() -> NsgaConfig {
+    NsgaConfig {
+        population_size: 40,
+        max_evaluations: 2_000,
+        ..NsgaConfig::paper_defaults(Variant::Nsga3)
+    }
+}
+
+fn allocator_with(mode: RepairMode) -> EvoAllocator {
+    let mut alloc = EvoAllocator::nsga3_tabu(quick_config());
+    alloc.config.repair_mode = mode;
+    if matches!(mode, RepairMode::Off | RepairMode::Exclude) {
+        // Exclusion is a pure in-engine method: no repair operator, no
+        // final admission fix-ups — exactly the paper's Method 1.
+        alloc.hybrid = Hybrid::None;
+        alloc.finalize_rejections = false;
+    }
+    alloc
+}
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(25, true, 42);
+
+    println!("\n=== ablation: constraint handling (m=25, affinity-heavy) ===");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "mode", "reject", "violations", "time[ms]"
+    );
+    for (name, mode) in [
+        ("off", RepairMode::Off),
+        ("exclude", RepairMode::Exclude),
+        ("parents", RepairMode::Parents),
+        ("offspring", RepairMode::Offspring),
+        ("both", RepairMode::Both),
+    ] {
+        let outcome = allocator_with(mode).allocate(&problem);
+        println!(
+            "{:>12} {:>12.3} {:>12} {:>12.1}",
+            name,
+            outcome.rejection_rate,
+            outcome.violated_constraints,
+            outcome.elapsed.as_secs_f64() * 1_000.0
+        );
+    }
+    println!("==============================================================\n");
+
+    let mut group = c.benchmark_group("ablation_constraint_handling");
+    group.sample_size(10);
+    for (name, mode) in [("off", RepairMode::Off), ("both", RepairMode::Both)] {
+        group.bench_with_input(BenchmarkId::new(name, 25), &problem, |b, p| {
+            b.iter(|| black_box(allocator_with(mode).allocate(p).rejection_rate))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation — weighted mono-objective GA vs the multi-objective hybrid
+//! (the choice §III of the paper debates: "it is enough to find the one
+//! point on the Pareto frontier that is preferred by decision makers").
+//! Also includes Table II's filtering algorithm as the greedy reference.
+
+use cpo_bench::bench_problem;
+use cpo_exper::runner::{Algorithm, Effort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(25, true, 42);
+
+    println!("\n=== ablation: mono- vs multi-objective (+ filtering) ===");
+    println!(
+        "{:>24} {:>12} {:>10} {:>12} {:>12}",
+        "algorithm", "time[ms]", "reject", "violations", "cost"
+    );
+    for algorithm in [
+        Algorithm::Nsga3Tabu,
+        Algorithm::WeightedGa,
+        Algorithm::Filtering,
+    ] {
+        let outcome = algorithm.build(Effort::Quick, 42).allocate(&problem);
+        println!(
+            "{:>24} {:>12.2} {:>10.3} {:>12} {:>12.1}",
+            algorithm.label(),
+            outcome.elapsed.as_secs_f64() * 1_000.0,
+            outcome.rejection_rate,
+            outcome.violated_constraints,
+            outcome.provider_cost(),
+        );
+    }
+    println!("=========================================================\n");
+
+    let mut group = c.benchmark_group("ablation_mono_vs_multi");
+    group.sample_size(10);
+    for algorithm in [
+        Algorithm::Nsga3Tabu,
+        Algorithm::WeightedGa,
+        Algorithm::Filtering,
+    ] {
+        group.bench_with_input(BenchmarkId::new(algorithm.label(), 25), &problem, |b, p| {
+            b.iter(|| {
+                black_box(
+                    algorithm
+                        .build(Effort::Quick, 42)
+                        .allocate(p)
+                        .rejection_rate,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation — NSGA-II crowding vs NSGA-III reference-point niching on
+//! the 3-objective allocation problem, judged by the hypervolume of the
+//! feasible first front (larger = better front) and by wall-clock.
+//!
+//! The paper picks NSGA-III for many-objective spread; with 3 objectives
+//! the gap is modest but measurable.
+
+use cpo_bench::bench_problem;
+use cpo_core::prelude::*;
+use cpo_moea::hv::hypervolume;
+use cpo_moea::prelude as moea;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn front_hypervolume(problem: &cpo_model::prelude::AllocationProblem, variant: Variant) -> f64 {
+    use cpo_core::prelude::AllocMoeaProblem;
+    let adapter = AllocMoeaProblem::new(problem);
+    let config = moea::NsgaConfig {
+        population_size: 40,
+        max_evaluations: 2_000,
+        ..moea::NsgaConfig::paper_defaults(variant)
+    };
+    let result = moea::run(&adapter, &config, None);
+    // Feasible front when available; otherwise the raw first front (an
+    // unmodified NSGA rarely reaches feasibility here — that is Fig. 10's
+    // finding — but its front geometry is still comparable).
+    let mut front: Vec<Vec<f64>> = result
+        .population
+        .iter()
+        .filter(|i| i.rank == 0 && i.is_feasible())
+        .map(|i| i.objectives.clone())
+        .collect();
+    if front.is_empty() {
+        front = result
+            .population
+            .iter()
+            .filter(|i| i.rank == 0)
+            .map(|i| i.objectives.clone())
+            .collect();
+    }
+    if front.is_empty() {
+        return 0.0;
+    }
+    // Reference: componentwise max over the front, padded 10 %.
+    let m = front[0].len();
+    let reference: Vec<f64> = (0..m)
+        .map(|j| front.iter().map(|f| f[j]).fold(0.0_f64, f64::max) * 1.1 + 1.0)
+        .collect();
+    hypervolume(&front, &reference)
+}
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(20, false, 42);
+
+    println!("\n=== ablation: NSGA-II vs NSGA-III vs U-NSGA-III on the allocation objectives ===");
+    for (name, variant) in [
+        ("nsga2", Variant::Nsga2),
+        ("nsga3", Variant::Nsga3),
+        ("unsga3", Variant::UNsga3),
+    ] {
+        let hv = front_hypervolume(&problem, variant);
+        println!("{name:>8}: first-front hypervolume = {hv:.3e}");
+    }
+    println!("===================================================================\n");
+
+    let mut group = c.benchmark_group("ablation_nsga2_vs_nsga3");
+    group.sample_size(10);
+    for (name, variant) in [
+        ("nsga2", Variant::Nsga2),
+        ("nsga3", Variant::Nsga3),
+        ("unsga3", Variant::UNsga3),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 20), &problem, |b, p| {
+            b.iter(|| black_box(front_hypervolume(p, variant)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation — Das–Dennis reference-point density. NSGA-III sizes its
+//! lattice to the population; this bench varies the population (and with
+//! it the division count) and reports front hypervolume vs wall-clock,
+//! exposing the diversity/runtime trade the lattice drives.
+
+use cpo_bench::bench_problem;
+use cpo_core::prelude::*;
+use cpo_moea::hv::hypervolume;
+use cpo_moea::prelude as moea;
+use cpo_moea::refpoints::{das_dennis_count, divisions_for};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A fixed, problem-level reference point so hypervolumes are comparable
+/// across population sizes: componentwise max over a deterministic sample
+/// of random assignments, padded 20 %.
+fn fixed_reference(problem: &cpo_model::prelude::AllocationProblem) -> Vec<f64> {
+    use cpo_model::prelude::Assignment;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut reference = vec![0.0_f64; 3];
+    for _ in 0..64 {
+        let genes: Vec<usize> = (0..problem.n())
+            .map(|_| rng.gen_range(0..problem.m()))
+            .collect();
+        let z = problem.evaluate(&Assignment::from_genes(&genes));
+        for (r, v) in reference.iter_mut().zip(z.as_array()) {
+            *r = r.max(v);
+        }
+    }
+    reference.iter().map(|r| r * 1.2 + 1.0).collect()
+}
+
+fn run_with_pop(
+    problem: &cpo_model::prelude::AllocationProblem,
+    reference: &[f64],
+    pop: usize,
+) -> f64 {
+    use cpo_core::prelude::AllocMoeaProblem;
+    let adapter = AllocMoeaProblem::new(problem);
+    let config = moea::NsgaConfig {
+        population_size: pop,
+        max_evaluations: 2_000,
+        ..moea::NsgaConfig::paper_defaults(Variant::Nsga3)
+    };
+    let result = moea::run(&adapter, &config, None);
+    let front: Vec<Vec<f64>> = result
+        .population
+        .iter()
+        .filter(|i| i.rank == 0)
+        .map(|i| i.objectives.clone())
+        .collect();
+    if front.is_empty() {
+        return 0.0;
+    }
+    hypervolume(&front, reference)
+}
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(20, false, 42);
+    let reference = fixed_reference(&problem);
+
+    println!("\n=== ablation: reference-point density (3 objectives, fixed HV reference) ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>14}",
+        "pop", "divisions", "points", "front HV"
+    );
+    for pop in [20usize, 52, 100, 200] {
+        let d = divisions_for(3, pop);
+        let hv = run_with_pop(&problem, &reference, pop);
+        println!(
+            "{:>6} {:>10} {:>10} {:>14.3e}",
+            pop,
+            d,
+            das_dennis_count(3, d),
+            hv
+        );
+    }
+    println!("==========================================================\n");
+
+    let mut group = c.benchmark_group("ablation_refpoints");
+    group.sample_size(10);
+    for pop in [20usize, 100] {
+        group.bench_with_input(BenchmarkId::new("nsga3_run", pop), &pop, |b, &pop| {
+            b.iter(|| black_box(run_with_pop(&problem, &reference, pop)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

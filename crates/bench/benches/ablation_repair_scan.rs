@@ -1,0 +1,96 @@
+//! Ablation — `findNeighbour` scan order (Fig. 6 returns the *first*
+//! valid server; this bench quantifies what that choice costs).
+//!
+//! * `first-fit`     — the literal pseudo-code (scan 0..m);
+//! * `nearest-first` — ring scan outward from the current server;
+//! * `best-cost`     — cheapest (opex+usage) servers first.
+//!
+//! Printed: post-repair feasibility, moves and resulting provider cost on
+//! a batch of broken individuals; timed: one repair invocation per order.
+
+use cpo_bench::bench_problem;
+use cpo_model::prelude::*;
+use cpo_tabu::repair::{repair, RepairConfig, ScanOrder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn broken_individuals(problem: &AllocationProblem, count: usize) -> Vec<Assignment> {
+    // Random complete assignments — mostly invalid on the heavy workload.
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..count)
+        .map(|_| {
+            let genes: Vec<usize> = (0..problem.n())
+                .map(|_| rng.gen_range(0..problem.m()))
+                .collect();
+            Assignment::from_genes(&genes)
+        })
+        .collect()
+}
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(25, true, 42);
+    let individuals = broken_individuals(&problem, 50);
+
+    println!("\n=== ablation: findNeighbour scan order (50 random individuals) ===");
+    println!(
+        "{:>14} {:>10} {:>12} {:>14} {:>12}",
+        "scan", "fixed", "avg moves", "avg cost", "avg reject"
+    );
+    for (name, scan) in [
+        ("first-fit", ScanOrder::FirstFit),
+        ("nearest-first", ScanOrder::NearestFirst),
+        ("best-cost", ScanOrder::BestCost),
+    ] {
+        let config = RepairConfig {
+            scan,
+            ..RepairConfig::default()
+        };
+        let mut fixed = 0usize;
+        let mut moves = 0usize;
+        let mut cost = 0.0;
+        let mut reject = 0.0;
+        for ind in &individuals {
+            let mut a = ind.clone();
+            let outcome = repair(&problem, &mut a, &config);
+            fixed += usize::from(outcome.feasible);
+            moves += outcome.moves;
+            cost += problem.evaluate(&a).usage_opex;
+            reject += problem.rejection_rate(&a);
+        }
+        let n = individuals.len() as f64;
+        println!(
+            "{:>14} {:>10} {:>12.1} {:>14.1} {:>12.3}",
+            name,
+            fixed,
+            moves as f64 / n,
+            cost / n,
+            reject / n
+        );
+    }
+    println!("====================================================================\n");
+
+    let mut group = c.benchmark_group("ablation_repair_scan");
+    group.sample_size(20);
+    for (name, scan) in [
+        ("first-fit", ScanOrder::FirstFit),
+        ("nearest-first", ScanOrder::NearestFirst),
+        ("best-cost", ScanOrder::BestCost),
+    ] {
+        let config = RepairConfig {
+            scan,
+            ..RepairConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, 25), &individuals[0], |b, ind| {
+            b.iter(|| {
+                let mut a = ind.clone();
+                black_box(repair(&problem, &mut a, &config).moves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

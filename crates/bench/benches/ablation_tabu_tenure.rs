@@ -1,0 +1,65 @@
+//! Ablation — tabu tenure in the standalone tabu search (DESIGN.md §5:
+//! "tabu tenure & neighbourhood order"). Tenure 0 disables the memory
+//! (pure hill-climbing with sampled neighbourhoods); short tenures allow
+//! cycling; long tenures over-constrain the move pool.
+
+use cpo_bench::bench_problem;
+use cpo_model::prelude::*;
+use cpo_tabu::{tabu_search, TabuConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn start_from_pile(problem: &AllocationProblem) -> Assignment {
+    // Everything piled on server 0: maximally infeasible start.
+    Assignment::from_genes(&vec![0usize; problem.n()])
+}
+
+fn ablation(c: &mut Criterion) {
+    let problem = bench_problem(15, false, 42);
+    let start = start_from_pile(&problem);
+
+    println!("\n=== ablation: tabu tenure (m=15, light workload, pile start, 600 iterations) ===");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "tenure", "violation", "total cost", "moves"
+    );
+    for tenure in [0usize, 8, 24, 96] {
+        let config = TabuConfig {
+            tenure,
+            max_iterations: 600,
+            ..Default::default()
+        };
+        let result = tabu_search(&problem, start.clone(), &config);
+        println!(
+            "{:>8} {:>12.1} {:>14.1} {:>10}",
+            tenure,
+            result.best_score.violation.max(0.0),
+            result.best_score.total_cost,
+            result.accepted_moves
+        );
+    }
+    println!("==================================================================\n");
+
+    let mut group = c.benchmark_group("ablation_tabu_tenure");
+    group.sample_size(10);
+    for tenure in [0usize, 24] {
+        group.bench_with_input(BenchmarkId::new("tabu_search", tenure), &tenure, |b, &t| {
+            let config = TabuConfig {
+                tenure: t,
+                max_iterations: 300,
+                ..Default::default()
+            };
+            b.iter(|| {
+                black_box(
+                    tabu_search(&problem, start.clone(), &config)
+                        .best_score
+                        .violation,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 10 — violated constraints vs problem size: only the unmodified
+//! evolutionary algorithms violate. The regenerated table printed at
+//! startup is the figure; the criterion cells time an unmodified NSGA-III
+//! against the repaired hybrid on the same instance so the cost of the
+//! repair machinery is visible next to its benefit.
+
+use cpo_bench::{bench_problem, print_figure};
+use cpo_exper::runner::{Algorithm, Effort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    print_figure("fig10");
+
+    let mut group = c.benchmark_group("fig10_violations");
+    group.sample_size(10);
+    let problem = bench_problem(25, true, 42);
+    for algorithm in [Algorithm::Nsga3, Algorithm::Nsga3Tabu] {
+        group.bench_with_input(BenchmarkId::new(algorithm.label(), 25), &problem, |b, p| {
+            b.iter(|| {
+                let allocator = algorithm.build(Effort::Quick, 42);
+                black_box(allocator.allocate(p).violated_constraints)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 11 — average provider cost per algorithm. The regenerated table
+//! printed at startup is the figure; the criterion cells time the two
+//! cost extremes (CP cheapest vs unmodified NSGA-II dearest).
+
+use cpo_bench::{bench_problem, print_figure};
+use cpo_exper::runner::{Algorithm, Effort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig11(c: &mut Criterion) {
+    print_figure("fig11");
+
+    let mut group = c.benchmark_group("fig11_provider_cost");
+    group.sample_size(10);
+    let problem = bench_problem(25, true, 42);
+    for algorithm in [Algorithm::ConstraintProgramming, Algorithm::Nsga2] {
+        group.bench_with_input(BenchmarkId::new(algorithm.label(), 25), &problem, |b, p| {
+            b.iter(|| {
+                let allocator = algorithm.build(Effort::Quick, 42);
+                black_box(allocator.allocate(p).provider_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

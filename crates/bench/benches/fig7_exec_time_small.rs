@@ -1,0 +1,36 @@
+//! Fig. 7 — average execution time with few resources.
+//!
+//! Regenerates the figure's data table, then criterion-times every
+//! algorithm on a representative small scenario (the figure's metric *is*
+//! wall-clock time, so the criterion estimates are the figure's points).
+
+use cpo_bench::{bench_problem, print_figure, timed_algorithms};
+use cpo_exper::runner::Effort;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    print_figure("fig7");
+
+    let mut group = c.benchmark_group("fig7_exec_time_small");
+    group.sample_size(10);
+    for servers in [10usize, 25] {
+        let problem = bench_problem(servers, false, 42);
+        for algorithm in timed_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.label(), servers),
+                &problem,
+                |b, p| {
+                    b.iter(|| {
+                        let allocator = algorithm.build(Effort::Quick, 42);
+                        black_box(allocator.allocate(p).rejection_rate)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

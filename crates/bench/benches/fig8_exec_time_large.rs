@@ -1,0 +1,44 @@
+//! Fig. 8 — average execution time with many resources: the scalability
+//! cliff. CP's per-request search inflates with size while the tabu
+//! hybrid grows gently; unmodified NSGA stays cheap but (Fig. 10)
+//! violates constraints.
+
+use cpo_bench::{bench_problem, print_figure};
+use cpo_exper::runner::{Algorithm, Effort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig8(c: &mut Criterion) {
+    print_figure("fig8");
+
+    let mut group = c.benchmark_group("fig8_exec_time_large");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    // The timing cells focus on the three interesting curves at the sizes
+    // where they diverge; the full six-way table is printed above.
+    let contenders = [
+        Algorithm::ConstraintProgramming,
+        Algorithm::Nsga3,
+        Algorithm::Nsga3Tabu,
+    ];
+    for servers in [50usize, 150] {
+        let problem = bench_problem(servers, false, 42);
+        for algorithm in contenders {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.label(), servers),
+                &problem,
+                |b, p| {
+                    b.iter(|| {
+                        let allocator = algorithm.build(Effort::Quick, 42);
+                        black_box(allocator.allocate(p).rejection_rate)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

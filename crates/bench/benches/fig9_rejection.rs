@@ -1,0 +1,29 @@
+//! Fig. 9 — rejection rate vs problem size. The metric is not time, so
+//! the regenerated data table printed at startup *is* the figure; the
+//! criterion cells time the two algorithms whose acceptance differs most
+//! (Round Robin vs the tabu hybrid) on the affinity-heavy workload.
+
+use cpo_bench::{bench_problem, print_figure};
+use cpo_exper::runner::{Algorithm, Effort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    print_figure("fig9");
+
+    let mut group = c.benchmark_group("fig9_rejection");
+    group.sample_size(10);
+    let problem = bench_problem(25, true, 42);
+    for algorithm in [Algorithm::RoundRobin, Algorithm::Nsga3Tabu] {
+        group.bench_with_input(BenchmarkId::new(algorithm.label(), 25), &problem, |b, p| {
+            b.iter(|| {
+                let allocator = algorithm.build(Effort::Quick, 42);
+                black_box(allocator.allocate(p).rejection_rate)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

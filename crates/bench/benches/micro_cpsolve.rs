@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the CP solver: propagation fixpoints, first-fail
+//! solving and branch-and-bound on packing instances of growing size —
+//! the kernels whose growth drives the Fig. 8 cliff.
+
+use cpo_cpsolve::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn packing_csp(items: usize, bins: usize) -> Csp {
+    let mut csp = Csp::new(items, bins);
+    csp.add(Box::new(Pack {
+        vars: (0..items).map(VarId).collect(),
+        demand: (0..items).map(|i| vec![1.0 + (i % 4) as f64]).collect(),
+        capacity: vec![vec![(items as f64 / bins as f64) * 3.0]; bins],
+    }));
+    csp
+}
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_cpsolve");
+
+    for (items, bins) in [(20usize, 10usize), (80, 40)] {
+        group.bench_with_input(
+            BenchmarkId::new("pack_propagate", format!("{items}x{bins}")),
+            &(items, bins),
+            |b, &(i, n)| {
+                b.iter(|| {
+                    let mut csp = packing_csp(i, n);
+                    black_box(csp.propagate())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pack_solve_first", format!("{items}x{bins}")),
+            &(items, bins),
+            |b, &(i, n)| {
+                b.iter(|| {
+                    let mut csp = packing_csp(i, n);
+                    let (outcome, stats) = solve(&mut csp, &SearchConfig::default());
+                    black_box((outcome.solution().map(<[usize]>::len), stats.nodes))
+                })
+            },
+        );
+    }
+
+    group.bench_function("alldifferent_solve_8x8", |b| {
+        b.iter(|| {
+            let mut csp = Csp::new(8, 8);
+            csp.add(Box::new(AllDifferent {
+                vars: (0..8).map(VarId).collect(),
+            }));
+            let (outcome, _) = solve(&mut csp, &SearchConfig::default());
+            black_box(outcome.solution().is_some())
+        })
+    });
+
+    group.bench_function("bnb_optimize_6x4", |b| {
+        b.iter(|| {
+            let mut csp = Csp::new(6, 4);
+            csp.add(Box::new(Pack {
+                vars: (0..6).map(VarId).collect(),
+                demand: (0..6).map(|i| vec![2.0 + i as f64]).collect(),
+                capacity: vec![vec![12.0]; 4],
+            }));
+            let cost: Vec<Vec<f64>> = (0..6)
+                .map(|i| (0..4).map(|j| ((i + j) % 5) as f64).collect())
+                .collect();
+            let (best, _, _) = optimize(&mut csp, &cost, &SearchConfig::default());
+            black_box(best.map(|(_, c)| c))
+        })
+    });
+
+    group.bench_function("store_push_pop", |b| {
+        let mut store = Store::new(100, 50);
+        b.iter(|| {
+            store.push();
+            for v in 0..20 {
+                store.remove(VarId(v), v % 50);
+            }
+            store.pop();
+            black_box(store.domain_size(VarId(0)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the model's hot kernels: objective evaluation
+//! (Eq. 15), constraint checking (Eqs. 16–21), incremental load updates
+//! (Eq. 25) and the QoS curve (Eq. 24). These dominate the evolutionary
+//! engine's per-evaluation cost.
+
+use cpo_bench::bench_problem;
+use cpo_model::prelude::*;
+use cpo_model::qos::qos_at;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_assignment(problem: &AllocationProblem, seed: u64) -> Assignment {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let genes: Vec<usize> = (0..problem.n())
+        .map(|_| rng.gen_range(0..problem.m()))
+        .collect();
+    Assignment::from_genes(&genes)
+}
+
+fn micro(c: &mut Criterion) {
+    for servers in [25usize, 200] {
+        let problem = bench_problem(servers, true, 42);
+        let assignment = random_assignment(&problem, 1);
+        let tracker = problem.tracker(&assignment);
+
+        let mut group = c.benchmark_group(format!("micro_model_m{servers}"));
+
+        group.bench_function("evaluate_eq15", |b| {
+            b.iter(|| black_box(problem.evaluate(&assignment).total()))
+        });
+        group.bench_function("check_constraints", |b| {
+            b.iter(|| black_box(problem.check(&assignment).count()))
+        });
+        group.bench_function("evaluate_with_tracker", |b| {
+            b.iter(|| black_box(problem.evaluate_with_tracker(&assignment, &tracker).total()))
+        });
+        group.bench_function("tracker_rebuild", |b| {
+            b.iter(|| black_box(problem.tracker(&assignment).active_servers()))
+        });
+        group.bench_function("tracker_add_remove", |b| {
+            let mut t = problem.tracker(&assignment);
+            let k = VmId(0);
+            let j = assignment.server_of(k).unwrap();
+            b.iter(|| {
+                t.remove(k, j, problem.batch());
+                t.add(k, j, problem.batch());
+                black_box(t.hosted(j))
+            })
+        });
+        group.bench_function("accepted_requests", |b| {
+            b.iter(|| black_box(problem.accepted_requests(&assignment).len()))
+        });
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("micro_model_scalar");
+    for load in [0.5_f64, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::new("qos_at", format!("{load}")),
+            &load,
+            |b, &l| b.iter(|| black_box(qos_at(l, 0.8, 0.99))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the evolutionary engine's kernels: fast
+//! non-dominated sorting, crowding distance, Das–Dennis generation,
+//! niching normalisation, SBX and polynomial mutation.
+
+use cpo_moea::crowding::assign_crowding_distance;
+use cpo_moea::individual::Individual;
+use cpo_moea::nsga3::{associate, normalize};
+use cpo_moea::operators::{polynomial_mutation, sbx, PmParams, SbxParams};
+use cpo_moea::problem::{Evaluation, MoeaProblem};
+use cpo_moea::refpoints::das_dennis;
+use cpo_moea::sort::fast_non_dominated_sort;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+struct Box3(usize);
+impl MoeaProblem for Box3 {
+    fn n_vars(&self) -> usize {
+        self.0
+    }
+    fn n_objectives(&self) -> usize {
+        3
+    }
+    fn bounds(&self, _: usize) -> (f64, f64) {
+        (0.0, 100.0)
+    }
+    fn evaluate(&self, _g: &[f64]) -> Evaluation {
+        Evaluation::feasible(vec![0.0; 3])
+    }
+}
+
+fn random_population(n: usize, m: usize, seed: u64) -> Vec<Individual> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut ind = Individual::new(vec![0.0]);
+            ind.set_evaluation(Evaluation::feasible(
+                (0..m).map(|_| rng.gen::<f64>() * 100.0).collect(),
+            ));
+            ind
+        })
+        .collect()
+}
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_moea");
+
+    for pop in [100usize, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("fast_non_dominated_sort", pop),
+            &pop,
+            |b, &n| {
+                let population = random_population(n, 3, 1);
+                b.iter(|| {
+                    let mut p = population.clone();
+                    black_box(fast_non_dominated_sort(&mut p).len())
+                })
+            },
+        );
+    }
+
+    group.bench_function("crowding_distance_100", |b| {
+        let mut population = random_population(100, 3, 2);
+        let front: Vec<usize> = (0..100).collect();
+        b.iter(|| {
+            assign_crowding_distance(&mut population, &front);
+            black_box(population[0].crowding)
+        })
+    });
+
+    group.bench_function("das_dennis_3obj_12div", |b| {
+        b.iter(|| black_box(das_dennis(3, 12).len()))
+    });
+
+    group.bench_function("normalize_and_associate_100", |b| {
+        let population = random_population(100, 3, 3);
+        let candidates: Vec<usize> = (0..100).collect();
+        let refs = das_dennis(3, 12);
+        b.iter(|| {
+            let normalized = normalize(&population, &candidates);
+            black_box(associate(&normalized, &refs).len())
+        })
+    });
+
+    for vars in [100usize, 800] {
+        let problem = Box3(vars);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p1: Vec<f64> = (0..vars).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let p2: Vec<f64> = (0..vars).map(|_| rng.gen::<f64>() * 100.0).collect();
+        group.bench_with_input(BenchmarkId::new("sbx", vars), &vars, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| black_box(sbx(&problem, SbxParams::default(), &p1, &p2, &mut rng).0[0]))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("polynomial_mutation", vars),
+            &vars,
+            |b, _| {
+                let mut rng = SmallRng::seed_from_u64(6);
+                b.iter(|| {
+                    let mut g = p1.clone();
+                    polynomial_mutation(&problem, PmParams::default(), &mut g, &mut rng);
+                    black_box(g[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the tabu machinery: faulty-gene detection, one
+//! repair invocation at two problem sizes, and raw tabu-list operations.
+
+use cpo_bench::bench_problem;
+use cpo_model::prelude::*;
+use cpo_tabu::repair::{faulty_vms, repair, RepairConfig, ScanOrder};
+use cpo_tabu::{TabuList, TabuMove};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_assignment(problem: &AllocationProblem, seed: u64) -> Assignment {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Assignment::from_genes(
+        &(0..problem.n())
+            .map(|_| rng.gen_range(0..problem.m()))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_tabu");
+    for servers in [25usize, 200] {
+        let problem = bench_problem(servers, true, 42);
+        let broken = random_assignment(&problem, 7);
+        group.bench_with_input(BenchmarkId::new("faulty_vms", servers), &problem, |b, p| {
+            b.iter(|| black_box(faulty_vms(p, &broken).len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("repair_bestcost", servers),
+            &problem,
+            |b, p| {
+                let config = RepairConfig {
+                    scan: ScanOrder::BestCost,
+                    ..RepairConfig::default()
+                };
+                b.iter(|| {
+                    let mut a = broken.clone();
+                    black_box(repair(p, &mut a, &config).moves)
+                })
+            },
+        );
+    }
+    group.bench_function("tabu_list_push_query", |b| {
+        let mut list = TabuList::new(32);
+        let mut i = 0usize;
+        b.iter(|| {
+            list.push(TabuMove {
+                vm: VmId(i % 100),
+                from: ServerId(i % 50),
+            });
+            i += 1;
+            black_box(list.is_tabu(VmId(3), ServerId(9)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

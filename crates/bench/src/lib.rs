@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! Each `benches/figN_*.rs` target regenerates one figure of the paper:
+//! it prints the figure's data table (the same rows `exper figN` emits)
+//! and then lets criterion time the representative cells. The
+//! `ablation_*` targets benchmark the design choices DESIGN.md calls out;
+//! the `micro_*` targets profile the hot kernels.
+
+use cpo_exper::runner::{Algorithm, Effort};
+use cpo_model::prelude::AllocationProblem;
+use cpo_scenario::prelude::{ScenarioSize, ScenarioSpec};
+
+/// Deterministic scenario for a bench cell.
+pub fn bench_problem(servers: usize, heavy: bool, seed: u64) -> AllocationProblem {
+    let size = ScenarioSize::with_servers(servers);
+    let spec = if heavy {
+        ScenarioSpec::for_size(&size).with_heavy_affinity()
+    } else {
+        ScenarioSpec::for_size(&size)
+    };
+    spec.generate(seed)
+}
+
+/// Prints one figure's data table by calling the exper harness with a
+/// small run count — the rows `cargo bench` leaves in its log are the
+/// regenerated figure.
+pub fn print_figure(id: &str) {
+    use cpo_exper::figures;
+    use cpo_exper::report::{render_figure, shape_summary};
+    let runs = 2;
+    let seed = 42;
+    let fig = match id {
+        "fig7" => figures::fig7(Effort::Quick, runs, seed),
+        "fig8" => figures::fig8(Effort::Quick, runs, seed),
+        "fig9" => figures::fig9(Effort::Quick, runs, seed),
+        "fig10" => figures::fig10(Effort::Quick, runs, seed),
+        "fig11" => figures::fig11(Effort::Quick, runs, seed),
+        other => panic!("unknown figure {other}"),
+    };
+    println!("\n=== regenerated {id} ===");
+    print!("{}", render_figure(&fig));
+    print!("{}", shape_summary(&fig));
+    println!("========================\n");
+}
+
+/// The algorithm set for timing cells.
+pub fn timed_algorithms() -> [Algorithm; 6] {
+    Algorithm::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_problem_is_deterministic() {
+        let a = bench_problem(8, true, 1);
+        let b = bench_problem(8, true, 1);
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), 8);
+    }
+}

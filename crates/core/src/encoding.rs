@@ -1,0 +1,109 @@
+//! Genome ↔ assignment codec.
+//!
+//! The paper: "Each individual possesses chromosomes here standing for
+//! virtual machines. Each gene stands for a server ID." We real-code each
+//! gene in `[0, m)` (the representation SBX/PM operate on) and decode by
+//! flooring to a server index.
+
+use cpo_model::prelude::{Assignment, ServerId};
+
+/// Codec between real-coded genomes and assignments for a problem with
+/// `m` servers and `n` VMs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenomeCodec {
+    /// Number of servers `m`.
+    pub m: usize,
+    /// Number of VMs `n`.
+    pub n: usize,
+}
+
+impl GenomeCodec {
+    /// Creates a codec.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0, "need at least one server");
+        Self { m, n }
+    }
+
+    /// Decodes one gene to a server index (clamped into `0..m`).
+    #[inline]
+    pub fn decode_gene(&self, gene: f64) -> usize {
+        (gene.max(0.0) as usize).min(self.m - 1)
+    }
+
+    /// Decodes a genome to a complete assignment.
+    pub fn decode(&self, genes: &[f64]) -> Assignment {
+        debug_assert_eq!(genes.len(), self.n);
+        let mut a = Assignment::unassigned(self.n);
+        for (k, &g) in genes.iter().enumerate() {
+            a.assign(cpo_model::prelude::VmId(k), ServerId(self.decode_gene(g)));
+        }
+        a
+    }
+
+    /// Encodes an assignment back into gene space (server index + 0.5, the
+    /// cell midpoint, so SBX perturbations round-trip stably). Unassigned
+    /// VMs encode to gene 0.5 (server 0) — encoders only run on complete
+    /// assignments in practice.
+    pub fn encode(&self, assignment: &Assignment) -> Vec<f64> {
+        (0..self.n)
+            .map(|k| {
+                assignment
+                    .server_of(cpo_model::prelude::VmId(k))
+                    .map_or(0.5, |s| s.index() as f64 + 0.5)
+            })
+            .collect()
+    }
+
+    /// Gene-space box bounds for the MOEA engine.
+    pub fn bounds(&self) -> (f64, f64) {
+        (0.0, self.m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::prelude::VmId;
+
+    #[test]
+    fn decode_floors_and_clamps() {
+        let c = GenomeCodec::new(4, 3);
+        assert_eq!(c.decode_gene(0.0), 0);
+        assert_eq!(c.decode_gene(2.9), 2);
+        assert_eq!(c.decode_gene(3.999), 3);
+        assert_eq!(c.decode_gene(4.0), 3, "upper bound clamps to last server");
+        assert_eq!(c.decode_gene(-1.0), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_placement() {
+        let c = GenomeCodec::new(5, 4);
+        let mut a = Assignment::unassigned(4);
+        for (k, j) in [(0, 2), (1, 0), (2, 4), (3, 3)] {
+            a.assign(VmId(k), ServerId(j));
+        }
+        let genes = c.encode(&a);
+        let back = c.decode(&genes);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn encode_uses_cell_midpoints() {
+        let c = GenomeCodec::new(3, 1);
+        let mut a = Assignment::unassigned(1);
+        a.assign(VmId(0), ServerId(1));
+        assert_eq!(c.encode(&a), vec![1.5]);
+    }
+
+    #[test]
+    fn bounds_cover_gene_space() {
+        let c = GenomeCodec::new(7, 2);
+        assert_eq!(c.bounds(), (0.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = GenomeCodec::new(0, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! A portfolio meta-allocator: run several algorithms on the same
+//! problem and keep the best outcome under a configurable criterion.
+//!
+//! This is the practical deployment the paper's comparison implies — the
+//! scheduler does not have to commit to one algorithm; on small problems
+//! CP wins outright (Fig. 7), on large ones the hybrid does (Figs. 8–9),
+//! and a portfolio gets both, at the price of running its members
+//! (optionally bounded by their own deadlines).
+
+use crate::allocator::{AllocationOutcome, Allocator};
+use cpo_model::prelude::AllocationProblem;
+use std::time::Instant;
+
+/// What the portfolio optimises when ranking member outcomes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortfolioCriterion {
+    /// Fewest rejections, ties by provider cost — the paper's joint
+    /// consumer/provider stance (violating outcomes always rank last).
+    AcceptanceThenCost,
+    /// Highest net revenue (violating outcomes always rank last).
+    NetRevenue,
+}
+
+/// The portfolio allocator.
+pub struct PortfolioAllocator {
+    /// Member algorithms, tried in order.
+    pub members: Vec<Box<dyn Allocator>>,
+    /// Ranking criterion.
+    pub criterion: PortfolioCriterion,
+}
+
+impl PortfolioAllocator {
+    /// Builds a portfolio.
+    ///
+    /// # Panics
+    /// Panics when `members` is empty.
+    pub fn new(members: Vec<Box<dyn Allocator>>, criterion: PortfolioCriterion) -> Self {
+        assert!(!members.is_empty(), "a portfolio needs at least one member");
+        Self { members, criterion }
+    }
+
+    fn better(&self, a: &AllocationOutcome, b: &AllocationOutcome) -> bool {
+        // Invalid placements lose to clean ones regardless of criterion.
+        match (a.is_clean(), b.is_clean()) {
+            (true, false) => return true,
+            (false, true) => return false,
+            _ => {}
+        }
+        match self.criterion {
+            PortfolioCriterion::AcceptanceThenCost => {
+                (a.rejection_rate, a.provider_cost()) < (b.rejection_rate, b.provider_cost())
+            }
+            PortfolioCriterion::NetRevenue => a.net_revenue() > b.net_revenue(),
+        }
+    }
+}
+
+impl Allocator for PortfolioAllocator {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let start = Instant::now();
+        let mut best: Option<AllocationOutcome> = None;
+        for member in &self.members {
+            let outcome = member.allocate(problem);
+            best = Some(match best {
+                None => outcome,
+                Some(current) => {
+                    if self.better(&outcome, &current) {
+                        outcome
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+        let mut outcome = best.expect("at least one member");
+        // The portfolio's wall-clock is the sum of its members' runs.
+        outcome.elapsed = start.elapsed();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp_alloc::CpAllocator;
+    use crate::filtering::FilteringAllocator;
+    use crate::round_robin::RoundRobinAllocator;
+    use cpo_model::attr::AttrSet;
+    use cpo_model::prelude::*;
+
+    fn problem() -> AllocationProblem {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(4))],
+        );
+        let mut batch = RequestBatch::new();
+        for _ in 0..4 {
+            batch.push_request(vec![vm_spec(2.0, 2048.0, 20.0)], vec![]);
+        }
+        AllocationProblem::new(infra, batch, None)
+    }
+
+    fn portfolio(criterion: PortfolioCriterion) -> PortfolioAllocator {
+        PortfolioAllocator::new(
+            vec![
+                Box::new(RoundRobinAllocator),
+                Box::new(FilteringAllocator),
+                Box::new(CpAllocator::default()),
+            ],
+            criterion,
+        )
+    }
+
+    #[test]
+    fn portfolio_is_at_least_as_good_as_each_member() {
+        let p = problem();
+        let out = portfolio(PortfolioCriterion::AcceptanceThenCost).allocate(&p);
+        for member in [
+            RoundRobinAllocator.allocate(&p),
+            FilteringAllocator.allocate(&p),
+            CpAllocator::default().allocate(&p),
+        ] {
+            assert!(
+                (out.rejection_rate, out.provider_cost())
+                    <= (member.rejection_rate, member.provider_cost() + 1e-9),
+                "portfolio must not lose to a member"
+            );
+        }
+    }
+
+    #[test]
+    fn criterion_changes_the_pick() {
+        // On this sparse problem RR spreads (high cost) while filtering/CP
+        // consolidate; under AcceptanceThenCost the consolidators win.
+        let p = problem();
+        let out = portfolio(PortfolioCriterion::AcceptanceThenCost).allocate(&p);
+        let rr = RoundRobinAllocator.allocate(&p);
+        assert!(out.provider_cost() < rr.provider_cost());
+    }
+
+    #[test]
+    fn net_revenue_criterion_prefers_earning() {
+        let p = problem();
+        let out = portfolio(PortfolioCriterion::NetRevenue).allocate(&p);
+        let rr = RoundRobinAllocator.allocate(&p);
+        assert!(out.net_revenue() >= rr.net_revenue() - 1e-9);
+    }
+
+    #[test]
+    fn elapsed_covers_all_members() {
+        let p = problem();
+        let out = portfolio(PortfolioCriterion::AcceptanceThenCost).allocate(&p);
+        let cp = CpAllocator::default().allocate(&p);
+        // Portfolio time includes at least the slowest member's order of
+        // magnitude (sanity, not a strict bound).
+        assert!(out.elapsed >= cp.elapsed / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_rejected() {
+        let _ = PortfolioAllocator::new(vec![], PortfolioCriterion::NetRevenue);
+    }
+}

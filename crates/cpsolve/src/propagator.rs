@@ -1,0 +1,450 @@
+//! Propagators: the constraint-specific pruning rules.
+//!
+//! Each propagator inspects the [`Store`] and removes inconsistent values.
+//! The engine runs all propagators to fixpoint. All five constraint shapes
+//! of the paper's model are covered: vector packing (capacity, Eq. 16),
+//! all-equal over servers / datacenter groups (co-location, Eqs. 9–10) and
+//! all-different over servers / groups (separation, Eqs. 11–12).
+
+use crate::store::{Store, VarId};
+
+/// Result of one propagation step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Propagation {
+    /// Nothing removed.
+    Stable,
+    /// At least one value removed; re-run the fixpoint loop.
+    Changed,
+    /// A domain was wiped out: the current node is infeasible.
+    Infeasible,
+}
+
+/// A constraint with a pruning rule.
+pub trait Propagator: Send + Sync {
+    /// Prunes the store; reports whether anything changed or failed.
+    fn propagate(&self, store: &mut Store) -> Propagation;
+
+    /// Constraint name for debugging.
+    fn name(&self) -> &str;
+}
+
+fn check_empty(store: &Store, vars: &[VarId]) -> bool {
+    vars.iter().any(|&v| store.is_empty(v))
+}
+
+/// All variables take the same value (linearised co-location on same
+/// server, Eq. 10/13–14): each value must survive in *every* domain.
+pub struct AllEqual {
+    /// The constrained variables.
+    pub vars: Vec<VarId>,
+}
+
+impl Propagator for AllEqual {
+    fn propagate(&self, store: &mut Store) -> Propagation {
+        let mut changed = false;
+        // Intersect: remove from each var any value missing from another.
+        for value in 0..store.n_values() {
+            let everywhere = self.vars.iter().all(|&v| store.contains(v, value));
+            if !everywhere {
+                for &v in &self.vars {
+                    if store.remove(v, value) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if check_empty(store, &self.vars) {
+            Propagation::Infeasible
+        } else if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn name(&self) -> &str {
+        "all-equal"
+    }
+}
+
+/// All variables take pairwise different values (separation on servers,
+/// Eq. 12): forward checking — a fixed value is pruned from siblings.
+pub struct AllDifferent {
+    /// The constrained variables.
+    pub vars: Vec<VarId>,
+}
+
+impl Propagator for AllDifferent {
+    fn propagate(&self, store: &mut Store) -> Propagation {
+        let mut changed = false;
+        for (i, &v) in self.vars.iter().enumerate() {
+            if !store.is_fixed(v) {
+                continue;
+            }
+            let value = store.value(v);
+            for (j, &w) in self.vars.iter().enumerate() {
+                if i != j && store.remove(w, value) {
+                    changed = true;
+                }
+            }
+        }
+        // Pigeonhole: more vars than remaining distinct values → fail.
+        let mut union = vec![false; store.n_values()];
+        let mut distinct = 0usize;
+        for &v in &self.vars {
+            for value in store.iter_domain(v) {
+                if !union[value] {
+                    union[value] = true;
+                    distinct += 1;
+                }
+            }
+        }
+        if distinct < self.vars.len() || check_empty(store, &self.vars) {
+            return Propagation::Infeasible;
+        }
+        if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn name(&self) -> &str {
+        "all-different"
+    }
+}
+
+/// All variables' values map to the same *group* (co-location in the same
+/// datacenter, Eq. 9: values are servers, groups are datacenters).
+pub struct GroupAllEqual {
+    /// The constrained variables.
+    pub vars: Vec<VarId>,
+    /// `group[value]` — the group of each value.
+    pub group: Vec<usize>,
+}
+
+impl Propagator for GroupAllEqual {
+    fn propagate(&self, store: &mut Store) -> Propagation {
+        let n_groups = self.group.iter().copied().max().map_or(0, |g| g + 1);
+        // Groups reachable by every variable.
+        let mut allowed = vec![true; n_groups];
+        for &v in &self.vars {
+            let mut reach = vec![false; n_groups];
+            for value in store.iter_domain(v) {
+                reach[self.group[value]] = true;
+            }
+            for g in 0..n_groups {
+                allowed[g] &= reach[g];
+            }
+        }
+        let mut changed = false;
+        for &v in &self.vars {
+            let to_remove: Vec<usize> = store
+                .iter_domain(v)
+                .filter(|&value| !allowed[self.group[value]])
+                .collect();
+            for value in to_remove {
+                if store.remove(v, value) {
+                    changed = true;
+                }
+            }
+        }
+        if check_empty(store, &self.vars) {
+            Propagation::Infeasible
+        } else if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn name(&self) -> &str {
+        "group-all-equal"
+    }
+}
+
+/// All variables' values map to pairwise different groups (separation in
+/// different datacenters, Eq. 11).
+pub struct GroupAllDifferent {
+    /// The constrained variables.
+    pub vars: Vec<VarId>,
+    /// `group[value]` — the group of each value.
+    pub group: Vec<usize>,
+}
+
+impl Propagator for GroupAllDifferent {
+    fn propagate(&self, store: &mut Store) -> Propagation {
+        let n_groups = self.group.iter().copied().max().map_or(0, |g| g + 1);
+        let mut changed = false;
+        // A variable whose whole domain sits in one group fixes that group.
+        for (i, &v) in self.vars.iter().enumerate() {
+            let mut the_group: Option<usize> = None;
+            let mut single = true;
+            for value in store.iter_domain(v) {
+                match the_group {
+                    None => the_group = Some(self.group[value]),
+                    Some(g) if g != self.group[value] => {
+                        single = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !single {
+                continue;
+            }
+            let Some(g) = the_group else {
+                return Propagation::Infeasible;
+            };
+            for (j, &w) in self.vars.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let to_remove: Vec<usize> = store
+                    .iter_domain(w)
+                    .filter(|&value| self.group[value] == g)
+                    .collect();
+                for value in to_remove {
+                    if store.remove(w, value) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Pigeonhole on groups.
+        let mut union = vec![false; n_groups];
+        let mut distinct = 0;
+        for &v in &self.vars {
+            for value in store.iter_domain(v) {
+                let g = self.group[value];
+                if !union[g] {
+                    union[g] = true;
+                    distinct += 1;
+                }
+            }
+        }
+        if distinct < self.vars.len() || check_empty(store, &self.vars) {
+            return Propagation::Infeasible;
+        }
+        if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn name(&self) -> &str {
+        "group-all-different"
+    }
+}
+
+/// Multi-dimensional vector packing (the capacity constraint, Eq. 16):
+/// items (variables) with `h`-dimensional demands placed onto values
+/// (servers) with `h`-dimensional capacities.
+///
+/// Forward checking: for each value, sum the demands of items fixed to it;
+/// prune the value from any unfixed item that would overflow a dimension.
+pub struct Pack {
+    /// The item variables.
+    pub vars: Vec<VarId>,
+    /// `demand[i]` — demand vector of item `i` (position in `vars`).
+    pub demand: Vec<Vec<f64>>,
+    /// `capacity[value]` — capacity vector of each value.
+    pub capacity: Vec<Vec<f64>>,
+}
+
+impl Propagator for Pack {
+    fn propagate(&self, store: &mut Store) -> Propagation {
+        let h = self.capacity.first().map_or(0, Vec::len);
+        let n_values = store.n_values();
+        // Committed usage per value.
+        let mut used = vec![vec![0.0_f64; h]; n_values];
+        for (i, &v) in self.vars.iter().enumerate() {
+            if store.is_fixed(v) {
+                let value = store.value(v);
+                for (l, u) in used[value].iter_mut().enumerate() {
+                    *u += self.demand[i][l];
+                }
+            }
+        }
+        // Committed overflow → infeasible.
+        for (value, u) in used.iter().enumerate() {
+            for l in 0..h {
+                if u[l] > self.capacity[value][l] + 1e-9 {
+                    return Propagation::Infeasible;
+                }
+            }
+        }
+        // Prune values that cannot take an unfixed item.
+        let mut changed = false;
+        for (i, &v) in self.vars.iter().enumerate() {
+            if store.is_fixed(v) {
+                continue;
+            }
+            let to_remove: Vec<usize> = store
+                .iter_domain(v)
+                .filter(|&value| {
+                    (0..h).any(|l| {
+                        used[value][l] + self.demand[i][l] > self.capacity[value][l] + 1e-9
+                    })
+                })
+                .collect();
+            for value in to_remove {
+                if store.remove(v, value) {
+                    changed = true;
+                }
+            }
+            if store.is_empty(v) {
+                return Propagation::Infeasible;
+            }
+        }
+        if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_equal_intersects_domains() {
+        let mut s = Store::new(2, 4);
+        s.remove(VarId(0), 0);
+        s.remove(VarId(1), 3);
+        let p = AllEqual {
+            vars: vec![VarId(0), VarId(1)],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        for v in [VarId(0), VarId(1)] {
+            let vals: Vec<_> = s.iter_domain(v).collect();
+            assert_eq!(vals, vec![1, 2]);
+        }
+        assert_eq!(p.propagate(&mut s), Propagation::Stable);
+    }
+
+    #[test]
+    fn all_equal_detects_disjoint_domains() {
+        let mut s = Store::new(2, 2);
+        s.fix(VarId(0), 0);
+        s.fix(VarId(1), 1);
+        let p = AllEqual {
+            vars: vec![VarId(0), VarId(1)],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn all_different_forward_checks() {
+        let mut s = Store::new(3, 3);
+        s.fix(VarId(0), 1);
+        let p = AllDifferent {
+            vars: vec![VarId(0), VarId(1), VarId(2)],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        assert!(!s.contains(VarId(1), 1));
+        assert!(!s.contains(VarId(2), 1));
+    }
+
+    #[test]
+    fn all_different_pigeonhole() {
+        let mut s = Store::new(3, 2); // 3 vars, 2 values: impossible
+        let p = AllDifferent {
+            vars: vec![VarId(0), VarId(1), VarId(2)],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn group_all_equal_prunes_unreachable_groups() {
+        // Values 0,1 → group 0; values 2,3 → group 1.
+        let group = vec![0, 0, 1, 1];
+        let mut s = Store::new(2, 4);
+        // Var 0 can only reach group 0.
+        s.remove(VarId(0), 2);
+        s.remove(VarId(0), 3);
+        let p = GroupAllEqual {
+            vars: vec![VarId(0), VarId(1)],
+            group,
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
+        assert_eq!(vals, vec![0, 1], "var 1 must shed group-1 values");
+    }
+
+    #[test]
+    fn group_all_different_excludes_fixed_group() {
+        let group = vec![0, 0, 1, 1];
+        let mut s = Store::new(2, 4);
+        s.fix(VarId(0), 1); // group 0
+        let p = GroupAllDifferent {
+            vars: vec![VarId(0), VarId(1)],
+            group,
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
+        assert_eq!(vals, vec![2, 3]);
+    }
+
+    #[test]
+    fn group_all_different_pigeonhole_on_groups() {
+        let group = vec![0, 0, 0, 0]; // one group only
+        let mut s = Store::new(2, 4);
+        let p = GroupAllDifferent {
+            vars: vec![VarId(0), VarId(1)],
+            group,
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn pack_prunes_overflowing_values() {
+        // Two servers with capacity [10]; item0 fixed to server0 with
+        // demand [8]; item1 demand [5] no longer fits server0.
+        let mut s = Store::new(2, 2);
+        s.fix(VarId(0), 0);
+        let p = Pack {
+            vars: vec![VarId(0), VarId(1)],
+            demand: vec![vec![8.0], vec![5.0]],
+            capacity: vec![vec![10.0], vec![10.0]],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
+        assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn pack_detects_committed_overflow() {
+        let mut s = Store::new(2, 1);
+        s.fix(VarId(0), 0);
+        s.fix(VarId(1), 0);
+        let p = Pack {
+            vars: vec![VarId(0), VarId(1)],
+            demand: vec![vec![8.0], vec![5.0]],
+            capacity: vec![vec![10.0]],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
+    }
+
+    #[test]
+    fn pack_multidimensional() {
+        // Item fits on CPU but not RAM → pruned.
+        let mut s = Store::new(2, 2);
+        s.fix(VarId(0), 0);
+        let p = Pack {
+            vars: vec![VarId(0), VarId(1)],
+            demand: vec![vec![1.0, 9.0], vec![1.0, 2.0]],
+            capacity: vec![vec![10.0, 10.0], vec![10.0, 10.0]],
+        };
+        assert_eq!(p.propagate(&mut s), Propagation::Changed);
+        let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
+        assert_eq!(vals, vec![1]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Variable store: finite integer domains with trail-based backtracking.
+//!
+//! Every variable ranges over `0..n_values` (for the allocation problem:
+//! server indices). Removals are recorded on a trail so the DFS can undo
+//! them in O(#removals) instead of copying domains — the standard CP
+//! design, and the reason the solver can explore deep trees over
+//! 800-server domains without blowing memory.
+
+/// Index of a decision variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The store of all variable domains plus the backtracking trail.
+#[derive(Clone, Debug)]
+pub struct Store {
+    /// `mask[var][value]` — is `value` still in `var`'s domain?
+    mask: Vec<Vec<bool>>,
+    /// Domain cardinalities.
+    size: Vec<usize>,
+    /// Trail of performed removals `(var, value)`.
+    trail: Vec<(usize, usize)>,
+    /// Checkpoint stack: trail lengths.
+    marks: Vec<usize>,
+    n_values: usize,
+}
+
+impl Store {
+    /// Creates `n_vars` variables each with full domain `0..n_values`.
+    pub fn new(n_vars: usize, n_values: usize) -> Self {
+        assert!(n_values > 0, "domains must be non-empty");
+        Self {
+            mask: vec![vec![true; n_values]; n_vars],
+            size: vec![n_values; n_vars],
+            trail: Vec::new(),
+            marks: Vec::new(),
+            n_values,
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Number of potential values per variable.
+    pub fn n_values(&self) -> usize {
+        self.n_values
+    }
+
+    /// Is `value` still in `var`'s domain?
+    #[inline]
+    pub fn contains(&self, var: VarId, value: usize) -> bool {
+        self.mask[var.index()][value]
+    }
+
+    /// Domain cardinality of `var`.
+    #[inline]
+    pub fn domain_size(&self, var: VarId) -> usize {
+        self.size[var.index()]
+    }
+
+    /// `true` when `var` has exactly one value left.
+    #[inline]
+    pub fn is_fixed(&self, var: VarId) -> bool {
+        self.size[var.index()] == 1
+    }
+
+    /// `true` when `var` has no value left (failure).
+    #[inline]
+    pub fn is_empty(&self, var: VarId) -> bool {
+        self.size[var.index()] == 0
+    }
+
+    /// The single value of a fixed variable.
+    ///
+    /// # Panics
+    /// Panics if the variable is not fixed.
+    pub fn value(&self, var: VarId) -> usize {
+        assert!(self.is_fixed(var), "variable {var:?} is not fixed");
+        self.iter_domain(var)
+            .next()
+            .expect("fixed domain has one value")
+    }
+
+    /// Iterator over the remaining values of `var`, ascending.
+    pub fn iter_domain(&self, var: VarId) -> impl Iterator<Item = usize> + '_ {
+        self.mask[var.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &in_dom)| in_dom.then_some(v))
+    }
+
+    /// Removes `value` from `var`'s domain (recorded on the trail).
+    /// Returns `true` when the domain actually changed.
+    pub fn remove(&mut self, var: VarId, value: usize) -> bool {
+        let m = &mut self.mask[var.index()];
+        if !m[value] {
+            return false;
+        }
+        m[value] = false;
+        self.size[var.index()] -= 1;
+        self.trail.push((var.index(), value));
+        true
+    }
+
+    /// Fixes `var` to `value` by removing every other value.
+    /// Returns `true` when the domain changed.
+    ///
+    /// # Panics
+    /// Panics if `value` is not in the domain.
+    pub fn fix(&mut self, var: VarId, value: usize) -> bool {
+        assert!(
+            self.contains(var, value),
+            "fixing {var:?} to removed value {value}"
+        );
+        let mut changed = false;
+        for v in 0..self.n_values {
+            if v != value && self.mask[var.index()][v] {
+                self.remove(var, v);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Pushes a backtracking checkpoint.
+    pub fn push(&mut self) {
+        self.marks.push(self.trail.len());
+    }
+
+    /// Pops to the last checkpoint, restoring all removals since.
+    ///
+    /// # Panics
+    /// Panics when no checkpoint exists.
+    pub fn pop(&mut self) {
+        let mark = self.marks.pop().expect("pop without matching push");
+        while self.trail.len() > mark {
+            let (var, value) = self.trail.pop().expect("trail length checked");
+            self.mask[var][value] = true;
+            self.size[var] += 1;
+        }
+    }
+
+    /// Extracts a full solution when every variable is fixed.
+    pub fn solution(&self) -> Option<Vec<usize>> {
+        (0..self.n_vars())
+            .map(|v| {
+                let var = VarId(v);
+                self.is_fixed(var).then(|| self.value(var))
+            })
+            .collect()
+    }
+
+    /// The unfixed variable with the smallest domain (first-fail), if any.
+    pub fn first_fail_var(&self) -> Option<VarId> {
+        (0..self.n_vars())
+            .filter(|&v| self.size[v] > 1)
+            .min_by_key(|&v| self.size[v])
+            .map(VarId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_store_has_full_domains() {
+        let s = Store::new(3, 5);
+        assert_eq!(s.n_vars(), 3);
+        assert_eq!(s.domain_size(VarId(0)), 5);
+        assert!(s.contains(VarId(2), 4));
+        assert!(!s.is_fixed(VarId(0)));
+    }
+
+    #[test]
+    fn remove_and_fix_shrink_domains() {
+        let mut s = Store::new(2, 4);
+        assert!(s.remove(VarId(0), 2));
+        assert!(!s.remove(VarId(0), 2), "second removal is a no-op");
+        assert_eq!(s.domain_size(VarId(0)), 3);
+        s.fix(VarId(1), 3);
+        assert!(s.is_fixed(VarId(1)));
+        assert_eq!(s.value(VarId(1)), 3);
+    }
+
+    #[test]
+    fn push_pop_restores_exactly() {
+        let mut s = Store::new(2, 4);
+        s.remove(VarId(0), 0); // pre-checkpoint removal must survive pop
+        s.push();
+        s.fix(VarId(0), 2);
+        s.remove(VarId(1), 1);
+        assert!(s.is_fixed(VarId(0)));
+        s.pop();
+        assert_eq!(s.domain_size(VarId(0)), 3);
+        assert!(!s.contains(VarId(0), 0), "pre-checkpoint state preserved");
+        assert!(s.contains(VarId(1), 1));
+    }
+
+    #[test]
+    fn nested_checkpoints() {
+        let mut s = Store::new(1, 5);
+        s.push();
+        s.remove(VarId(0), 0);
+        s.push();
+        s.remove(VarId(0), 1);
+        s.pop();
+        assert!(s.contains(VarId(0), 1));
+        assert!(!s.contains(VarId(0), 0));
+        s.pop();
+        assert!(s.contains(VarId(0), 0));
+    }
+
+    #[test]
+    fn first_fail_picks_smallest_open_domain() {
+        let mut s = Store::new(3, 4);
+        s.remove(VarId(1), 0);
+        s.remove(VarId(1), 1); // var1 has 2 values
+        s.fix(VarId(2), 0); // fixed: excluded
+        assert_eq!(s.first_fail_var(), Some(VarId(1)));
+        s.fix(VarId(1), 3);
+        s.fix(VarId(0), 0);
+        assert_eq!(s.first_fail_var(), None);
+    }
+
+    #[test]
+    fn solution_requires_all_fixed() {
+        let mut s = Store::new(2, 3);
+        s.fix(VarId(0), 1);
+        assert_eq!(s.solution(), None);
+        s.fix(VarId(1), 2);
+        assert_eq!(s.solution(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn iter_domain_ascends() {
+        let mut s = Store::new(1, 5);
+        s.remove(VarId(0), 1);
+        s.remove(VarId(0), 3);
+        let vals: Vec<_> = s.iter_domain(VarId(0)).collect();
+        assert_eq!(vals, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fixed")]
+    fn value_of_open_variable_panics() {
+        let s = Store::new(1, 3);
+        let _ = s.value(VarId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unmatched_pop_panics() {
+        let mut s = Store::new(1, 3);
+        s.pop();
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based validation of the CP solver against brute-force
+//! enumeration on random small instances — completeness (never misses a
+//! solution) and soundness (never invents one).
+
+use cpo_cpsolve::prelude::*;
+use proptest::prelude::*;
+
+/// A random instance description small enough to brute-force.
+#[derive(Clone, Debug)]
+struct Instance {
+    n_vars: usize,
+    n_values: usize,
+    all_diff: Vec<Vec<usize>>,  // groups of vars
+    all_equal: Vec<Vec<usize>>, // groups of vars
+    demand: Vec<f64>,
+    capacity: f64,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..5, 2usize..4).prop_flat_map(|(n_vars, n_values)| {
+        let groups = proptest::collection::vec(
+            proptest::collection::vec(0..n_vars, 2..=n_vars.max(2)),
+            0..2,
+        );
+        (
+            Just(n_vars),
+            Just(n_values),
+            groups.clone(),
+            groups,
+            proptest::collection::vec(1.0_f64..6.0, n_vars),
+            4.0_f64..14.0,
+        )
+            .prop_map(|(n_vars, n_values, mut ad, mut ae, demand, capacity)| {
+                // De-duplicate group members.
+                for g in ad.iter_mut().chain(ae.iter_mut()) {
+                    g.sort_unstable();
+                    g.dedup();
+                }
+                ad.retain(|g| g.len() >= 2);
+                ae.retain(|g| g.len() >= 2);
+                Instance {
+                    n_vars,
+                    n_values,
+                    all_diff: ad,
+                    all_equal: ae,
+                    demand,
+                    capacity,
+                }
+            })
+    })
+}
+
+fn build_csp(inst: &Instance) -> Csp {
+    let mut csp = Csp::new(inst.n_vars, inst.n_values);
+    for g in &inst.all_diff {
+        csp.add(Box::new(AllDifferent {
+            vars: g.iter().map(|&v| VarId(v)).collect(),
+        }));
+    }
+    for g in &inst.all_equal {
+        csp.add(Box::new(AllEqual {
+            vars: g.iter().map(|&v| VarId(v)).collect(),
+        }));
+    }
+    csp.add(Box::new(Pack {
+        vars: (0..inst.n_vars).map(VarId).collect(),
+        demand: inst.demand.iter().map(|&d| vec![d]).collect(),
+        capacity: vec![vec![inst.capacity]; inst.n_values],
+    }));
+    csp
+}
+
+fn valid(inst: &Instance, assignment: &[usize]) -> bool {
+    for g in &inst.all_diff {
+        for (i, &a) in g.iter().enumerate() {
+            for &b in &g[i + 1..] {
+                if assignment[a] == assignment[b] {
+                    return false;
+                }
+            }
+        }
+    }
+    for g in &inst.all_equal {
+        for &v in &g[1..] {
+            if assignment[v] != assignment[g[0]] {
+                return false;
+            }
+        }
+    }
+    let mut load = vec![0.0; inst.n_values];
+    for (v, &val) in assignment.iter().enumerate() {
+        load[val] += inst.demand[v];
+    }
+    load.iter().all(|&l| l <= inst.capacity + 1e-9)
+}
+
+fn brute_force_any(inst: &Instance) -> bool {
+    let total = inst.n_values.pow(inst.n_vars as u32);
+    for code in 0..total {
+        let mut c = code;
+        let mut assignment = Vec::with_capacity(inst.n_vars);
+        for _ in 0..inst.n_vars {
+            assignment.push(c % inst.n_values);
+            c /= inst.n_values;
+        }
+        if valid(inst, &assignment) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The solver finds a solution iff brute force does, and any solution
+    /// it returns satisfies every constraint.
+    #[test]
+    fn solver_is_sound_and_complete(inst in instance_strategy()) {
+        let mut csp = build_csp(&inst);
+        let (outcome, _) = solve(&mut csp, &SearchConfig::default());
+        let exists = brute_force_any(&inst);
+        match outcome {
+            Outcome::Solution(s) => {
+                prop_assert!(exists, "solver invented a solution for an infeasible instance");
+                prop_assert!(valid(&inst, &s), "returned solution violates constraints: {s:?}");
+            }
+            Outcome::Infeasible => prop_assert!(!exists, "solver missed a solution"),
+            Outcome::Timeout => prop_assert!(false, "no budget set, timeout impossible"),
+        }
+    }
+
+    /// Branch-and-bound returns the true separable-cost optimum whenever
+    /// the instance is feasible.
+    #[test]
+    fn bnb_is_optimal(inst in instance_strategy(), cost_seed in 0u64..1_000) {
+        // Deterministic pseudo-random separable costs.
+        let mut s = cost_seed;
+        let cost: Vec<Vec<f64>> = (0..inst.n_vars)
+            .map(|_| {
+                (0..inst.n_values)
+                    .map(|_| {
+                        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ((s >> 33) % 100) as f64 / 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut csp = build_csp(&inst);
+        let (best, complete, _) = optimize(&mut csp, &cost, &SearchConfig::default());
+        prop_assert!(complete, "tiny instances must be fully explored");
+        // Brute-force optimum.
+        let total = inst.n_values.pow(inst.n_vars as u32);
+        let mut bf_best: Option<f64> = None;
+        for code in 0..total {
+            let mut c = code;
+            let mut assignment = Vec::with_capacity(inst.n_vars);
+            for _ in 0..inst.n_vars {
+                assignment.push(c % inst.n_values);
+                c /= inst.n_values;
+            }
+            if valid(&inst, &assignment) {
+                let value: f64 =
+                    assignment.iter().enumerate().map(|(v, &val)| cost[v][val]).sum();
+                bf_best = Some(bf_best.map_or(value, |b: f64| b.min(value)));
+            }
+        }
+        match (best, bf_best) {
+            (Some((s, c)), Some(bf)) => {
+                prop_assert!(valid(&inst, &s));
+                prop_assert!((c - bf).abs() < 1e-9, "B&B {c} != brute force {bf}");
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Propagation never removes a value that appears in some solution
+    /// (it only prunes provably dead values).
+    #[test]
+    fn propagation_preserves_all_solutions(inst in instance_strategy()) {
+        let mut csp = build_csp(&inst);
+        let ok = csp.propagate();
+        // Enumerate solutions of the ORIGINAL instance.
+        let total = inst.n_values.pow(inst.n_vars as u32);
+        let mut any = false;
+        for code in 0..total {
+            let mut c = code;
+            let mut assignment = Vec::with_capacity(inst.n_vars);
+            for _ in 0..inst.n_vars {
+                assignment.push(c % inst.n_values);
+                c /= inst.n_values;
+            }
+            if valid(&inst, &assignment) {
+                any = true;
+                if ok {
+                    for (v, &val) in assignment.iter().enumerate() {
+                        prop_assert!(
+                            csp.store.contains(VarId(v), val),
+                            "propagation pruned value {val} of var {v} used by a solution"
+                        );
+                    }
+                }
+            }
+        }
+        if !ok {
+            prop_assert!(!any, "propagation failed a feasible instance");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! `exper` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! exper table3
+//! exper fig7 [--runs N] [--paper] [--seed S] [--csv FILE]
+//! exper all  [--runs N] [--paper] [--seed S] [--csv-dir DIR]
+//! ```
+//!
+//! Default effort is `--quick` (reduced budgets, same qualitative shape);
+//! `--paper` switches to the Table III settings with 100 runs.
+
+use cpo_exper::chart::{render_chart, ChartOptions};
+use cpo_exper::figures::{self, Figure, Metric};
+use cpo_exper::markdown::figure_markdown;
+use cpo_exper::report::{figure_csv, render_figure, render_table3, shape_summary};
+use cpo_exper::runner::Effort;
+use cpo_exper::runner::Algorithm;
+use cpo_scenario::prelude::{ScenarioFile, ScenarioSize};
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+struct Options {
+    effort: Effort,
+    runs: Option<usize>,
+    seed: u64,
+    csv: Option<String>,
+    csv_dir: Option<String>,
+    md: bool,
+    chart: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        effort: Effort::Quick,
+        runs: None,
+        seed: 42,
+        csv: None,
+        csv_dir: None,
+        md: false,
+        chart: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => opts.effort = Effort::Paper,
+            "--quick" => opts.effort = Effort::Quick,
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                opts.runs = Some(v.parse().map_err(|e| format!("--runs: {e}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--md" => opts.md = true,
+            "--chart" => opts.chart = true,
+            "--csv" => opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
+            "--csv-dir" => opts.csv_dir = Some(it.next().ok_or("--csv-dir needs a path")?.clone()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {
+    if opts.md {
+        print!("{}", figure_markdown(fig));
+    } else {
+        print!("{}", render_figure(fig));
+        print!("{}", shape_summary(fig));
+    }
+    if opts.chart {
+        let options = ChartOptions {
+            log_y: fig.metric == Metric::TimeMs, // time spans decades
+            ..ChartOptions::default()
+        };
+        print!("{}", render_chart(fig, &options));
+    }
+    println!();
+    if let Some(path) = &opts.csv {
+        fs::write(path, figure_csv(fig)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(dir) = &opts.csv_dir {
+        fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let path = format!("{dir}/{}.csv", fig.id);
+        fs::write(&path, figure_csv(fig)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Runs every algorithm on a saved scenario file and prints one row per
+/// algorithm with all metrics.
+fn run_scenario_file(path: &str, opts: &Options, runs: usize) -> Result<(), String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let file = ScenarioFile::from_json(&json)?;
+    let spec = file.to_spec();
+    let size = ScenarioSize {
+        servers: spec.infra.servers,
+        vms: spec.requests.total_vms,
+        datacenters: spec.infra.datacenters,
+    };
+    println!(
+        "scenario {:?} (seed {}, {} runs): {}",
+        file.name,
+        file.seed,
+        runs,
+        size.label()
+    );
+    let cells = {
+        // Reuse the sweep machinery on a single custom size by generating
+        // the problems from the loaded spec directly.
+        let problems: Vec<_> = (0..runs)
+            .map(|r| spec.generate(file.seed.wrapping_add(r as u64)))
+            .collect();
+        let mut cells = Vec::new();
+        for algorithm in Algorithm::extended() {
+            let outcomes: Vec<_> = problems
+                .iter()
+                .enumerate()
+                .map(|(r, p)| {
+                    algorithm
+                        .build(opts.effort, file.seed + r as u64)
+                        .allocate(p)
+                })
+                .collect();
+            cells.push(cpo_exper::runner::Cell {
+                algorithm,
+                size: size.clone(),
+                metrics: cpo_exper::metrics::AggregateMetrics::of(&outcomes),
+            });
+        }
+        cells
+    };
+    print!("{}", cpo_exper::report::render_cells("results:", &cells));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!(
+            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|all> \
+             [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart]"
+        );
+        return ExitCode::FAILURE;
+    };
+    // `scenario` takes a positional file path before the options.
+    let (scenario_path, option_args): (Option<String>, &[String]) = if command == "scenario" {
+        match args.get(1) {
+            Some(path) if !path.starts_with("--") => (Some(path.clone()), &args[2..]),
+            _ => {
+                eprintln!("usage: exper scenario <file.json> [options]");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let opts = match parse_options(option_args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runs = opts.runs.unwrap_or_else(|| opts.effort.runs());
+
+    let result: Result<(), String> = match command.as_str() {
+        "table3" => {
+            print!("{}", render_table3(&figures::table3()));
+            Ok(())
+        }
+        "fig7" => emit(&figures::fig7(opts.effort, runs, opts.seed), &opts),
+        "fig8" => emit(&figures::fig8(opts.effort, runs, opts.seed), &opts),
+        "fig9" => emit(&figures::fig9(opts.effort, runs, opts.seed), &opts),
+        "fig10" => emit(&figures::fig10(opts.effort, runs, opts.seed), &opts),
+        "fig11" => emit(&figures::fig11(opts.effort, runs, opts.seed), &opts),
+        "ext-cpr" => emit(
+            &figures::fig_ext_cost_per_request(opts.effort, runs, opts.seed),
+            &opts,
+        ),
+        "ext-rev" => emit(
+            &figures::fig_ext_net_revenue(opts.effort, runs, opts.seed),
+            &opts,
+        ),
+        "ext-conv" => {
+            // Convergence study on one representative scenario.
+            use cpo_exper::convergence::{convergence_study, render_convergence};
+            use cpo_scenario::prelude::ScenarioSpec;
+            // Light workload: full feasibility is reachable, so the
+            // best-feasible column is informative for every variant.
+            let size = ScenarioSize::with_servers(25);
+            let problem = ScenarioSpec::for_size(&size).generate(opts.seed);
+            let config = opts.effort.nsga_config();
+            println!("scenario: {} (seed {})", size.label(), opts.seed);
+            let traces = convergence_study(&problem, &config);
+            print!("{}", render_convergence(&traces, config.population_size));
+            Ok(())
+        }
+        "scenario" => {
+            // exper scenario <file.json>: run all algorithms (paper six +
+            // the two extras) on the scenario described by the JSON file.
+            let path = scenario_path.expect("checked above");
+            run_scenario_file(&path, &opts, runs)
+        }
+        "all" => {
+            print!("{}", render_table3(&figures::table3()));
+            println!();
+            let mut result = emit(&figures::fig7(opts.effort, runs, opts.seed), &opts);
+            result =
+                result.and_then(|()| emit(&figures::fig8(opts.effort, runs, opts.seed), &opts));
+            result.and_then(|()| {
+                // Figs. 9–11 share one sweep; run it once.
+                figures::quality_figures(opts.effort, runs, opts.seed)
+                    .iter()
+                    .try_for_each(|f| emit(f, &opts))
+            })
+        }
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

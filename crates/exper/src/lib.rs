@@ -1,0 +1,28 @@
+//! # cpo-exper — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! | artefact | function | metric |
+//! |---|---|---|
+//! | Table III | [`figures::table3`] | NSGA settings |
+//! | Fig. 7 | [`figures::fig7`] | execution time, few resources |
+//! | Fig. 8 | [`figures::fig8`] | execution time, many resources |
+//! | Fig. 9 | [`figures::fig9`] | rejection rate |
+//! | Fig. 10 | [`figures::fig10`] | violated constraints |
+//! | Fig. 11 | [`figures::fig11`] | provider cost |
+//!
+//! All six algorithms run on *identical* seeded problem instances per run
+//! (paired comparison), aggregated with mean/std/min/max. The `exper`
+//! binary renders ASCII tables and CSV; [`runner::Effort::Paper`] uses the
+//! paper's Table III budgets and 100 runs, [`runner::Effort::Quick`]
+//! scales down for CI while preserving the qualitative shapes.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod convergence;
+pub mod figures;
+pub mod markdown;
+pub mod metrics;
+pub mod report;
+pub mod runner;

@@ -1,0 +1,111 @@
+//! Markdown rendering of figures — the format EXPERIMENTS.md uses, so
+//! the document can be regenerated from fresh runs.
+
+use crate::figures::Figure;
+use std::fmt::Write as _;
+
+/// Renders a figure as a GitHub-flavoured markdown table.
+pub fn figure_markdown(fig: &Figure) -> String {
+    let algorithms = fig.algorithms();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### {} — {} [{}]\n",
+        fig.id,
+        fig.title,
+        fig.metric.label()
+    );
+    let _ = write!(out, "| size |");
+    for a in &algorithms {
+        let _ = write!(out, " {} |", a.label());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &algorithms {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for size in &fig.sizes {
+        let _ = write!(out, "| {} |", size.label());
+        for a in &algorithms {
+            match fig
+                .cells
+                .iter()
+                .find(|c| c.algorithm == *a && c.size == *size)
+            {
+                Some(c) => {
+                    let _ = write!(out, " {:.3} |", fig.metric.mean_of(c));
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a whole experiment run (several figures) as one markdown
+/// document with a provenance header.
+pub fn report_markdown(figures: &[Figure], runs: usize, seed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Regenerated evaluation figures\n\n\
+         Produced by `cpo-exper` — {runs} run(s) per cell, base seed {seed}.\n"
+    );
+    for fig in figures {
+        out.push_str(&figure_markdown(fig));
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Metric;
+    use crate::metrics::{AggregateMetrics, Stat};
+    use crate::runner::{Algorithm, Cell};
+    use cpo_scenario::prelude::ScenarioSize;
+
+    fn fig() -> Figure {
+        let size = ScenarioSize::with_servers(10);
+        Figure {
+            id: "fig9",
+            title: "Rejection rate",
+            metric: Metric::RejectionRate,
+            sizes: vec![size.clone()],
+            cells: vec![Cell {
+                algorithm: Algorithm::Nsga3Tabu,
+                size,
+                metrics: AggregateMetrics {
+                    rejection_rate: Stat {
+                        mean: 0.125,
+                        ..Default::default()
+                    },
+                    runs: 2,
+                    ..Default::default()
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = figure_markdown(&fig());
+        assert!(md.contains("### fig9"));
+        assert!(md.contains("| size | nsga3-tabu |"));
+        assert!(md.contains("| m=10 n=20 | 0.125 |"));
+        // Header separator row present.
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn report_bundles_figures_with_provenance() {
+        let md = report_markdown(&[fig(), fig()], 3, 42);
+        assert!(md.contains("3 run(s) per cell, base seed 42"));
+        assert_eq!(md.matches("### fig9").count(), 2);
+    }
+}

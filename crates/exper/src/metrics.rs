@@ -1,0 +1,116 @@
+//! Aggregation of allocation outcomes over repeated runs.
+
+use cpo_core::prelude::AllocationOutcome;
+
+/// Mean/min/max summary of one metric over runs.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Stat {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single run).
+    pub std: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl Stat {
+    /// Summarises a sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// The four evaluation metrics of the paper, aggregated over runs.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateMetrics {
+    /// Execution time in milliseconds (Figs. 7–8).
+    pub time_ms: Stat,
+    /// Rejection rate (Fig. 9).
+    pub rejection_rate: Stat,
+    /// Violated constraints (Fig. 10).
+    pub violations: Stat,
+    /// Provider cost = usage + opex (Fig. 11).
+    pub provider_cost: Stat,
+    /// Provider cost per accepted request (the paper's proposed
+    /// normalised future-work metric).
+    pub cost_per_request: Stat,
+    /// Net revenue (gross revenue of accepted requests − Eq. 15 costs).
+    pub net_revenue: Stat,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl AggregateMetrics {
+    /// Aggregates a set of outcomes.
+    pub fn of(outcomes: &[AllocationOutcome]) -> Self {
+        let time: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.elapsed.as_secs_f64() * 1_000.0)
+            .collect();
+        let rejection: Vec<f64> = outcomes.iter().map(|o| o.rejection_rate).collect();
+        let violations: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.violated_constraints as f64)
+            .collect();
+        let cost: Vec<f64> = outcomes.iter().map(|o| o.provider_cost()).collect();
+        // Runs where nothing was accepted contribute no finite sample.
+        let cpr: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.cost_per_accepted_request())
+            .filter(|c| c.is_finite())
+            .collect();
+        let net: Vec<f64> = outcomes.iter().map(|o| o.net_revenue()).collect();
+        Self {
+            time_ms: Stat::of(&time),
+            rejection_rate: Stat::of(&rejection),
+            violations: Stat::of(&violations),
+            provider_cost: Stat::of(&cost),
+            cost_per_request: Stat::of(&cpr),
+            net_revenue: Stat::of(&net),
+            runs: outcomes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_known_sample() {
+        let s = Stat::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let s = Stat::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_default() {
+        assert_eq!(Stat::of(&[]), Stat::default());
+    }
+}

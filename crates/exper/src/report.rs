@@ -1,0 +1,188 @@
+//! Rendering: ASCII tables for the terminal, CSV for plotting.
+
+use crate::figures::Figure;
+use crate::runner::Cell;
+use std::fmt::Write as _;
+
+/// Renders a figure as an ASCII table: one row per size, one column per
+/// algorithm.
+pub fn render_figure(fig: &Figure) -> String {
+    let algorithms = fig.algorithms();
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {} [{}]", fig.id, fig.title, fig.metric.label());
+    let _ = write!(out, "{:>14}", "size");
+    for a in &algorithms {
+        let _ = write!(out, " {:>22}", a.label());
+    }
+    let _ = writeln!(out);
+    for size in &fig.sizes {
+        let _ = write!(out, "{:>14}", size.label());
+        for a in &algorithms {
+            let cell = fig
+                .cells
+                .iter()
+                .find(|c| c.algorithm == *a && c.size == *size);
+            match cell {
+                Some(c) => {
+                    let _ = write!(out, " {:>22.4}", fig.metric.mean_of(c));
+                }
+                None => {
+                    let _ = write!(out, " {:>22}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a figure as CSV with full statistics per cell.
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::from(
+        "figure,algorithm,servers,vms,runs,time_ms_mean,time_ms_std,rejection_mean,\
+         rejection_std,violations_mean,violations_std,provider_cost_mean,provider_cost_std,\
+         cost_per_request_mean,net_revenue_mean\n",
+    );
+    for c in &fig.cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            fig.id,
+            c.algorithm.label(),
+            c.size.servers,
+            c.size.vms,
+            c.metrics.runs,
+            c.metrics.time_ms.mean,
+            c.metrics.time_ms.std,
+            c.metrics.rejection_rate.mean,
+            c.metrics.rejection_rate.std,
+            c.metrics.violations.mean,
+            c.metrics.violations.std,
+            c.metrics.provider_cost.mean,
+            c.metrics.provider_cost.std,
+            c.metrics.cost_per_request.mean,
+            c.metrics.net_revenue.mean,
+        );
+    }
+    out
+}
+
+/// Renders Table III.
+pub fn render_table3(rows: &[(&'static str, String)]) -> String {
+    let mut out = String::from("Table III — NSGA-II and NSGA-III settings\n");
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k:>24}  {v}");
+    }
+    out
+}
+
+/// One-paragraph textual comparison of a figure against the paper's
+/// qualitative claim — used by EXPERIMENTS.md generation.
+pub fn shape_summary(fig: &Figure) -> String {
+    use crate::runner::Algorithm::*;
+    let last_of = |a| fig.series(a).last().map(|&(_, v)| v).unwrap_or(f64::NAN);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: at the largest size, round-robin={:.3}, cp={:.3}, nsga2={:.3}, nsga3={:.3}, \
+         nsga3-cp={:.3}, nsga3-tabu={:.3}",
+        fig.id,
+        last_of(RoundRobin),
+        last_of(ConstraintProgramming),
+        last_of(Nsga2),
+        last_of(Nsga3),
+        last_of(Nsga3Cp),
+        last_of(Nsga3Tabu),
+    );
+    out
+}
+
+/// Renders any cell list (used by ablation benches' summaries).
+pub fn render_cells(title: &str, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>24} {:>14} {:>12} {:>12} {:>12} {:>14}",
+        "algorithm", "size", "time[ms]", "reject", "violations", "cost"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:>24} {:>14} {:>12.3} {:>12.4} {:>12.2} {:>14.2}",
+            c.algorithm.label(),
+            c.size.label(),
+            c.metrics.time_ms.mean,
+            c.metrics.rejection_rate.mean,
+            c.metrics.violations.mean,
+            c.metrics.provider_cost.mean,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{table3, Metric};
+    use crate::metrics::{AggregateMetrics, Stat};
+    use crate::runner::Algorithm;
+    use cpo_scenario::prelude::ScenarioSize;
+
+    fn tiny_figure() -> Figure {
+        let size = ScenarioSize::with_servers(10);
+        let cell = Cell {
+            algorithm: Algorithm::RoundRobin,
+            size: size.clone(),
+            metrics: AggregateMetrics {
+                time_ms: Stat {
+                    mean: 1.5,
+                    ..Default::default()
+                },
+                runs: 2,
+                ..Default::default()
+            },
+        };
+        Figure {
+            id: "fig7",
+            title: "test",
+            metric: Metric::TimeMs,
+            sizes: vec![size],
+            cells: vec![cell],
+        }
+    }
+
+    #[test]
+    fn ascii_table_contains_all_parts() {
+        let s = render_figure(&tiny_figure());
+        assert!(s.contains("fig7"));
+        assert!(s.contains("round-robin"));
+        assert!(s.contains("m=10 n=20"));
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = figure_csv(&tiny_figure());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("figure,algorithm"));
+        assert!(lines[1].starts_with("fig7,round-robin,10,20,2"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn table3_renders() {
+        let s = render_table3(&table3());
+        assert!(s.contains("populationSize"));
+        assert!(s.contains("100"));
+        assert!(s.contains("0.70"));
+    }
+
+    #[test]
+    fn shape_summary_mentions_all_algorithms() {
+        let s = shape_summary(&tiny_figure());
+        assert!(s.contains("round-robin=1.500"));
+        assert!(s.contains("nsga3-tabu=NaN"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The mapping variable of the model: the paper's boolean tensor
+//! `X_{ijk}` (Table I) stored compactly as "server of VM `k`".
+//!
+//! Because every VM is placed on at most one server, and a server lives in
+//! exactly one datacenter, the `g × m × n` boolean tensor collapses to a
+//! single `Vec<Option<ServerId>>` indexed by [`VmId`] — the flat layout the
+//! performance guide favours and the encoding the paper itself uses for GA
+//! chromosomes ("each gene stands for a server ID").
+
+use crate::infrastructure::{DatacenterId, Infrastructure, ServerId};
+use crate::request::VmId;
+
+/// A (possibly partial) placement of every requested resource.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    placement: Vec<Option<ServerId>>,
+}
+
+impl Assignment {
+    /// An assignment with all `n` VMs unplaced.
+    pub fn unassigned(n: usize) -> Self {
+        Self {
+            placement: vec![None; n],
+        }
+    }
+
+    /// Builds an assignment from explicit placements.
+    pub fn from_placements(placement: Vec<Option<ServerId>>) -> Self {
+        Self { placement }
+    }
+
+    /// Builds a *complete* assignment from a gene vector of server indices —
+    /// the chromosome decoding used by the evolutionary allocators.
+    pub fn from_genes(genes: &[usize]) -> Self {
+        Self {
+            placement: genes.iter().map(|&j| Some(ServerId(j))).collect(),
+        }
+    }
+
+    /// Number of VMs covered (assigned or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// `true` when the assignment covers zero VMs.
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// Server hosting VM `k`, if assigned.
+    #[inline]
+    pub fn server_of(&self, k: VmId) -> Option<ServerId> {
+        self.placement[k.index()]
+    }
+
+    /// Datacenter hosting VM `k`, if assigned.
+    #[inline]
+    pub fn datacenter_of(&self, k: VmId, infra: &Infrastructure) -> Option<DatacenterId> {
+        self.placement[k.index()].map(|s| infra.datacenter_of(s))
+    }
+
+    /// Places VM `k` on server `j` (replacing any previous placement).
+    #[inline]
+    pub fn assign(&mut self, k: VmId, j: ServerId) {
+        self.placement[k.index()] = Some(j);
+    }
+
+    /// Removes VM `k` from its server.
+    #[inline]
+    pub fn unassign(&mut self, k: VmId) {
+        self.placement[k.index()] = None;
+    }
+
+    /// `true` when every VM is placed — the allocation constraint Eq. 5/17
+    /// (each requested resource assigned exactly once).
+    pub fn is_complete(&self) -> bool {
+        self.placement.iter().all(Option::is_some)
+    }
+
+    /// Ids of VMs that are not placed.
+    pub fn unassigned_vms(&self) -> Vec<VmId> {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.is_none().then_some(VmId(k)))
+            .collect()
+    }
+
+    /// Number of placed VMs.
+    pub fn assigned_count(&self) -> usize {
+        self.placement.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Iterator over `(VmId, ServerId)` pairs for placed VMs.
+    pub fn iter_assigned(&self) -> impl Iterator<Item = (VmId, ServerId)> + '_ {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.map(|j| (VmId(k), j)))
+    }
+
+    /// The paper's `X_{ijk}` view: is VM `k` on server `j` of datacenter `i`?
+    pub fn xijk(&self, i: DatacenterId, j: ServerId, k: VmId, infra: &Infrastructure) -> bool {
+        self.placement[k.index()] == Some(j) && infra.datacenter_of(j) == i
+    }
+
+    /// Builds the per-server occupancy index: `result[j]` lists the VMs on
+    /// global server `j`. Used by load tracking and the tabu repair scan.
+    pub fn per_server(&self, m: usize) -> Vec<Vec<VmId>> {
+        let mut out = vec![Vec::new(); m];
+        for (k, p) in self.placement.iter().enumerate() {
+            if let Some(j) = *p {
+                out[j.index()].push(VmId(k));
+            }
+        }
+        out
+    }
+
+    /// VMs whose server differs between `self` (the plan `X^{t+1}`) and
+    /// `previous` (`X^t`) — the reconfiguration plan of Eq. 26. A VM newly
+    /// placed (previously unassigned) is *not* a migration; a VM moved or
+    /// evicted is.
+    pub fn migrations_from(&self, previous: &Assignment) -> Vec<VmId> {
+        assert_eq!(
+            self.placement.len(),
+            previous.placement.len(),
+            "assignments cover different VM counts"
+        );
+        self.placement
+            .iter()
+            .zip(previous.placement.iter())
+            .enumerate()
+            .filter_map(|(k, (now, before))| match (before, now) {
+                (Some(b), Some(n)) if b != n => Some(VmId(k)),
+                (Some(_), None) => Some(VmId(k)), // eviction counts as a move
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Gene-vector view (server index per VM); unassigned VMs map to `m`
+    /// (one past the last server), the "parked" gene used by the encoders.
+    pub fn to_genes(&self, m: usize) -> Vec<usize> {
+        self.placement
+            .iter()
+            .map(|p| p.map_or(m, |j| j.index()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::infrastructure::{Infrastructure, ServerProfile};
+
+    fn infra() -> Infrastructure {
+        let p = ServerProfile::commodity(3);
+        Infrastructure::new(
+            AttrSet::standard(),
+            vec![
+                ("dc0".into(), p.build_many(2)),
+                ("dc1".into(), p.build_many(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn assign_unassign_roundtrip() {
+        let mut a = Assignment::unassigned(3);
+        assert!(!a.is_complete());
+        a.assign(VmId(0), ServerId(1));
+        assert_eq!(a.server_of(VmId(0)), Some(ServerId(1)));
+        a.unassign(VmId(0));
+        assert_eq!(a.server_of(VmId(0)), None);
+        assert_eq!(a.unassigned_vms().len(), 3);
+    }
+
+    #[test]
+    fn xijk_view_matches_flat_representation() {
+        let infra = infra();
+        let mut a = Assignment::unassigned(2);
+        a.assign(VmId(0), ServerId(2)); // dc1
+        assert!(a.xijk(DatacenterId(1), ServerId(2), VmId(0), &infra));
+        assert!(!a.xijk(DatacenterId(0), ServerId(2), VmId(0), &infra));
+        assert!(!a.xijk(DatacenterId(1), ServerId(3), VmId(0), &infra));
+    }
+
+    #[test]
+    fn exactly_one_placement_per_vm_by_construction() {
+        // The flat representation makes Eq. 5 structural: re-assigning
+        // replaces, never duplicates.
+        let infra = infra();
+        let mut a = Assignment::unassigned(1);
+        a.assign(VmId(0), ServerId(0));
+        a.assign(VmId(0), ServerId(3));
+        let hosting: usize = infra
+            .datacenter_ids()
+            .flat_map(|i| infra.server_ids().map(move |j| (i, j)))
+            .filter(|&(i, j)| a.xijk(i, j, VmId(0), &infra))
+            .count();
+        assert_eq!(hosting, 1);
+    }
+
+    #[test]
+    fn per_server_index_groups_vms() {
+        let mut a = Assignment::unassigned(4);
+        a.assign(VmId(0), ServerId(1));
+        a.assign(VmId(2), ServerId(1));
+        a.assign(VmId(3), ServerId(0));
+        let idx = a.per_server(4);
+        assert_eq!(idx[1], vec![VmId(0), VmId(2)]);
+        assert_eq!(idx[0], vec![VmId(3)]);
+        assert!(idx[2].is_empty());
+    }
+
+    #[test]
+    fn migrations_counts_moves_and_evictions_not_new_placements() {
+        let mut before = Assignment::unassigned(4);
+        before.assign(VmId(0), ServerId(0));
+        before.assign(VmId(1), ServerId(1));
+        before.assign(VmId(2), ServerId(2));
+        let mut after = before.clone();
+        after.assign(VmId(0), ServerId(3)); // move
+        after.unassign(VmId(1)); // eviction
+        after.assign(VmId(3), ServerId(0)); // new placement, not a migration
+        assert_eq!(after.migrations_from(&before), vec![VmId(0), VmId(1)]);
+    }
+
+    #[test]
+    fn gene_roundtrip_preserves_placements() {
+        let mut a = Assignment::unassigned(3);
+        a.assign(VmId(0), ServerId(2));
+        a.assign(VmId(2), ServerId(0));
+        let genes = a.to_genes(4);
+        assert_eq!(genes, vec![2, 4, 0]); // unassigned parks at m = 4
+        let b = Assignment::from_genes(&[2, 1, 0]);
+        assert_eq!(b.server_of(VmId(1)), Some(ServerId(1)));
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "different VM counts")]
+    fn migrations_requires_same_length() {
+        let a = Assignment::unassigned(2);
+        let b = Assignment::unassigned(3);
+        let _ = a.migrations_from(&b);
+    }
+}

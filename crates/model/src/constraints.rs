@@ -1,0 +1,349 @@
+//! Hard-constraint checking (Eqs. 16–21) and violation reporting.
+//!
+//! The checker produces a [`ViolationReport`] with one entry per violated
+//! constraint instance — the quantity plotted in the paper's Fig. 10 — and
+//! a graded total *degree* used by constraint-domination in the
+//! evolutionary engine and by the tabu repair to rank candidate fixes.
+
+use crate::affinity::AffinityKind;
+use crate::assignment::Assignment;
+use crate::attr::AttrId;
+use crate::infrastructure::{Infrastructure, ServerId};
+use crate::load::LoadTracker;
+use crate::request::{RequestBatch, RequestId, VmId};
+use std::fmt;
+
+/// One violated constraint instance.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Violation {
+    /// Server `server` exceeds effective capacity on `attr` by `excess`
+    /// (Eq. 4/16).
+    Capacity {
+        /// Overloaded server.
+        server: ServerId,
+        /// Attribute exceeded.
+        attr: AttrId,
+        /// Amount above effective capacity.
+        excess: f64,
+    },
+    /// VM `vm` is not placed anywhere (Eq. 5/17).
+    Unassigned {
+        /// The unplaced resource.
+        vm: VmId,
+    },
+    /// An affinity / anti-affinity rule of request `request` is broken
+    /// (Eqs. 9–12 / 18–21).
+    Affinity {
+        /// Owning request.
+        request: RequestId,
+        /// Kind of the broken rule.
+        kind: AffinityKind,
+        /// Graded degree: number of offending resources/pairs.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Capacity {
+                server,
+                attr,
+                excess,
+            } => {
+                write!(
+                    f,
+                    "capacity: server {} attr {} exceeded by {:.3}",
+                    server.0, attr.0, excess
+                )
+            }
+            Violation::Unassigned { vm } => write!(f, "unassigned: vm {}", vm.0),
+            Violation::Affinity {
+                request,
+                kind,
+                degree,
+            } => {
+                write!(
+                    f,
+                    "affinity: request {} rule {} degree {}",
+                    request.0,
+                    kind.label(),
+                    degree
+                )
+            }
+        }
+    }
+}
+
+/// All violations of an assignment, plus aggregate measures.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationReport {
+    violations: Vec<Violation>,
+}
+
+impl ViolationReport {
+    /// `true` when the assignment satisfies every hard constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violated constraint instances (the Fig. 10 metric).
+    pub fn count(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// The individual violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Graded total degree: capacity excesses are normalised per-attribute,
+    /// affinity degrees and unassigned VMs count 1 per offender. Used as
+    /// the constraint-domination key (smaller = closer to feasible).
+    pub fn degree(&self) -> f64 {
+        self.violations
+            .iter()
+            .map(|v| match v {
+                Violation::Capacity { excess, .. } => 1.0 + excess.max(0.0),
+                Violation::Unassigned { .. } => 1.0,
+                Violation::Affinity { degree, .. } => *degree as f64,
+            })
+            .sum()
+    }
+
+    /// Requests having at least one violated rule or unplaced/overloaded VM.
+    ///
+    /// `batch` must be the batch the report was generated from.
+    pub fn offending_requests(
+        &self,
+        batch: &RequestBatch,
+        assignment: &Assignment,
+        tracker: &LoadTracker,
+        infra: &Infrastructure,
+    ) -> Vec<RequestId> {
+        let mut flags = vec![false; batch.request_count()];
+        for v in &self.violations {
+            match v {
+                Violation::Unassigned { vm } => flags[batch.request_of(*vm).index()] = true,
+                Violation::Affinity { request, .. } => flags[request.index()] = true,
+                Violation::Capacity { server, .. } => {
+                    // Every request with a VM on the overloaded server is
+                    // implicated (any of them could be the one to move).
+                    for (k, j) in assignment.iter_assigned() {
+                        if j == *server {
+                            flags[batch.request_of(k).index()] = true;
+                        }
+                    }
+                    let _ = (tracker, infra);
+                }
+            }
+        }
+        flags
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &f)| f.then_some(RequestId(r)))
+            .collect()
+    }
+}
+
+/// Checks every hard constraint of the model (Eqs. 16–21) and returns the
+/// full violation report.
+pub fn check(
+    assignment: &Assignment,
+    batch: &RequestBatch,
+    infra: &Infrastructure,
+) -> ViolationReport {
+    let tracker = LoadTracker::from_assignment(assignment, batch, infra);
+    check_with_tracker(assignment, &tracker, batch, infra)
+}
+
+/// As [`check`] but reusing a tracker (hot path).
+pub fn check_with_tracker(
+    assignment: &Assignment,
+    tracker: &LoadTracker,
+    batch: &RequestBatch,
+    infra: &Infrastructure,
+) -> ViolationReport {
+    let mut violations = Vec::new();
+
+    // Eq. 5/17 — every VM placed exactly once (structurally at most once).
+    for k in batch.vm_ids() {
+        if assignment.server_of(k).is_none() {
+            violations.push(Violation::Unassigned { vm: k });
+        }
+    }
+
+    // Eq. 4/16 — capacity per server and attribute.
+    for j in infra.server_ids() {
+        for (attr, excess) in tracker.overloads(j, infra) {
+            violations.push(Violation::Capacity {
+                server: j,
+                attr,
+                excess,
+            });
+        }
+    }
+
+    // Eqs. 9–12 / 18–21 — affinity and anti-affinity rules.
+    for req in batch.requests() {
+        for rule in &req.rules {
+            let degree = rule.violation_degree(assignment, infra);
+            if degree > 0 {
+                violations.push(Violation::Affinity {
+                    request: req.id,
+                    kind: rule.kind(),
+                    degree,
+                });
+            }
+        }
+    }
+
+    ViolationReport { violations }
+}
+
+/// Fast feasibility test without building a report (used inside search
+/// loops where only the boolean matters).
+pub fn is_feasible(assignment: &Assignment, batch: &RequestBatch, infra: &Infrastructure) -> bool {
+    if !assignment.is_complete() {
+        return false;
+    }
+    let tracker = LoadTracker::from_assignment(assignment, batch, infra);
+    for j in infra.server_ids() {
+        if !tracker.overloads(j, infra).is_empty() {
+            return false;
+        }
+    }
+    for req in batch.requests() {
+        for rule in &req.rules {
+            if !rule.is_satisfied(assignment, infra) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::AffinityRule;
+    use crate::attr::AttrSet;
+    use crate::infrastructure::{Infrastructure, ServerProfile};
+    use crate::request::vm_spec;
+
+    fn infra() -> Infrastructure {
+        let p = ServerProfile::commodity(3);
+        Infrastructure::new(
+            AttrSet::standard(),
+            vec![
+                ("dc0".into(), p.build_many(2)),
+                ("dc1".into(), p.build_many(2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn feasible_assignment_has_empty_report() {
+        let infra = infra();
+        let mut batch = RequestBatch::new();
+        batch.push_request(vec![vm_spec(2.0, 1024.0, 10.0); 2], vec![]);
+        let mut a = Assignment::unassigned(2);
+        a.assign(VmId(0), ServerId(0));
+        a.assign(VmId(1), ServerId(1));
+        let report = check(&a, &batch, &infra);
+        assert!(report.is_feasible());
+        assert_eq!(report.count(), 0);
+        assert_eq!(report.degree(), 0.0);
+        assert!(is_feasible(&a, &batch, &infra));
+    }
+
+    #[test]
+    fn unassigned_vm_is_reported() {
+        let infra = infra();
+        let mut batch = RequestBatch::new();
+        batch.push_request(vec![vm_spec(1.0, 1.0, 1.0); 2], vec![]);
+        let mut a = Assignment::unassigned(2);
+        a.assign(VmId(0), ServerId(0));
+        let report = check(&a, &batch, &infra);
+        assert_eq!(report.count(), 1);
+        assert!(matches!(report.violations()[0], Violation::Unassigned { vm } if vm == VmId(1)));
+        assert!(!is_feasible(&a, &batch, &infra));
+    }
+
+    #[test]
+    fn capacity_overload_is_reported_per_attribute() {
+        let infra = infra();
+        let mut batch = RequestBatch::new();
+        // 30 cpu on 28.8 effective and 2.2 TiB disk on 1843.2 effective.
+        batch.push_request(vec![vm_spec(30.0, 1.0, 2200.0)], vec![]);
+        let mut a = Assignment::unassigned(1);
+        a.assign(VmId(0), ServerId(0));
+        let report = check(&a, &batch, &infra);
+        let caps: Vec<_> = report
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, Violation::Capacity { .. }))
+            .collect();
+        assert_eq!(caps.len(), 2, "cpu and disk both exceeded: {report:?}");
+        assert!(report.degree() > 2.0);
+    }
+
+    #[test]
+    fn broken_affinity_rule_is_reported_with_request() {
+        let infra = infra();
+        let mut batch = RequestBatch::new();
+        let rule = AffinityRule::new(AffinityKind::SameServer, vec![VmId(0), VmId(1)]);
+        let r = batch.push_request(vec![vm_spec(1.0, 1.0, 1.0); 2], vec![rule]);
+        let mut a = Assignment::unassigned(2);
+        a.assign(VmId(0), ServerId(0));
+        a.assign(VmId(1), ServerId(1));
+        let report = check(&a, &batch, &infra);
+        assert_eq!(report.count(), 1);
+        match &report.violations()[0] {
+            Violation::Affinity {
+                request,
+                kind,
+                degree,
+            } => {
+                assert_eq!(*request, r);
+                assert_eq!(*kind, AffinityKind::SameServer);
+                assert_eq!(*degree, 1);
+            }
+            v => panic!("unexpected violation {v:?}"),
+        }
+    }
+
+    #[test]
+    fn offending_requests_cover_capacity_and_affinity() {
+        let infra = infra();
+        let mut batch = RequestBatch::new();
+        // Request 0: fine. Request 1: overloads server 2.
+        batch.push_request(vec![vm_spec(1.0, 1.0, 1.0)], vec![]);
+        batch.push_request(vec![vm_spec(40.0, 1.0, 1.0)], vec![]);
+        let mut a = Assignment::unassigned(2);
+        a.assign(VmId(0), ServerId(0));
+        a.assign(VmId(1), ServerId(2));
+        let tracker = LoadTracker::from_assignment(&a, &batch, &infra);
+        let report = check_with_tracker(&a, &tracker, &batch, &infra);
+        let offending = report.offending_requests(&batch, &a, &tracker, &infra);
+        assert_eq!(offending, vec![RequestId(1)]);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let v = Violation::Capacity {
+            server: ServerId(3),
+            attr: AttrId(0),
+            excess: 1.5,
+        };
+        assert!(v.to_string().contains("server 3"));
+        let u = Violation::Unassigned { vm: VmId(7) };
+        assert!(u.to_string().contains("vm 7"));
+        let a = Violation::Affinity {
+            request: RequestId(2),
+            kind: AffinityKind::DifferentServer,
+            degree: 2,
+        };
+        assert!(a.to_string().contains("different-server"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Provider-side substrate: datacenters `G`, servers `M`, the capacity
+//! matrix `P` (Eq. 1), the capacity-factor matrix `F` (Eq. 3), the opex
+//! vector `E` (Eq. 6), the usage-cost vector `U` (Eq. 7), and the per-server
+//! QoS envelopes `L^M`, `Q^M` (Eq. 8).
+
+use crate::attr::{AttrId, AttrSet};
+use crate::matrix::Matrix;
+
+/// Index of a datacenter (the paper's `i ∈ G`).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
+pub struct DatacenterId(pub usize);
+
+impl DatacenterId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Global index of a server (the paper's `j ∈ M`).
+///
+/// Servers are numbered globally across all datacenters; the owning
+/// datacenter is recoverable through [`Infrastructure::datacenter_of`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
+pub struct ServerId(pub usize);
+
+impl ServerId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One physical server (hypervisor host).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Server {
+    /// Raw capacity per attribute — row `j` of the paper's `P` matrix.
+    pub capacity: Vec<f64>,
+    /// Virtual-to-physical capacity factor per attribute — row `j` of `F`.
+    /// A factor of 0.9 means only 90 % of the raw capacity is usable for
+    /// virtual resources (hypervisor overhead).
+    pub factor: Vec<f64>,
+    /// Operating expenditure `E_j` charged once when the server hosts at
+    /// least one VM (power, floor space, storage, IT operations).
+    pub opex: f64,
+    /// Usage cost `U_j` charged per hosted consumer resource.
+    pub usage_cost: f64,
+    /// Maximum load `L^M_{jl}` per attribute before QoS degradation
+    /// (each in `[0, 1)`).
+    pub max_load: Vec<f64>,
+    /// Maximum quality of service `Q^M_{jl}` per attribute (each in `[0, 1)`).
+    pub max_qos: Vec<f64>,
+}
+
+impl Server {
+    /// Effective usable capacity for attribute `l`: `P_{jl} · F_{jl}`
+    /// (the right-hand side of the capacity constraint, Eq. 4/16).
+    #[inline]
+    pub fn effective_capacity(&self, l: AttrId) -> f64 {
+        self.capacity[l.index()] * self.factor[l.index()]
+    }
+
+    /// Validates the invariants the paper places on server parameters
+    /// (Eq. 8 bounds, non-negative capacities and costs) against an
+    /// attribute set of size `h`.
+    pub fn validate(&self, h: usize) -> Result<(), String> {
+        if self.capacity.len() != h || self.factor.len() != h {
+            return Err(format!(
+                "server capacity/factor must have {h} attributes, got {}/{}",
+                self.capacity.len(),
+                self.factor.len()
+            ));
+        }
+        if self.max_load.len() != h || self.max_qos.len() != h {
+            return Err(format!(
+                "server max_load/max_qos must have {h} attributes, got {}/{}",
+                self.max_load.len(),
+                self.max_qos.len()
+            ));
+        }
+        for &c in &self.capacity {
+            if !c.is_finite() || c < 0.0 {
+                return Err(format!("capacity must be finite and >= 0, got {c}"));
+            }
+        }
+        for &f in &self.factor {
+            if !f.is_finite() || f <= 0.0 {
+                return Err(format!("capacity factor must be finite and > 0, got {f}"));
+            }
+        }
+        if !self.opex.is_finite() || self.opex < 0.0 {
+            return Err(format!("opex must be finite and >= 0, got {}", self.opex));
+        }
+        if !self.usage_cost.is_finite() || self.usage_cost < 0.0 {
+            return Err(format!(
+                "usage cost must be finite and >= 0, got {}",
+                self.usage_cost
+            ));
+        }
+        for &lm in &self.max_load {
+            if !(0.0..1.0).contains(&lm) {
+                return Err(format!("max load must be in [0,1), got {lm}"));
+            }
+        }
+        for &qm in &self.max_qos {
+            if !(0.0..1.0).contains(&qm) {
+                return Err(format!("max QoS must be in [0,1), got {qm}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A datacenter: a named group of consecutive global server ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datacenter {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// First global server id owned by this datacenter.
+    pub first_server: usize,
+    /// Number of servers in this datacenter.
+    pub server_count: usize,
+}
+
+impl Datacenter {
+    /// Iterator over the global server ids of this datacenter.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> {
+        (self.first_server..self.first_server + self.server_count).map(ServerId)
+    }
+
+    /// `true` when server `j` belongs to this datacenter.
+    pub fn contains(&self, j: ServerId) -> bool {
+        (self.first_server..self.first_server + self.server_count).contains(&j.index())
+    }
+}
+
+/// The provider substrate: all datacenters and servers plus derived views.
+#[derive(Clone, Debug)]
+pub struct Infrastructure {
+    attrs: AttrSet,
+    datacenters: Vec<Datacenter>,
+    servers: Vec<Server>,
+    /// `server_dc[j]` = owning datacenter of global server `j`.
+    server_dc: Vec<DatacenterId>,
+    /// Cached `m × h` effective capacity matrix (`P ⊙ F`).
+    effective: Matrix<f64>,
+}
+
+impl Infrastructure {
+    /// Assembles an infrastructure from datacenters each carrying its own
+    /// servers. Validates every server against the attribute set.
+    ///
+    /// # Panics
+    /// Panics if any server fails [`Server::validate`] or if no datacenter
+    /// or server is provided.
+    pub fn new(attrs: AttrSet, dcs: Vec<(String, Vec<Server>)>) -> Self {
+        assert!(
+            !dcs.is_empty(),
+            "infrastructure needs at least one datacenter"
+        );
+        let h = attrs.len();
+        let mut datacenters = Vec::with_capacity(dcs.len());
+        let mut servers = Vec::new();
+        let mut server_dc = Vec::new();
+        for (dc_idx, (name, dc_servers)) in dcs.into_iter().enumerate() {
+            let first_server = servers.len();
+            for (s_idx, s) in dc_servers.iter().enumerate() {
+                if let Err(e) = s.validate(h) {
+                    panic!("invalid server {s_idx} in datacenter {name:?}: {e}");
+                }
+            }
+            datacenters.push(Datacenter {
+                name,
+                first_server,
+                server_count: dc_servers.len(),
+            });
+            for s in dc_servers {
+                servers.push(s);
+                server_dc.push(DatacenterId(dc_idx));
+            }
+        }
+        assert!(
+            !servers.is_empty(),
+            "infrastructure needs at least one server"
+        );
+        let effective = Matrix::from_fn(servers.len(), h, |j, l| {
+            servers[j].effective_capacity(AttrId(l))
+        });
+        Self {
+            attrs,
+            datacenters,
+            servers,
+            server_dc,
+            effective,
+        }
+    }
+
+    /// The shared attribute set.
+    #[inline]
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of attributes `h`.
+    #[inline]
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of datacenters `g`.
+    #[inline]
+    pub fn datacenter_count(&self) -> usize {
+        self.datacenters.len()
+    }
+
+    /// Number of servers `m` (global, across all datacenters).
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The datacenters.
+    pub fn datacenters(&self) -> &[Datacenter] {
+        &self.datacenters
+    }
+
+    /// The servers, indexed by global [`ServerId`].
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Server `j`.
+    #[inline]
+    pub fn server(&self, j: ServerId) -> &Server {
+        &self.servers[j.index()]
+    }
+
+    /// Owning datacenter of server `j`.
+    #[inline]
+    pub fn datacenter_of(&self, j: ServerId) -> DatacenterId {
+        self.server_dc[j.index()]
+    }
+
+    /// Effective capacity `P_{jl} · F_{jl}` (cached).
+    #[inline]
+    pub fn effective_capacity(&self, j: ServerId, l: AttrId) -> f64 {
+        *self.effective.get(j.index(), l.index())
+    }
+
+    /// Row of effective capacities for server `j`.
+    #[inline]
+    pub fn effective_row(&self, j: ServerId) -> &[f64] {
+        self.effective.row(j.index())
+    }
+
+    /// Iterator over all global server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        (0..self.servers.len()).map(ServerId)
+    }
+
+    /// Iterator over all datacenter ids.
+    pub fn datacenter_ids(&self) -> impl Iterator<Item = DatacenterId> {
+        (0..self.datacenters.len()).map(DatacenterId)
+    }
+
+    /// The provider capacity matrix `P` (`m × h`), materialised.
+    pub fn capacity_matrix(&self) -> Matrix<f64> {
+        Matrix::from_fn(self.server_count(), self.attr_count(), |j, l| {
+            self.servers[j].capacity[l]
+        })
+    }
+
+    /// The capacity-factor matrix `F` (`m × h`), materialised.
+    pub fn factor_matrix(&self) -> Matrix<f64> {
+        Matrix::from_fn(self.server_count(), self.attr_count(), |j, l| {
+            self.servers[j].factor[l]
+        })
+    }
+
+    /// Total effective capacity of the whole infrastructure per attribute —
+    /// used by scenario generators to target utilisation levels.
+    pub fn total_effective_capacity(&self) -> Vec<f64> {
+        let h = self.attr_count();
+        let mut tot = vec![0.0; h];
+        for j in 0..self.server_count() {
+            for (l, t) in tot.iter_mut().enumerate() {
+                *t += *self.effective.get(j, l);
+            }
+        }
+        tot
+    }
+}
+
+/// Convenience builder for a homogeneous server profile.
+#[derive(Clone, Debug)]
+pub struct ServerProfile {
+    /// Capacity per attribute.
+    pub capacity: Vec<f64>,
+    /// Capacity factor per attribute.
+    pub factor: Vec<f64>,
+    /// Opex `E_j`.
+    pub opex: f64,
+    /// Usage cost `U_j`.
+    pub usage_cost: f64,
+    /// Max load knee per attribute.
+    pub max_load: Vec<f64>,
+    /// Max QoS per attribute.
+    pub max_qos: Vec<f64>,
+}
+
+impl ServerProfile {
+    /// A balanced commodity profile for `h` standard attributes:
+    /// 32 vCPU, 128 GiB RAM (in MiB), 2 TiB disk (in GiB).
+    pub fn commodity(h: usize) -> Self {
+        let base = [32.0, 131_072.0, 2048.0];
+        let capacity: Vec<f64> = (0..h)
+            .map(|l| base.get(l).copied().unwrap_or(100.0))
+            .collect();
+        Self {
+            capacity,
+            factor: vec![0.9; h],
+            opex: 10.0,
+            usage_cost: 1.0,
+            max_load: vec![0.8; h],
+            max_qos: vec![0.99; h],
+        }
+    }
+
+    /// Materialises one [`Server`] from the profile.
+    pub fn build(&self) -> Server {
+        Server {
+            capacity: self.capacity.clone(),
+            factor: self.factor.clone(),
+            opex: self.opex,
+            usage_cost: self.usage_cost,
+            max_load: self.max_load.clone(),
+            max_qos: self.max_qos.clone(),
+        }
+    }
+
+    /// Materialises `n` identical servers.
+    pub fn build_many(&self, n: usize) -> Vec<Server> {
+        (0..n).map(|_| self.build()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_infra() -> Infrastructure {
+        let attrs = AttrSet::standard();
+        let profile = ServerProfile::commodity(3);
+        Infrastructure::new(
+            attrs,
+            vec![
+                ("dc0".into(), profile.build_many(2)),
+                ("dc1".into(), profile.build_many(3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn global_server_numbering_spans_datacenters() {
+        let infra = tiny_infra();
+        assert_eq!(infra.server_count(), 5);
+        assert_eq!(infra.datacenter_count(), 2);
+        assert_eq!(infra.datacenter_of(ServerId(0)), DatacenterId(0));
+        assert_eq!(infra.datacenter_of(ServerId(1)), DatacenterId(0));
+        assert_eq!(infra.datacenter_of(ServerId(2)), DatacenterId(1));
+        assert_eq!(infra.datacenter_of(ServerId(4)), DatacenterId(1));
+    }
+
+    #[test]
+    fn datacenter_server_iteration_matches_ownership() {
+        let infra = tiny_infra();
+        let dc1 = &infra.datacenters()[1];
+        let ids: Vec<_> = dc1.servers().map(|s| s.index()).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert!(dc1.contains(ServerId(3)));
+        assert!(!dc1.contains(ServerId(1)));
+    }
+
+    #[test]
+    fn effective_capacity_applies_factor() {
+        let infra = tiny_infra();
+        let j = ServerId(0);
+        let l = AttrId(0);
+        let s = infra.server(j);
+        assert!((infra.effective_capacity(j, l) - s.capacity[0] * s.factor[0]).abs() < 1e-12);
+        // commodity: 32 vCPU * 0.9 = 28.8
+        assert!((infra.effective_capacity(j, l) - 28.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_and_factor_matrices_have_model_shape() {
+        let infra = tiny_infra();
+        let p = infra.capacity_matrix();
+        let f = infra.factor_matrix();
+        assert_eq!((p.rows(), p.cols()), (5, 3));
+        assert_eq!((f.rows(), f.cols()), (5, 3));
+        assert!(p.is_nonnegative());
+        assert!(f.is_nonnegative());
+    }
+
+    #[test]
+    fn total_effective_capacity_sums_servers() {
+        let infra = tiny_infra();
+        let tot = infra.total_effective_capacity();
+        assert!((tot[0] - 5.0 * 28.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_validation_rejects_bad_bounds() {
+        let mut s = ServerProfile::commodity(3).build();
+        s.max_load[1] = 1.0; // must be < 1
+        assert!(s.validate(3).is_err());
+        let mut s2 = ServerProfile::commodity(3).build();
+        s2.factor[0] = 0.0; // must be > 0
+        assert!(s2.validate(3).is_err());
+        let mut s3 = ServerProfile::commodity(3).build();
+        s3.opex = f64::NAN;
+        assert!(s3.validate(3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid server")]
+    fn infrastructure_rejects_invalid_servers() {
+        let mut bad = ServerProfile::commodity(3).build();
+        bad.capacity = vec![1.0]; // wrong h
+        let _ = Infrastructure::new(AttrSet::standard(), vec![("dc".into(), vec![bad])]);
+    }
+
+    #[test]
+    fn wrong_attr_count_is_reported() {
+        let s = ServerProfile::commodity(2).build();
+        assert!(s.validate(3).is_err());
+    }
+}

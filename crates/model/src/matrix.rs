@@ -1,0 +1,277 @@
+//! Flat, row-major matrix used for every capacity/cost/load table in the
+//! model (Eqs. 1–3, 8 of the paper).
+//!
+//! The paper manipulates `m × h` and `n × h` matrices; we store them in a
+//! single contiguous `Vec` so that scanning a server's attribute row (the hot
+//! operation in load and constraint evaluation) is a cache-friendly slice
+//! walk, per the Rust Performance Book guidance on data layout.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix.
+///
+/// `Matrix<f64>` backs the provider capacity matrix `P`, the consumer demand
+/// matrix `C`, the capacity-factor matrix `F` and the load/QoS matrices.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major `Vec`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Immutable cell access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut T {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Iterator over `(row, col, &value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i / cols, i % cols, v))
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The raw row-major backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl Matrix<f64> {
+    /// Sum of all cells.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest cell value (0.0 for an empty matrix).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0_f64, f64::max)
+    }
+
+    /// `true` when every cell is finite and non-negative — the validity
+    /// requirement the paper places on all capacity matrices (`R+`).
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m: Matrix<f64> = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_lays_out_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    fn row_slices_are_contiguous() {
+        let m = Matrix::from_fn(4, 2, |r, c| r + c);
+        assert_eq!(m.row(2), &[2, 3]);
+    }
+
+    #[test]
+    fn row_mut_updates_cells() {
+        let mut m: Matrix<f64> = Matrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m[(1, 0)], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn index_out_of_bounds_panics() {
+        let m: Matrix<f64> = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.max(), 4.0);
+    }
+
+    #[test]
+    fn nonnegative_detects_negatives_and_nan() {
+        let ok = Matrix::from_vec(1, 2, vec![0.0, 5.0]);
+        assert!(ok.is_nonnegative());
+        let neg = Matrix::from_vec(1, 2, vec![0.0, -1.0]);
+        assert!(!neg.is_nonnegative());
+        let nan = Matrix::from_vec(1, 2, vec![0.0, f64::NAN]);
+        assert!(!nan.is_nonnegative());
+    }
+
+    #[test]
+    fn iter_yields_all_cells_with_coordinates() {
+        let m = Matrix::from_fn(2, 2, |r, c| r * 2 + c);
+        let cells: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
+        assert_eq!(cells, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn iter_rows_matches_row() {
+        let m = Matrix::from_fn(3, 2, |r, c| r + c);
+        for (i, row) in m.iter_rows().enumerate() {
+            assert_eq!(row, m.row(i));
+        }
+    }
+}

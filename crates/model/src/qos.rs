@@ -1,0 +1,121 @@
+//! The piecewise quality-of-service curve of Eq. 24.
+//!
+//! The paper (following the empirical studies it cites, refs. 23 and 24)
+//! models QoS as flat at `Q^M_{jl}` while the load stays below the knee
+//! `L^M_{jl}`, then decaying exponentially:
+//!
+//! ```text
+//! Q_jl = Q^M_jl                                   if L_jl ≤ L^M_jl
+//! Q_jl = Q^M_jl · exp((L^M_jl − L_jl)/(1 − L^M_jl)) if L_jl > L^M_jl
+//! ```
+//!
+//! The exponent is ≤ 0 past the knee, so QoS decays continuously from
+//! `Q^M` towards 0 as load grows — matching the cited observation that
+//! "quality of service decreases exponentially with increasing workload".
+
+use crate::attr::AttrId;
+use crate::infrastructure::{Infrastructure, ServerId};
+use crate::load::LoadTracker;
+
+/// Evaluates Eq. 24 for a single (load, knee, max-QoS) triple.
+///
+/// `max_load` must be in `[0, 1)`; loads past 1.0 (overload) keep decaying.
+#[inline]
+pub fn qos_at(load: f64, max_load: f64, max_qos: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&max_load), "max_load must be in [0,1)");
+    if load <= max_load {
+        max_qos
+    } else {
+        // (L^M − L)/(1 − L^M) ≤ 0 here, so the factor is in (0, 1].
+        max_qos * ((max_load - load) / (1.0 - max_load)).exp()
+    }
+}
+
+/// QoS of attribute `l` on server `j` under the tracked loads (Eq. 24).
+#[inline]
+pub fn server_qos(tracker: &LoadTracker, j: ServerId, l: AttrId, infra: &Infrastructure) -> f64 {
+    let s = infra.server(j);
+    let load = tracker.load(j, l, infra);
+    if load.is_infinite() {
+        return 0.0; // zero-capacity attribute under demand: no service
+    }
+    qos_at(load, s.max_load[l.index()], s.max_qos[l.index()])
+}
+
+/// Worst (minimum) QoS across all attributes of server `j` — the service
+/// level a hosted VM actually experiences.
+pub fn worst_qos(tracker: &LoadTracker, j: ServerId, infra: &Infrastructure) -> f64 {
+    infra
+        .attrs()
+        .ids()
+        .map(|l| server_qos(tracker, j, l, infra))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::infrastructure::{Infrastructure, ServerProfile};
+    use crate::request::{vm_spec, RequestBatch, VmId};
+
+    #[test]
+    fn below_knee_qos_is_max() {
+        assert_eq!(qos_at(0.0, 0.8, 0.99), 0.99);
+        assert_eq!(qos_at(0.8, 0.8, 0.99), 0.99);
+        assert_eq!(qos_at(0.5, 0.8, 0.95), 0.95);
+    }
+
+    #[test]
+    fn past_knee_qos_decays_continuously() {
+        let knee = 0.8;
+        let qm = 0.99;
+        // Continuity at the knee.
+        let eps = 1e-9;
+        assert!((qos_at(knee + eps, knee, qm) - qm).abs() < 1e-6);
+        // Strictly decreasing past the knee.
+        let q1 = qos_at(0.85, knee, qm);
+        let q2 = qos_at(0.95, knee, qm);
+        let q3 = qos_at(1.2, knee, qm);
+        assert!(qm > q1 && q1 > q2 && q2 > q3 && q3 > 0.0);
+    }
+
+    #[test]
+    fn eq24_closed_form_matches() {
+        // Hand-computed: L=0.9, LM=0.8, QM=0.99 → 0.99·e^(-0.1/0.2) = 0.99·e^-0.5
+        let expected = 0.99 * (-0.5_f64).exp();
+        assert!((qos_at(0.9, 0.8, 0.99) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_qos_uses_tracked_load() {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), vec![ServerProfile::commodity(3).build()])],
+        );
+        let mut batch = RequestBatch::new();
+        // 28.8 effective CPU; demand 26 → load ≈ 0.903 > knee 0.8
+        batch.push_request(vec![vm_spec(26.0, 1.0, 1.0)], vec![]);
+        let mut t = LoadTracker::new(1, 3);
+        t.add(VmId(0), ServerId(0), &batch);
+        let q_cpu = server_qos(&t, ServerId(0), AttrId(0), &infra);
+        assert!(
+            q_cpu < 0.99,
+            "cpu loaded past knee should degrade, got {q_cpu}"
+        );
+        let q_ram = server_qos(&t, ServerId(0), AttrId(1), &infra);
+        assert_eq!(q_ram, 0.99, "ram barely loaded stays at max");
+        // Worst-of is the degraded CPU value.
+        assert_eq!(worst_qos(&t, ServerId(0), &infra), q_cpu);
+    }
+
+    #[test]
+    fn idle_server_has_max_qos() {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), vec![ServerProfile::commodity(3).build()])],
+        );
+        let t = LoadTracker::new(1, 3);
+        assert_eq!(worst_qos(&t, ServerId(0), &infra), 0.99);
+    }
+}

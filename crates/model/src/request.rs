@@ -1,0 +1,327 @@
+//! Consumer-side demand: requested virtual resources `N = {1, …, n}` with
+//! their demand matrix `C` (Eq. 2), QoS guarantees `C^Q_k`, downtime
+//! penalties `C^U_k` and migration costs `M_k` (Table I), grouped into user
+//! *requests* that carry affinity/anti-affinity rules.
+
+use crate::affinity::AffinityRule;
+use crate::attr::AttrId;
+use crate::matrix::Matrix;
+
+/// Global index of a requested virtual resource (the paper's `k ∈ N`).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
+pub struct VmId(pub usize);
+
+impl VmId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Index of a user request within a batch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize,
+)]
+pub struct RequestId(pub usize);
+
+impl RequestId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One requested virtual resource (VM, container, storage volume, …).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VmSpec {
+    /// Demand per attribute — row `k` of the paper's `C` matrix.
+    pub demand: Vec<f64>,
+    /// Quality-of-service level guaranteed to the consumer (`C^Q_k`,
+    /// in `(0, 1)`): the minimum per-attribute QoS the provider promised.
+    pub qos_guarantee: f64,
+    /// Downtime penalty `C^U_k` paid by the provider when the guarantee is
+    /// not respected.
+    pub downtime_cost: f64,
+    /// Cost `M_k` of migrating this resource in a reconfiguration plan.
+    pub migration_cost: f64,
+    /// Revenue the provider earns per window for hosting this resource —
+    /// the consumer's price. Not in the paper's symbol table, but its
+    /// evaluation argues in revenue terms ("designed to generate the
+    /// largest revenues for the providers"); this field makes that claim
+    /// measurable (net revenue = Σ revenue over accepted − Eq. 15 costs).
+    pub revenue: f64,
+}
+
+impl VmSpec {
+    /// Validates the spec against an attribute count `h`.
+    pub fn validate(&self, h: usize) -> Result<(), String> {
+        if self.demand.len() != h {
+            return Err(format!(
+                "demand must have {h} attributes, got {}",
+                self.demand.len()
+            ));
+        }
+        for &d in &self.demand {
+            if !d.is_finite() || d < 0.0 {
+                return Err(format!("demand must be finite and >= 0, got {d}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.qos_guarantee) {
+            return Err(format!(
+                "qos guarantee must be in [0,1], got {}",
+                self.qos_guarantee
+            ));
+        }
+        if !self.downtime_cost.is_finite() || self.downtime_cost < 0.0 {
+            return Err(format!(
+                "downtime cost must be >= 0, got {}",
+                self.downtime_cost
+            ));
+        }
+        if !self.migration_cost.is_finite() || self.migration_cost < 0.0 {
+            return Err(format!(
+                "migration cost must be >= 0, got {}",
+                self.migration_cost
+            ));
+        }
+        if !self.revenue.is_finite() || self.revenue < 0.0 {
+            return Err(format!("revenue must be >= 0, got {}", self.revenue));
+        }
+        Ok(())
+    }
+
+    /// Demand for attribute `l` (`C_{kl}`).
+    #[inline]
+    pub fn demand_for(&self, l: AttrId) -> f64 {
+        self.demand[l.index()]
+    }
+}
+
+/// A user request: a set of virtual resources plus the affinity and
+/// anti-affinity rules that bind them (Section III of the paper).
+///
+/// A request is the unit of acceptance/rejection in the evaluation: either
+/// all its resources are placed respecting every rule, or the request is
+/// rejected as a whole.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Stable identifier within the batch.
+    pub id: RequestId,
+    /// The virtual resources belonging to this request.
+    pub vms: Vec<VmId>,
+    /// Affinity / anti-affinity rules over those resources.
+    pub rules: Vec<AffinityRule>,
+}
+
+/// A batch of user requests processed inside one cyclic time window.
+#[derive(Clone, Debug, Default)]
+pub struct RequestBatch {
+    vms: Vec<VmSpec>,
+    requests: Vec<Request>,
+    /// `vm_request[k]` = owning request of VM `k`.
+    vm_request: Vec<RequestId>,
+}
+
+impl RequestBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request made of `vms` with `rules`; returns its id.
+    ///
+    /// Rules may only reference the VMs being added here; this is checked.
+    pub fn push_request(&mut self, vms: Vec<VmSpec>, rules: Vec<AffinityRule>) -> RequestId {
+        assert!(
+            !vms.is_empty(),
+            "a request must contain at least one resource"
+        );
+        let id = RequestId(self.requests.len());
+        let first = self.vms.len();
+        let vm_ids: Vec<VmId> = (first..first + vms.len()).map(VmId).collect();
+        for rule in &rules {
+            for vm in rule.vms() {
+                assert!(
+                    vm_ids.contains(vm),
+                    "rule references VM {vm:?} outside of request {id:?}"
+                );
+            }
+        }
+        for spec in vms {
+            self.vms.push(spec);
+            self.vm_request.push(id);
+        }
+        self.requests.push(Request {
+            id,
+            vms: vm_ids,
+            rules,
+        });
+        id
+    }
+
+    /// Total number of requested virtual resources `n`.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of user requests in the batch.
+    #[inline]
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Spec of VM `k`.
+    #[inline]
+    pub fn vm(&self, k: VmId) -> &VmSpec {
+        &self.vms[k.index()]
+    }
+
+    /// All VM specs, indexed by [`VmId`].
+    pub fn vms(&self) -> &[VmSpec] {
+        &self.vms
+    }
+
+    /// All requests.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Request `r`.
+    #[inline]
+    pub fn request(&self, r: RequestId) -> &Request {
+        &self.requests[r.index()]
+    }
+
+    /// Owning request of VM `k`.
+    #[inline]
+    pub fn request_of(&self, k: VmId) -> RequestId {
+        self.vm_request[k.index()]
+    }
+
+    /// Iterator over all VM ids.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> {
+        (0..self.vms.len()).map(VmId)
+    }
+
+    /// Iterator over all request ids.
+    pub fn request_ids(&self) -> impl Iterator<Item = RequestId> {
+        (0..self.requests.len()).map(RequestId)
+    }
+
+    /// Materialises the consumer demand matrix `C` (`n × h`).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or VMs disagree on attribute count.
+    pub fn demand_matrix(&self) -> Matrix<f64> {
+        assert!(!self.vms.is_empty(), "empty batch has no demand matrix");
+        let h = self.vms[0].demand.len();
+        Matrix::from_fn(self.vms.len(), h, |k, l| self.vms[k].demand[l])
+    }
+
+    /// Validates every VM spec against attribute count `h`.
+    pub fn validate(&self, h: usize) -> Result<(), String> {
+        for (k, vm) in self.vms.iter().enumerate() {
+            vm.validate(h).map_err(|e| format!("vm {k}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total demand across the batch per attribute — used by scenario
+    /// generators to target utilisation.
+    pub fn total_demand(&self, h: usize) -> Vec<f64> {
+        let mut tot = vec![0.0; h];
+        for vm in &self.vms {
+            for (l, t) in tot.iter_mut().enumerate() {
+                *t += vm.demand.get(l).copied().unwrap_or(0.0);
+            }
+        }
+        tot
+    }
+}
+
+/// Convenience constructor for a VM spec with standard attributes
+/// (CPU cores, RAM MiB, disk GiB) and typical cost parameters.
+pub fn vm_spec(cpu: f64, ram: f64, disk: f64) -> VmSpec {
+    VmSpec {
+        demand: vec![cpu, ram, disk],
+        qos_guarantee: 0.95,
+        downtime_cost: 5.0,
+        migration_cost: 1.0,
+        // Simple linear price dominated by CPU, floored above typical
+        // usage cost so hosting is profitable by default.
+        revenue: 2.0 + cpu * 1.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::{AffinityKind, AffinityRule};
+
+    #[test]
+    fn push_request_assigns_global_vm_ids() {
+        let mut b = RequestBatch::new();
+        let r0 = b.push_request(vec![vm_spec(1.0, 1024.0, 10.0); 2], vec![]);
+        let r1 = b.push_request(vec![vm_spec(2.0, 2048.0, 20.0); 3], vec![]);
+        assert_eq!(b.vm_count(), 5);
+        assert_eq!(b.request(r0).vms, vec![VmId(0), VmId(1)]);
+        assert_eq!(b.request(r1).vms, vec![VmId(2), VmId(3), VmId(4)]);
+        assert_eq!(b.request_of(VmId(3)), r1);
+    }
+
+    #[test]
+    fn rules_must_reference_own_vms() {
+        let mut b = RequestBatch::new();
+        b.push_request(vec![vm_spec(1.0, 1.0, 1.0)], vec![]);
+        let rule = AffinityRule::new(AffinityKind::SameServer, vec![VmId(0), VmId(1)]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.push_request(vec![vm_spec(1.0, 1.0, 1.0)], vec![rule]);
+        }));
+        assert!(result.is_err(), "cross-request rule should panic");
+    }
+
+    #[test]
+    fn demand_matrix_matches_specs() {
+        let mut b = RequestBatch::new();
+        b.push_request(
+            vec![vm_spec(1.0, 1024.0, 10.0), vm_spec(2.0, 2048.0, 20.0)],
+            vec![],
+        );
+        let c = b.demand_matrix();
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+        assert_eq!(c[(1, 1)], 2048.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = vm_spec(1.0, 1.0, 1.0);
+        spec.qos_guarantee = 1.5;
+        assert!(spec.validate(3).is_err());
+        let mut spec2 = vm_spec(1.0, 1.0, 1.0);
+        spec2.demand[0] = -1.0;
+        assert!(spec2.validate(3).is_err());
+        assert!(vm_spec(1.0, 1.0, 1.0).validate(2).is_err());
+    }
+
+    #[test]
+    fn total_demand_sums_attributes() {
+        let mut b = RequestBatch::new();
+        b.push_request(
+            vec![vm_spec(1.0, 10.0, 100.0), vm_spec(2.0, 20.0, 200.0)],
+            vec![],
+        );
+        assert_eq!(b.total_demand(3), vec![3.0, 30.0, 300.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_request_rejected() {
+        let mut b = RequestBatch::new();
+        b.push_request(vec![], vec![]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper: "our model can be extended to other specific attributes to
+//! provider resources". This suite drives the whole model with a
+//! four-attribute set (CPU, RAM, disk, network bandwidth) and a custom
+//! fifth (GPU units) — constraints, loads, QoS and costs must all honour
+//! the extra dimensions.
+
+use cpo_model::attr::{AttrId, AttrKind, AttrSet};
+use cpo_model::prelude::*;
+
+fn extended_attrs() -> AttrSet {
+    AttrSet::new(vec![
+        AttrKind::Cpu,
+        AttrKind::Ram,
+        AttrKind::Disk,
+        AttrKind::NetBandwidth,
+        AttrKind::Custom(1), // GPU units
+    ])
+}
+
+fn server_5d(net: f64, gpu: f64) -> Server {
+    Server {
+        capacity: vec![32.0, 131_072.0, 2_048.0, net, gpu],
+        factor: vec![0.9; 5],
+        opex: 12.0,
+        usage_cost: 1.0,
+        max_load: vec![0.8; 5],
+        max_qos: vec![0.99; 5],
+    }
+}
+
+fn vm_5d(cpu: f64, net: f64, gpu: f64) -> VmSpec {
+    VmSpec {
+        demand: vec![cpu, 4_096.0, 40.0, net, gpu],
+        qos_guarantee: 0.95,
+        downtime_cost: 5.0,
+        migration_cost: 1.0,
+        revenue: 10.0,
+    }
+}
+
+#[test]
+fn five_attribute_problem_enforces_every_dimension() {
+    let infra = Infrastructure::new(
+        extended_attrs(),
+        vec![(
+            "dc".into(),
+            vec![server_5d(10_000.0, 4.0), server_5d(10_000.0, 0.0)],
+        )],
+    );
+    let mut batch = RequestBatch::new();
+    // GPU VM: only server 0 has GPUs.
+    batch.push_request(vec![vm_5d(4.0, 1_000.0, 2.0)], vec![]);
+    // Network-hungry VM: fits either server on net (9000 effective).
+    batch.push_request(vec![vm_5d(4.0, 8_000.0, 0.0)], vec![]);
+    let problem = AllocationProblem::new(infra, batch, None);
+    assert_eq!(problem.h(), 5);
+
+    // GPU VM on the GPU-less server: capacity violation on Custom(1).
+    let mut wrong = Assignment::unassigned(2);
+    wrong.assign(VmId(0), ServerId(1));
+    wrong.assign(VmId(1), ServerId(0));
+    let report = problem.check(&wrong);
+    assert!(!report.is_feasible());
+    assert!(report.violations().iter().any(|v| matches!(
+        v,
+        cpo_model::constraints::Violation::Capacity { attr, .. } if *attr == AttrId(4)
+    )));
+
+    // Correct placement is feasible.
+    let mut right = Assignment::unassigned(2);
+    right.assign(VmId(0), ServerId(0));
+    right.assign(VmId(1), ServerId(1));
+    assert!(problem.is_feasible(&right));
+}
+
+#[test]
+fn network_attribute_saturates_like_any_other() {
+    let infra = Infrastructure::new(
+        extended_attrs(),
+        vec![("dc".into(), vec![server_5d(10_000.0, 8.0)])],
+    );
+    let mut batch = RequestBatch::new();
+    // Two VMs of 5 Gbit each: 10 > 9 effective → can't share the server.
+    batch.push_request(vec![vm_5d(1.0, 5_000.0, 0.0)], vec![]);
+    batch.push_request(vec![vm_5d(1.0, 5_000.0, 0.0)], vec![]);
+    let problem = AllocationProblem::new(infra, batch, None);
+    let mut a = Assignment::unassigned(2);
+    a.assign(VmId(0), ServerId(0));
+    a.assign(VmId(1), ServerId(0));
+    let tracker = problem.tracker(&a);
+    let over = tracker.overloads(ServerId(0), problem.infra());
+    assert_eq!(over.len(), 1);
+    assert_eq!(
+        over[0].0,
+        AttrId(3),
+        "the network dimension must be the binding one"
+    );
+}
+
+#[test]
+fn qos_degrades_on_the_loaded_custom_attribute() {
+    use cpo_model::qos::worst_qos;
+    let infra = Infrastructure::new(
+        extended_attrs(),
+        vec![("dc".into(), vec![server_5d(10_000.0, 8.0)])],
+    );
+    let mut batch = RequestBatch::new();
+    // 6.5 of 7.2 effective GPU → load 0.90 > knee 0.8 → QoS drops.
+    batch.push_request(vec![vm_5d(1.0, 100.0, 6.5)], vec![]);
+    let problem = AllocationProblem::new(infra, batch, None);
+    let mut a = Assignment::unassigned(1);
+    a.assign(VmId(0), ServerId(0));
+    let tracker = problem.tracker(&a);
+    let q = worst_qos(&tracker, ServerId(0), problem.infra());
+    assert!(q < 0.99, "GPU load past the knee must degrade QoS, got {q}");
+    // And the downtime term picks it up (guarantee 0.95 may or may not be
+    // broken depending on the curve; assert the objective is finite and
+    // consistent either way).
+    let z = problem.evaluate(&a);
+    assert!(z.downtime >= 0.0 && z.downtime.is_finite());
+}
+
+#[test]
+fn ilp_covers_extended_attributes() {
+    use cpo_model::ilp::{IlpFormulation, RowKind};
+    let infra = Infrastructure::new(
+        extended_attrs(),
+        vec![("dc".into(), vec![server_5d(10_000.0, 4.0); 2])],
+    );
+    let mut batch = RequestBatch::new();
+    batch.push_request(vec![vm_5d(2.0, 500.0, 1.0); 2], vec![]);
+    let problem = AllocationProblem::new(infra, batch, None);
+    let ilp = IlpFormulation::from_problem(&problem);
+    let capacity_rows = ilp
+        .row_counts()
+        .into_iter()
+        .find(|(k, _)| *k == RowKind::Capacity)
+        .map(|(_, c)| c)
+        .unwrap();
+    assert_eq!(
+        capacity_rows,
+        2 * 5,
+        "one capacity row per server × attribute"
+    );
+}

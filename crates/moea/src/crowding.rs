@@ -1,0 +1,144 @@
+//! Crowding-distance assignment (NSGA-II, Deb et al. 2002 §III-B).
+
+use crate::individual::Individual;
+
+/// Assigns crowding distances to the individuals of one front (given by
+/// indices into `pop`). Boundary solutions get `f64::INFINITY`.
+pub fn assign_crowding_distance(pop: &mut [Individual], front: &[usize]) {
+    let l = front.len();
+    for &i in front {
+        pop[i].crowding = 0.0;
+    }
+    if l <= 2 {
+        for &i in front {
+            pop[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let m = pop[front[0]].objectives.len();
+    let mut order: Vec<usize> = front.to_vec();
+    for obj in 0..m {
+        order.sort_by(|&a, &b| {
+            pop[a].objectives[obj]
+                .partial_cmp(&pop[b].objectives[obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let fmin = pop[order[0]].objectives[obj];
+        let fmax = pop[order[l - 1]].objectives[obj];
+        pop[order[0]].crowding = f64::INFINITY;
+        pop[order[l - 1]].crowding = f64::INFINITY;
+        let span = fmax - fmin;
+        if span <= 0.0 {
+            continue; // degenerate objective: contributes nothing
+        }
+        for w in 1..l - 1 {
+            let prev = pop[order[w - 1]].objectives[obj];
+            let next = pop[order[w + 1]].objectives[obj];
+            let idx = order[w];
+            if pop[idx].crowding.is_finite() {
+                pop[idx].crowding += (next - prev) / span;
+            }
+        }
+    }
+}
+
+/// The crowded-comparison operator `≺_n`: lower rank wins; equal rank →
+/// larger crowding distance wins. Returns `true` when `a` is preferred.
+pub fn crowded_less(a: &Individual, b: &Individual) -> bool {
+    a.rank < b.rank || (a.rank == b.rank && a.crowding > b.crowding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    fn ind(obj: Vec<f64>) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.set_evaluation(Evaluation::feasible(obj));
+        i
+    }
+
+    #[test]
+    fn boundaries_get_infinite_distance() {
+        let mut pop = vec![
+            ind(vec![0.0, 3.0]),
+            ind(vec![1.0, 2.0]),
+            ind(vec![2.0, 1.0]),
+            ind(vec![3.0, 0.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        assign_crowding_distance(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[3].crowding.is_infinite());
+        assert!(pop[1].crowding.is_finite());
+        assert!(pop[2].crowding.is_finite());
+    }
+
+    #[test]
+    fn evenly_spaced_interior_points_share_distance() {
+        let mut pop = vec![
+            ind(vec![0.0, 4.0]),
+            ind(vec![1.0, 3.0]),
+            ind(vec![2.0, 2.0]),
+            ind(vec![3.0, 1.0]),
+            ind(vec![4.0, 0.0]),
+        ];
+        let front: Vec<usize> = (0..5).collect();
+        assign_crowding_distance(&mut pop, &front);
+        assert!((pop[1].crowding - pop[2].crowding).abs() < 1e-12);
+        assert!((pop[2].crowding - pop[3].crowding).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowded_interior_point_scores_lower() {
+        // Points: 0 and 4 are boundaries; 1-2 are close together, 3 isolated.
+        let mut pop = vec![
+            ind(vec![0.0, 10.0]),
+            ind(vec![1.0, 9.0]),
+            ind(vec![1.2, 8.8]),
+            ind(vec![6.0, 4.0]),
+            ind(vec![10.0, 0.0]),
+        ];
+        let front: Vec<usize> = (0..5).collect();
+        assign_crowding_distance(&mut pop, &front);
+        assert!(
+            pop[3].crowding > pop[2].crowding,
+            "isolated point must be preferred: {} vs {}",
+            pop[3].crowding,
+            pop[2].crowding
+        );
+    }
+
+    #[test]
+    fn small_fronts_are_all_infinite() {
+        let mut pop = vec![ind(vec![1.0, 1.0]), ind(vec![2.0, 0.0])];
+        assign_crowding_distance(&mut pop, &[0, 1]);
+        assert!(pop[0].crowding.is_infinite() && pop[1].crowding.is_infinite());
+    }
+
+    #[test]
+    fn degenerate_objective_does_not_nan() {
+        let mut pop = vec![
+            ind(vec![1.0, 0.0]),
+            ind(vec![1.0, 1.0]),
+            ind(vec![1.0, 2.0]),
+        ];
+        assign_crowding_distance(&mut pop, &[0, 1, 2]);
+        assert!(!pop.iter().any(|i| i.crowding.is_nan()));
+    }
+
+    #[test]
+    fn crowded_comparison_prefers_rank_then_distance() {
+        let mut a = ind(vec![1.0, 1.0]);
+        let mut b = ind(vec![2.0, 2.0]);
+        a.rank = 0;
+        b.rank = 1;
+        assert!(crowded_less(&a, &b));
+        b.rank = 0;
+        a.crowding = 5.0;
+        b.crowding = 1.0;
+        assert!(crowded_less(&a, &b));
+        assert!(!crowded_less(&b, &a));
+    }
+}

@@ -1,0 +1,139 @@
+//! Hypervolume indicator for 2- and 3-objective fronts — used by the
+//! ablation benches to compare front quality between NSGA-II, NSGA-III and
+//! the hybrids.
+
+/// Hypervolume of a minimisation front w.r.t. a reference (nadir-ish)
+/// point. Points not strictly dominating `reference` are ignored.
+///
+/// Supports 2 and 3 objectives (all this repo needs).
+pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    match reference.len() {
+        2 => hv2(front, reference),
+        3 => hv3(front, reference),
+        d => panic!("hypervolume implemented for 2 and 3 objectives, got {d}"),
+    }
+}
+
+fn dominated_filter(front: &[Vec<f64>], reference: &[f64]) -> Vec<Vec<f64>> {
+    front
+        .iter()
+        .filter(|p| p.iter().zip(reference).all(|(a, r)| a < r))
+        .cloned()
+        .collect()
+}
+
+fn hv2(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts = dominated_filter(front, reference);
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by f1 ascending; sweep keeping the best f2 so far.
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+    let mut hv = 0.0;
+    let mut prev_f2 = reference[1];
+    for p in &pts {
+        if p[1] < prev_f2 {
+            hv += (reference[0] - p[0]) * (prev_f2 - p[1]);
+            prev_f2 = p[1];
+        }
+    }
+    hv
+}
+
+/// 3-D hypervolume by slicing along the third objective (HSO-style).
+fn hv3(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let pts = dominated_filter(front, reference);
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Collect distinct f3 slice boundaries.
+    let mut zs: Vec<f64> = pts.iter().map(|p| p[2]).collect();
+    zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    zs.dedup();
+    zs.push(reference[2]);
+
+    let mut hv = 0.0;
+    for w in zs.windows(2) {
+        let (z_lo, z_hi) = (w[0], w[1]);
+        if z_hi <= z_lo {
+            continue;
+        }
+        // Points active in this slice: f3 ≤ z_lo.
+        let slice: Vec<Vec<f64>> = pts
+            .iter()
+            .filter(|p| p[2] <= z_lo)
+            .map(|p| vec![p[0], p[1]])
+            .collect();
+        hv += hv2(&slice, &reference[..2]) * (z_hi - z_lo);
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_2d_is_a_rectangle() {
+        let hv = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let lone = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        let with_dominated = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+        assert!((lone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_2d_sums_rectangles() {
+        // (1,2) and (2,1) vs ref (3,3): union = 2*1 + 1*2 - overlap 1*1 = 3.
+        let hv = hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12, "got {hv}");
+    }
+
+    #[test]
+    fn point_outside_reference_ignored() {
+        let hv = hypervolume(&[vec![4.0, 4.0]], &[3.0, 3.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn single_point_3d_is_a_box() {
+        let hv = hypervolume(&[vec![1.0, 1.0, 1.0]], &[2.0, 3.0, 4.0]);
+        assert!((hv - 1.0 * 2.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_disjoint_boxes_3d() {
+        // (1,1,2) and (2,2,1) vs ref (3,3,3).
+        // Slice z∈[1,2): only (2,2,1) active → area (3-2)(3-2)=1 → vol 1.
+        // Slice z∈[2,3): both active → 2D hv of {(1,1),(2,2)} vs (3,3) = 4 → vol 4.
+        let hv = hypervolume(
+            &[vec![1.0, 1.0, 2.0], vec![2.0, 2.0, 1.0]],
+            &[3.0, 3.0, 3.0],
+        );
+        assert!((hv - 5.0).abs() < 1e-12, "got {hv}");
+    }
+
+    #[test]
+    fn better_front_has_larger_hv() {
+        let close = vec![vec![0.5, 0.5, 0.5]];
+        let far = vec![vec![1.5, 1.5, 1.5]];
+        let r = [2.0, 2.0, 2.0];
+        assert!(hypervolume(&close, &r) > hypervolume(&far, &r));
+    }
+
+    #[test]
+    fn empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+        assert_eq!(hypervolume(&[], &[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 and 3 objectives")]
+    fn unsupported_dimension_panics() {
+        let _ = hypervolume(&[vec![1.0; 4]], &[2.0; 4]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Individuals and populations.
+
+use crate::problem::Evaluation;
+
+/// One member of the population: genome plus cached evaluation and the
+/// bookkeeping fields the selection machinery fills in.
+#[derive(Clone, Debug)]
+pub struct Individual {
+    /// Real-coded genome.
+    pub genes: Vec<f64>,
+    /// Objective values (minimised).
+    pub objectives: Vec<f64>,
+    /// Constraint-violation degree (0 = feasible).
+    pub violation: f64,
+    /// Non-domination rank (0 = first front), set by the sorter.
+    pub rank: usize,
+    /// Crowding distance (NSGA-II) — `f64::INFINITY` on boundaries.
+    pub crowding: f64,
+    /// Reference-direction niche (NSGA-III / U-NSGA-III); `usize::MAX`
+    /// until the first environmental selection assigns it.
+    pub niche: usize,
+    /// Perpendicular distance to the niche direction.
+    pub niche_distance: f64,
+}
+
+impl Individual {
+    /// Creates an unevaluated individual (objectives empty).
+    pub fn new(genes: Vec<f64>) -> Self {
+        Self {
+            genes,
+            objectives: Vec::new(),
+            violation: 0.0,
+            rank: usize::MAX,
+            crowding: 0.0,
+            niche: usize::MAX,
+            niche_distance: f64::INFINITY,
+        }
+    }
+
+    /// Stores an evaluation result.
+    pub fn set_evaluation(&mut self, eval: Evaluation) {
+        self.objectives = eval.objectives;
+        self.violation = eval.violation;
+    }
+
+    /// `true` when the cached evaluation is feasible.
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.violation <= 0.0
+    }
+
+    /// `true` when the individual has been evaluated.
+    #[inline]
+    pub fn is_evaluated(&self) -> bool {
+        !self.objectives.is_empty()
+    }
+
+    /// Constraint-domination (Deb 2002): a feasible individual beats any
+    /// infeasible one; two infeasibles compare by violation; two feasibles
+    /// compare by Pareto dominance over objectives.
+    pub fn constrained_dominates(&self, other: &Individual) -> bool {
+        match (self.is_feasible(), other.is_feasible()) {
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => self.violation < other.violation,
+            (true, true) => dominates(&self.objectives, &other.objectives),
+        }
+    }
+}
+
+/// Pure Pareto dominance over minimised objective vectors.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ind(obj: Vec<f64>, violation: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.set_evaluation(Evaluation {
+            objectives: obj,
+            violation,
+        });
+        i
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: no strict gain
+    }
+
+    #[test]
+    fn feasible_always_beats_infeasible() {
+        let good = ind(vec![100.0, 100.0], 0.0);
+        let bad = ind(vec![0.0, 0.0], 0.1);
+        assert!(good.constrained_dominates(&bad));
+        assert!(!bad.constrained_dominates(&good));
+    }
+
+    #[test]
+    fn infeasibles_compare_by_violation() {
+        let less = ind(vec![5.0, 5.0], 1.0);
+        let more = ind(vec![1.0, 1.0], 2.0);
+        assert!(less.constrained_dominates(&more));
+        assert!(!more.constrained_dominates(&less));
+    }
+
+    #[test]
+    fn feasibles_compare_by_pareto() {
+        let a = ind(vec![1.0, 2.0], 0.0);
+        let b = ind(vec![2.0, 3.0], 0.0);
+        let c = ind(vec![3.0, 1.0], 0.0);
+        assert!(a.constrained_dominates(&b));
+        assert!(!a.constrained_dominates(&c));
+        assert!(!c.constrained_dominates(&a));
+    }
+
+    #[test]
+    fn new_individual_is_unevaluated() {
+        let i = Individual::new(vec![1.0, 2.0]);
+        assert!(!i.is_evaluated());
+        assert_eq!(i.rank, usize::MAX);
+    }
+}

@@ -1,0 +1,401 @@
+//! NSGA-III environmental selection (Deb & Jain 2014): adaptive
+//! normalisation, association to reference directions, and niching.
+
+use crate::individual::Individual;
+use rand::Rng;
+
+/// Normalises the objectives of the candidates (indices into `pop`) into
+/// `[0,1]`-ish space: subtract the ideal point, divide by the intercepts of
+/// the hyperplane through the extreme points (falling back to the nadir
+/// span when the plane is degenerate). Returns the normalised vectors in
+/// candidate order.
+pub fn normalize(pop: &[Individual], candidates: &[usize]) -> Vec<Vec<f64>> {
+    assert!(!candidates.is_empty());
+    let m = pop[candidates[0]].objectives.len();
+
+    // Ideal point.
+    let mut ideal = vec![f64::INFINITY; m];
+    for &c in candidates {
+        for (i, &o) in pop[c].objectives.iter().enumerate() {
+            ideal[i] = ideal[i].min(o);
+        }
+    }
+
+    // Translated objectives.
+    let translated: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|&c| {
+            pop[c]
+                .objectives
+                .iter()
+                .zip(&ideal)
+                .map(|(o, i)| o - i)
+                .collect()
+        })
+        .collect();
+
+    // Extreme point per axis: minimiser of the achievement scalarising
+    // function with weight concentrated on that axis.
+    let mut intercepts = vec![0.0_f64; m];
+    let mut extremes: Vec<usize> = Vec::with_capacity(m);
+    for axis in 0..m {
+        let mut best = 0usize;
+        let mut best_asf = f64::INFINITY;
+        for (idx, t) in translated.iter().enumerate() {
+            let asf = t
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i == axis { v } else { v * 1e6 })
+                .fold(0.0_f64, f64::max);
+            if asf < best_asf {
+                best_asf = asf;
+                best = idx;
+            }
+        }
+        extremes.push(best);
+    }
+
+    // Try to solve for the hyperplane through the extremes: Z a = 1.
+    let plane = solve_intercepts(&translated, &extremes, m);
+    match plane {
+        Some(a) if a.iter().all(|&x| x.is_finite() && x > 1e-10) => {
+            for (i, &ai) in a.iter().enumerate() {
+                intercepts[i] = 1.0 / ai;
+            }
+        }
+        _ => {
+            // Fallback: nadir of the candidate set.
+            for inter in intercepts.iter_mut() {
+                *inter = 0.0;
+            }
+            for t in &translated {
+                for (i, &v) in t.iter().enumerate() {
+                    intercepts[i] = intercepts[i].max(v);
+                }
+            }
+        }
+    }
+    for inter in intercepts.iter_mut() {
+        if *inter <= 1e-12 {
+            *inter = 1e-12; // degenerate axis
+        }
+    }
+
+    translated
+        .into_iter()
+        .map(|t| t.iter().zip(&intercepts).map(|(v, i)| v / i).collect())
+        .collect()
+}
+
+/// Gaussian elimination solving `Z a = 1` where rows of `Z` are the extreme
+/// points. Returns `None` when singular.
+fn solve_intercepts(translated: &[Vec<f64>], extremes: &[usize], m: usize) -> Option<Vec<f64>> {
+    // Duplicate extremes → singular plane.
+    for (i, a) in extremes.iter().enumerate() {
+        for b in &extremes[i + 1..] {
+            if a == b {
+                return None;
+            }
+        }
+    }
+    let mut mat: Vec<Vec<f64>> = extremes
+        .iter()
+        .map(|&e| {
+            let mut row = translated[e].clone();
+            row.push(1.0); // RHS
+            row
+        })
+        .collect();
+    for col in 0..m {
+        // Partial pivot.
+        let pivot =
+            (col..m).max_by(|&a, &b| mat[a][col].abs().partial_cmp(&mat[b][col].abs()).unwrap())?;
+        if mat[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        mat.swap(col, pivot);
+        let pv = mat[col][col];
+        for r in 0..m {
+            if r == col {
+                continue;
+            }
+            let factor = mat[r][col] / pv;
+            for c in col..=m {
+                mat[r][c] -= factor * mat[col][c];
+            }
+        }
+    }
+    Some((0..m).map(|i| mat[i][m] / mat[i][i]).collect())
+}
+
+/// Perpendicular distance from point `p` to the ray through the origin in
+/// direction `w`.
+pub fn perpendicular_distance(p: &[f64], w: &[f64]) -> f64 {
+    let ww: f64 = w.iter().map(|x| x * x).sum();
+    if ww <= 0.0 {
+        return p.iter().map(|x| x * x).sum::<f64>().sqrt();
+    }
+    let pw: f64 = p.iter().zip(w).map(|(a, b)| a * b).sum();
+    let t = pw / ww;
+    p.iter()
+        .zip(w)
+        .map(|(a, b)| {
+            let d = a - t * b;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Association of one candidate: its closest reference direction and the
+/// perpendicular distance to it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Association {
+    /// Index into the reference-point set.
+    pub ref_idx: usize,
+    /// Perpendicular distance to that direction.
+    pub distance: f64,
+}
+
+/// Associates every normalised point with its nearest reference direction.
+pub fn associate(normalized: &[Vec<f64>], refs: &[Vec<f64>]) -> Vec<Association> {
+    normalized
+        .iter()
+        .map(|p| {
+            let mut best = Association {
+                ref_idx: 0,
+                distance: f64::INFINITY,
+            };
+            for (r, w) in refs.iter().enumerate() {
+                let d = perpendicular_distance(p, w);
+                if d < best.distance {
+                    best = Association {
+                        ref_idx: r,
+                        distance: d,
+                    };
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// NSGA-III niching (Deb & Jain 2014, Algorithm 4): fill `slots` survivors
+/// from `last_front` given the already-selected `chosen` members.
+///
+/// * `candidates` — indices (into `pop`) of all members of fronts before
+///   the last front (already selected);
+/// * `last_front` — indices of the front that overfills the population;
+/// * returns the subset of `last_front` to keep, length = `slots`.
+pub fn niching_select(
+    pop: &[Individual],
+    chosen: &[usize],
+    last_front: &[usize],
+    slots: usize,
+    refs: &[Vec<f64>],
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(slots <= last_front.len());
+    if slots == 0 {
+        return Vec::new();
+    }
+    if slots == last_front.len() {
+        return last_front.to_vec();
+    }
+
+    // Normalise the union so chosen and last-front share a frame.
+    let mut union: Vec<usize> = chosen.to_vec();
+    union.extend_from_slice(last_front);
+    let normalized = normalize(pop, &union);
+    let assoc = associate(&normalized, refs);
+
+    // Niche counts from the chosen members.
+    let mut niche_count = vec![0usize; refs.len()];
+    for a in &assoc[..chosen.len()] {
+        niche_count[a.ref_idx] += 1;
+    }
+
+    // Candidates from the last front grouped by their reference direction.
+    let mut by_ref: Vec<Vec<usize>> = vec![Vec::new(); refs.len()]; // positions in last_front
+    for (pos, a) in assoc[chosen.len()..].iter().enumerate() {
+        by_ref[a.ref_idx].push(pos);
+    }
+
+    let mut selected = Vec::with_capacity(slots);
+    let mut excluded_refs = vec![false; refs.len()];
+    while selected.len() < slots {
+        // Reference direction with minimal niche count among those that
+        // still have last-front candidates.
+        let mut min_count = usize::MAX;
+        let mut min_refs: Vec<usize> = Vec::new();
+        for (r, count) in niche_count.iter().enumerate() {
+            if excluded_refs[r] || by_ref[r].is_empty() {
+                continue;
+            }
+            match count.cmp(&min_count) {
+                std::cmp::Ordering::Less => {
+                    min_count = *count;
+                    min_refs.clear();
+                    min_refs.push(r);
+                }
+                std::cmp::Ordering::Equal => min_refs.push(r),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        if min_refs.is_empty() {
+            // No direction has candidates left; fill arbitrarily.
+            for (pos, _) in last_front.iter().enumerate() {
+                if !selected.contains(&pos) {
+                    selected.push(pos);
+                    if selected.len() == slots {
+                        break;
+                    }
+                }
+            }
+            break;
+        }
+        let r = min_refs[rng.gen_range(0..min_refs.len())];
+        let members = &mut by_ref[r];
+        // If the niche is empty so far, take the member closest to the
+        // direction; otherwise a random member.
+        let pick_pos = if niche_count[r] == 0 {
+            let best = members
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    assoc[chosen.len() + a]
+                        .distance
+                        .partial_cmp(&assoc[chosen.len() + b].distance)
+                        .unwrap()
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty niche");
+            best
+        } else {
+            rng.gen_range(0..members.len())
+        };
+        let member = members.swap_remove(pick_pos);
+        selected.push(member);
+        niche_count[r] += 1;
+        let _ = &mut excluded_refs; // directions never become excluded here;
+                                    // kept for symmetry with the paper's ρ=∅ exclusion
+    }
+    selected.truncate(slots);
+    selected.into_iter().map(|pos| last_front[pos]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ind(obj: Vec<f64>) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.set_evaluation(Evaluation::feasible(obj));
+        i
+    }
+
+    #[test]
+    fn normalize_maps_extremes_near_unit_axes() {
+        let pop = vec![
+            ind(vec![0.0, 10.0]),
+            ind(vec![10.0, 0.0]),
+            ind(vec![5.0, 5.0]),
+        ];
+        let n = normalize(&pop, &[0, 1, 2]);
+        // Ideal is (0,0); extremes are (0,10) and (10,0); intercepts 10,10.
+        assert!((n[0][0] - 0.0).abs() < 1e-9 && (n[0][1] - 1.0).abs() < 1e-9);
+        assert!((n[1][0] - 1.0).abs() < 1e-9 && (n[1][1] - 0.0).abs() < 1e-9);
+        assert!((n[2][0] - 0.5).abs() < 1e-9 && (n[2][1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_front() {
+        // All candidates identical: intercept solve fails, nadir fallback.
+        let pop = vec![ind(vec![3.0, 3.0]), ind(vec![3.0, 3.0])];
+        let n = normalize(&pop, &[0, 1]);
+        assert!(n.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perpendicular_distance_basics() {
+        // Point on the ray → 0.
+        assert!(perpendicular_distance(&[2.0, 2.0], &[1.0, 1.0]) < 1e-12);
+        // Unit point vs orthogonal axis → full norm.
+        assert!((perpendicular_distance(&[0.0, 1.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        // 45° from axis.
+        let d = perpendicular_distance(&[1.0, 1.0], &[1.0, 0.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn associate_picks_nearest_direction() {
+        let refs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        let pts = vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.5, 0.5]];
+        let assoc = associate(&pts, &refs);
+        assert_eq!(assoc[0].ref_idx, 0);
+        assert_eq!(assoc[1].ref_idx, 1);
+        assert_eq!(assoc[2].ref_idx, 2);
+        assert!(assoc[2].distance < 1e-12);
+    }
+
+    #[test]
+    fn niching_fills_exact_slot_count_without_duplicates() {
+        let pop: Vec<Individual> = (0..10)
+            .map(|i| {
+                let x = i as f64 / 9.0;
+                ind(vec![x, 1.0 - x])
+            })
+            .collect();
+        let refs = crate::refpoints::das_dennis(2, 4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let chosen: Vec<usize> = vec![];
+        let last: Vec<usize> = (0..10).collect();
+        let kept = niching_select(&pop, &chosen, &last, 4, &refs, &mut rng);
+        assert_eq!(kept.len(), 4);
+        let mut dedup = kept.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn niching_prefers_empty_niches() {
+        // Chosen members crowd direction 0; the last front offers one point
+        // near direction 0 and one near direction 1. The direction-1 point
+        // must be selected first.
+        let pop = vec![
+            ind(vec![1.0, 0.05]), // chosen, near axis 0
+            ind(vec![0.95, 0.1]), // chosen, near axis 0
+            ind(vec![0.9, 0.15]), // last front, near axis 0
+            ind(vec![0.05, 1.0]), // last front, near axis 1
+        ];
+        let refs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let kept = niching_select(&pop, &[0, 1], &[2, 3], 1, &refs, &mut rng);
+        assert_eq!(kept, vec![3], "empty niche must win");
+    }
+
+    #[test]
+    fn niching_zero_slots_and_full_front_edges() {
+        let pop = vec![ind(vec![1.0, 0.0]), ind(vec![0.0, 1.0])];
+        let refs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(niching_select(&pop, &[], &[0, 1], 0, &refs, &mut rng).is_empty());
+        assert_eq!(
+            niching_select(&pop, &[], &[0, 1], 2, &refs, &mut rng),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn solve_intercepts_identity_case() {
+        let translated = vec![vec![2.0, 0.0], vec![0.0, 4.0]];
+        let a = solve_intercepts(&translated, &[0, 1], 2).unwrap();
+        // Plane x/2 + y/4 = 1 → a = (1/2, 1/4).
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,380 @@
+//! Variation operators: simulated binary crossover (SBX) and polynomial
+//! mutation (PM) — the "SBX and PM standard" the paper applies, with the
+//! rate / distribution-index parameters of its Table III.
+
+use crate::problem::MoeaProblem;
+use rand::Rng;
+
+/// SBX parameters (paper Table III: rate 0.70, distribution index 15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SbxParams {
+    /// Per-pair crossover probability.
+    pub rate: f64,
+    /// Distribution index η_c; larger = offspring closer to parents.
+    pub distribution_index: f64,
+}
+
+impl Default for SbxParams {
+    fn default() -> Self {
+        Self {
+            rate: 0.70,
+            distribution_index: 15.0,
+        }
+    }
+}
+
+/// PM parameters (paper Table III: rate 0.20, distribution index 15).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PmParams {
+    /// Per-gene mutation probability. The paper's Table III `pm.rate = 0.20`
+    /// follows the MOEA-framework convention of a per-gene rate, which we
+    /// adopt unchanged.
+    pub rate: f64,
+    /// Distribution index η_m.
+    pub distribution_index: f64,
+}
+
+impl Default for PmParams {
+    fn default() -> Self {
+        Self {
+            rate: 0.20,
+            distribution_index: 15.0,
+        }
+    }
+}
+
+/// Simulated binary crossover on two parents, producing two children.
+///
+/// Standard Deb & Agrawal (1995) formulation with boundary handling: with
+/// probability `params.rate` the pair is crossed; each gene pair crosses
+/// with probability 0.5 as in the reference implementations.
+pub fn sbx(
+    problem: &dyn MoeaProblem,
+    params: SbxParams,
+    p1: &[f64],
+    p2: &[f64],
+    rng: &mut impl Rng,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = p1.len();
+    debug_assert_eq!(n, p2.len());
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    if rng.gen::<f64>() > params.rate {
+        return (c1, c2);
+    }
+    let eta = params.distribution_index;
+    for i in 0..n {
+        if rng.gen::<f64>() > 0.5 {
+            continue;
+        }
+        let (x1, x2) = (p1[i], p2[i]);
+        if (x1 - x2).abs() < 1e-14 {
+            continue;
+        }
+        let (lo, hi) = problem.bounds(i);
+        let (y1, y2) = if x1 < x2 { (x1, x2) } else { (x2, x1) };
+        let u: f64 = rng.gen();
+
+        // Child 1 (towards lower bound).
+        let beta = 1.0 + 2.0 * (y1 - lo) / (y2 - y1);
+        let alpha = 2.0 - beta.powf(-(eta + 1.0));
+        let betaq = if u <= 1.0 / alpha {
+            (u * alpha).powf(1.0 / (eta + 1.0))
+        } else {
+            (1.0 / (2.0 - u * alpha)).powf(1.0 / (eta + 1.0))
+        };
+        let mut ch1 = 0.5 * ((y1 + y2) - betaq * (y2 - y1));
+
+        // Child 2 (towards upper bound).
+        let beta = 1.0 + 2.0 * (hi - y2) / (y2 - y1);
+        let alpha = 2.0 - beta.powf(-(eta + 1.0));
+        let betaq = if u <= 1.0 / alpha {
+            (u * alpha).powf(1.0 / (eta + 1.0))
+        } else {
+            (1.0 / (2.0 - u * alpha)).powf(1.0 / (eta + 1.0))
+        };
+        let mut ch2 = 0.5 * ((y1 + y2) + betaq * (y2 - y1));
+
+        ch1 = ch1.clamp(lo, hi);
+        ch2 = ch2.clamp(lo, hi);
+        if rng.gen::<f64>() < 0.5 {
+            std::mem::swap(&mut ch1, &mut ch2);
+        }
+        c1[i] = ch1;
+        c2[i] = ch2;
+    }
+    (c1, c2)
+}
+
+/// Uniform crossover: each gene pair swaps with probability 0.5 when the
+/// pair crosses at all (probability `rate`). The classic operator for
+/// integer-coded genomes such as this repo's server-id chromosomes, where
+/// SBX's arithmetic blending has no geometric meaning across unrelated
+/// server indices.
+pub fn uniform_crossover(
+    rate: f64,
+    p1: &[f64],
+    p2: &[f64],
+    rng: &mut impl Rng,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    if rng.gen::<f64>() > rate {
+        return (c1, c2);
+    }
+    for i in 0..p1.len() {
+        if rng.gen::<bool>() {
+            std::mem::swap(&mut c1[i], &mut c2[i]);
+        }
+    }
+    (c1, c2)
+}
+
+/// Random-reset mutation: each gene is redrawn uniformly from its box
+/// with probability `rate` — the integer-genome analogue of polynomial
+/// mutation (a reset to *any* server, not a perturbation to a nearby id).
+pub fn reset_mutation(problem: &dyn MoeaProblem, rate: f64, genes: &mut [f64], rng: &mut impl Rng) {
+    for (i, g) in genes.iter_mut().enumerate() {
+        if rng.gen::<f64>() <= rate {
+            let (lo, hi) = problem.bounds(i);
+            *g = rng.gen_range(lo..hi);
+        }
+    }
+}
+
+/// Polynomial mutation (Deb & Goyal 1996), mutating each gene with
+/// probability `params.rate`.
+pub fn polynomial_mutation(
+    problem: &dyn MoeaProblem,
+    params: PmParams,
+    genes: &mut [f64],
+    rng: &mut impl Rng,
+) {
+    let eta = params.distribution_index;
+    for (i, g) in genes.iter_mut().enumerate() {
+        if rng.gen::<f64>() > params.rate {
+            continue;
+        }
+        let (lo, hi) = problem.bounds(i);
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        let y = *g;
+        let delta1 = (y - lo) / span;
+        let delta2 = (hi - y) / span;
+        let u: f64 = rng.gen();
+        let mpow = 1.0 / (eta + 1.0);
+        let deltaq = if u < 0.5 {
+            let xy = 1.0 - delta1;
+            let val = 2.0 * u + (1.0 - 2.0 * u) * xy.powf(eta + 1.0);
+            val.powf(mpow) - 1.0
+        } else {
+            let xy = 1.0 - delta2;
+            let val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy.powf(eta + 1.0);
+            1.0 - val.powf(mpow)
+        };
+        *g = (y + deltaq * span).clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_problems::ConstrainedSum;
+    use crate::problem::Evaluation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Box10;
+    impl MoeaProblem for Box10 {
+        fn n_vars(&self) -> usize {
+            10
+        }
+        fn n_objectives(&self) -> usize {
+            1
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 10.0)
+        }
+        fn evaluate(&self, _g: &[f64]) -> Evaluation {
+            Evaluation::feasible(vec![0.0])
+        }
+    }
+
+    #[test]
+    fn sbx_children_stay_in_bounds() {
+        let p = Box10;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p1 = vec![0.1; 10];
+        let p2 = vec![9.9; 10];
+        for _ in 0..200 {
+            let (c1, c2) = sbx(&p, SbxParams::default(), &p1, &p2, &mut rng);
+            for g in c1.iter().chain(&c2) {
+                assert!((0.0..=10.0).contains(g), "gene {g} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn sbx_with_zero_rate_copies_parents() {
+        let p = Box10;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let params = SbxParams {
+            rate: 0.0,
+            distribution_index: 15.0,
+        };
+        let p1: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let p2: Vec<f64> = (0..10).map(|i| (9 - i) as f64).collect();
+        let (c1, c2) = sbx(&p, params, &p1, &p2, &mut rng);
+        assert_eq!(c1, p1);
+        assert_eq!(c2, p2);
+    }
+
+    #[test]
+    fn sbx_mean_preserving_on_average() {
+        // SBX is mean-preserving per gene pair: child1 + child2 = p1 + p2.
+        let p = Box10;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p1 = vec![3.0; 10];
+        let p2 = vec![7.0; 10];
+        let (c1, c2) = sbx(
+            &p,
+            SbxParams {
+                rate: 1.0,
+                distribution_index: 15.0,
+            },
+            &p1,
+            &p2,
+            &mut rng,
+        );
+        for i in 0..10 {
+            let sum = c1[i] + c2[i];
+            // Clamping can break exact symmetry at bounds; interior here.
+            assert!((sum - 10.0).abs() < 1e-6, "gene {i}: {} + {}", c1[i], c2[i]);
+        }
+    }
+
+    #[test]
+    fn high_eta_keeps_children_near_parents() {
+        let p = Box10;
+        let mut near = 0;
+        let total = 500;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..total {
+            let (c1, _) = sbx(
+                &p,
+                SbxParams {
+                    rate: 1.0,
+                    distribution_index: 100.0,
+                },
+                &[2.0; 10],
+                &[8.0; 10],
+                &mut rng,
+            );
+            if c1
+                .iter()
+                .all(|g| (g - 2.0).abs() < 1.0 || (g - 8.0).abs() < 1.0)
+            {
+                near += 1;
+            }
+        }
+        assert!(
+            near > total * 8 / 10,
+            "eta=100 should hug parents ({near}/{total})"
+        );
+    }
+
+    #[test]
+    fn pm_stays_in_bounds_and_mutates() {
+        let p = Box10;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut changed = false;
+        for _ in 0..100 {
+            let mut g = vec![5.0; 10];
+            polynomial_mutation(
+                &p,
+                PmParams {
+                    rate: 1.0,
+                    distribution_index: 15.0,
+                },
+                &mut g,
+                &mut rng,
+            );
+            for v in &g {
+                assert!((0.0..=10.0).contains(v));
+            }
+            if g.iter().any(|&v| (v - 5.0).abs() > 1e-12) {
+                changed = true;
+            }
+        }
+        assert!(changed, "rate-1 mutation must change something");
+    }
+
+    #[test]
+    fn pm_zero_rate_is_identity() {
+        let p = ConstrainedSum;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut g = vec![0.25, 0.75];
+        polynomial_mutation(
+            &p,
+            PmParams {
+                rate: 0.0,
+                distribution_index: 15.0,
+            },
+            &mut g,
+            &mut rng,
+        );
+        assert_eq!(g, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn uniform_crossover_swaps_but_never_invents_genes() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let p1: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let p2: Vec<f64> = (0..12).map(|i| (i + 100) as f64).collect();
+        let (c1, c2) = uniform_crossover(1.0, &p1, &p2, &mut rng);
+        for i in 0..12 {
+            let pair = (c1[i], c2[i]);
+            assert!(
+                pair == (p1[i], p2[i]) || pair == (p2[i], p1[i]),
+                "gene {i} must come from a parent, got {pair:?}"
+            );
+        }
+        // Some position must actually have swapped.
+        assert!((0..12).any(|i| c1[i] == p2[i]));
+    }
+
+    #[test]
+    fn uniform_crossover_zero_rate_copies() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p1 = vec![1.0, 2.0];
+        let p2 = vec![3.0, 4.0];
+        let (c1, c2) = uniform_crossover(0.0, &p1, &p2, &mut rng);
+        assert_eq!(c1, p1);
+        assert_eq!(c2, p2);
+    }
+
+    #[test]
+    fn reset_mutation_redraws_within_bounds() {
+        let p = Box10;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut g = vec![5.0; 10];
+        reset_mutation(&p, 1.0, &mut g, &mut rng);
+        assert!(g.iter().all(|v| (0.0..10.0).contains(v)));
+        assert!(
+            g.iter().any(|&v| (v - 5.0).abs() > 1e-9),
+            "rate 1.0 must change genes"
+        );
+    }
+
+    #[test]
+    fn table3_defaults_match_paper() {
+        let s = SbxParams::default();
+        assert_eq!(s.rate, 0.70);
+        assert_eq!(s.distribution_index, 15.0);
+        let m = PmParams::default();
+        assert_eq!(m.rate, 0.20);
+        assert_eq!(m.distribution_index, 15.0);
+    }
+}

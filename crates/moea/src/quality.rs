@@ -1,0 +1,146 @@
+//! Front-quality indicators beyond hypervolume: inverted generational
+//! distance (IGD / IGD⁺) and Schott's spacing. Used by the ablation
+//! benches to compare NSGA-II, NSGA-III and the hybrids on identical
+//! problems.
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Inverted generational distance: mean distance from each reference
+/// point to its nearest front member. Lower is better; 0 means the front
+/// covers the reference set exactly.
+///
+/// # Panics
+/// Panics when either set is empty.
+pub fn igd(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!front.is_empty(), "empty front");
+    assert!(!reference.is_empty(), "empty reference set");
+    reference
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|f| euclidean(f, r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// IGD⁺ (Ishibuchi et al. 2015): like IGD but distances only count the
+/// components where the front point is *worse* than the reference point,
+/// making the indicator weakly Pareto-compliant for minimisation.
+pub fn igd_plus(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(!front.is_empty(), "empty front");
+    assert!(!reference.is_empty(), "empty reference set");
+    reference
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|f| {
+                    f.iter()
+                        .zip(r)
+                        .map(|(fi, ri)| (fi - ri).max(0.0).powi(2))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Schott's spacing: standard deviation of nearest-neighbour distances
+/// within the front. Lower = more uniform spread. Zero for fronts with
+/// fewer than three points.
+pub fn spacing(front: &[Vec<f64>]) -> f64 {
+    if front.len() < 3 {
+        return 0.0;
+    }
+    let nearest: Vec<f64> = front
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            front
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, g)| {
+                    // Schott uses the L1 distance.
+                    f.iter().zip(g).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = nearest.iter().sum::<f64>() / nearest.len() as f64;
+    (nearest.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (nearest.len() - 1) as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igd_zero_when_front_covers_reference() {
+        let front = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(igd(&front, &front), 0.0);
+    }
+
+    #[test]
+    fn igd_measures_distance_to_missing_regions() {
+        let reference = vec![vec![0.0, 1.0], vec![0.5, 0.5], vec![1.0, 0.0]];
+        let full = reference.clone();
+        let partial = vec![vec![0.0, 1.0], vec![1.0, 0.0]]; // middle missing
+        assert!(igd(&partial, &reference) > igd(&full, &reference));
+    }
+
+    #[test]
+    fn igd_plus_ignores_dominating_displacement() {
+        // Front point (0.4, 0.4) dominates reference (0.5, 0.5): IGD⁺ = 0,
+        // while plain IGD > 0.
+        let reference = vec![vec![0.5, 0.5]];
+        let front = vec![vec![0.4, 0.4]];
+        assert!(igd(&front, &reference) > 0.0);
+        assert_eq!(igd_plus(&front, &reference), 0.0);
+        // A worse point scores positive in both.
+        let worse = vec![vec![0.6, 0.6]];
+        assert!(igd_plus(&worse, &reference) > 0.0);
+    }
+
+    #[test]
+    fn spacing_zero_for_uniform_fronts() {
+        let uniform: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 4.0 - i as f64]).collect();
+        assert!(spacing(&uniform) < 1e-12);
+    }
+
+    #[test]
+    fn spacing_positive_for_clumped_fronts() {
+        let clumped = vec![
+            vec![0.0, 4.0],
+            vec![0.1, 3.9],
+            vec![0.2, 3.8],
+            vec![4.0, 0.0],
+        ];
+        assert!(spacing(&clumped) > 0.1);
+    }
+
+    #[test]
+    fn spacing_degenerate_fronts_are_zero() {
+        assert_eq!(spacing(&[]), 0.0);
+        assert_eq!(spacing(&[vec![1.0, 2.0]]), 0.0);
+        assert_eq!(spacing(&[vec![1.0, 2.0], vec![2.0, 1.0]]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty front")]
+    fn igd_rejects_empty_front() {
+        let _ = igd(&[], &[vec![0.0]]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Das–Dennis structured reference points for NSGA-III (Deb & Jain 2014).
+
+/// Generates the Das–Dennis simplex lattice: all points on the unit simplex
+/// in `m` dimensions whose coordinates are multiples of `1/divisions`.
+///
+/// The count is `C(divisions + m - 1, m - 1)`.
+pub fn das_dennis(m: usize, divisions: usize) -> Vec<Vec<f64>> {
+    assert!(m >= 2, "need at least two objectives");
+    assert!(divisions >= 1, "need at least one division");
+    let mut out = Vec::new();
+    let mut point = vec![0usize; m];
+    recurse(m, divisions, 0, divisions, &mut point, &mut out);
+    out
+}
+
+fn recurse(
+    m: usize,
+    divisions: usize,
+    index: usize,
+    remaining: usize,
+    point: &mut Vec<usize>,
+    out: &mut Vec<Vec<f64>>,
+) {
+    if index == m - 1 {
+        point[index] = remaining;
+        out.push(point.iter().map(|&p| p as f64 / divisions as f64).collect());
+        return;
+    }
+    for p in 0..=remaining {
+        point[index] = p;
+        recurse(m, divisions, index + 1, remaining - p, point, out);
+    }
+}
+
+/// Number of Das–Dennis points for `m` objectives and `d` divisions:
+/// `C(d + m - 1, m - 1)`.
+pub fn das_dennis_count(m: usize, d: usize) -> usize {
+    binomial(d + m - 1, m - 1)
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1usize;
+    let mut den = 1usize;
+    for i in 0..k {
+        num *= n - i;
+        den *= i + 1;
+    }
+    num / den
+}
+
+/// Picks the smallest division count whose lattice has at least
+/// `target_points` points — the usual way to match population size.
+pub fn divisions_for(m: usize, target_points: usize) -> usize {
+    let mut d = 1;
+    while das_dennis_count(m, d) < target_points {
+        d += 1;
+        if d > 100 {
+            break; // safety against absurd targets
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_objectives_twelve_divisions_is_91_points() {
+        // The canonical NSGA-III setting for 3 objectives.
+        let pts = das_dennis(3, 12);
+        assert_eq!(pts.len(), 91);
+        assert_eq!(das_dennis_count(3, 12), 91);
+    }
+
+    #[test]
+    fn every_point_lies_on_the_simplex() {
+        for pts in [das_dennis(2, 5), das_dennis(3, 6), das_dennis(4, 4)] {
+            for p in &pts {
+                let s: f64 = p.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "point {p:?} sums to {s}");
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn points_are_unique() {
+        let pts = das_dennis(3, 8);
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn two_objective_lattice_is_a_line() {
+        let pts = das_dennis(2, 4);
+        assert_eq!(pts.len(), 5);
+        assert!(pts.contains(&vec![0.0, 1.0]));
+        assert!(pts.contains(&vec![0.5, 0.5]));
+        assert!(pts.contains(&vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn corners_are_included() {
+        let pts = das_dennis(3, 5);
+        assert!(pts.contains(&vec![1.0, 0.0, 0.0]));
+        assert!(pts.contains(&vec![0.0, 1.0, 0.0]));
+        assert!(pts.contains(&vec![0.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    fn divisions_for_covers_population() {
+        // pop 100, m=3 → 12 divisions (91) is too few; 13 gives 105.
+        let d = divisions_for(3, 100);
+        assert_eq!(d, 13);
+        assert!(das_dennis_count(3, d) >= 100);
+        assert!(das_dennis_count(3, d - 1) < 100);
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(14, 2), 91);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

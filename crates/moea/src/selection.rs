@@ -1,0 +1,224 @@
+//! Mating selection: binary tournaments.
+
+use crate::crowding::crowded_less;
+use crate::individual::Individual;
+use rand::Rng;
+
+/// Binary tournament with the NSGA-II crowded-comparison operator.
+/// Returns the index of the winner.
+pub fn tournament_nsga2(pop: &[Individual], rng: &mut impl Rng) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    if crowded_less(&pop[a], &pop[b]) {
+        a
+    } else if crowded_less(&pop[b], &pop[a]) {
+        b
+    } else if rng.gen::<bool>() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Binary tournament for NSGA-III: feasibility first (Deb & Jain 2014 use
+/// random selection among feasibles; with constraints, the feasible /
+/// lower-violation individual wins), ties broken randomly.
+pub fn tournament_nsga3(pop: &[Individual], rng: &mut impl Rng) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    match (pop[a].is_feasible(), pop[b].is_feasible()) {
+        (true, false) => a,
+        (false, true) => b,
+        (false, false) => {
+            if pop[a].violation < pop[b].violation {
+                a
+            } else if pop[b].violation < pop[a].violation {
+                b
+            } else if rng.gen::<bool>() {
+                a
+            } else {
+                b
+            }
+        }
+        (true, true) => {
+            if rng.gen::<bool>() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// U-NSGA-III niching-based tournament (Seada & Deb 2014, the paper's
+/// ref. 28): two candidates *compete* only when they share a reference
+/// niche — the feasible / lower-violation / lower-rank / closer-to-ray
+/// one wins; candidates from different niches are both useful for
+/// diversity, so the winner is random.
+pub fn tournament_unsga3(pop: &[Individual], rng: &mut impl Rng) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    let (ia, ib) = (&pop[a], &pop[b]);
+    let same_niche = ia.niche != usize::MAX && ia.niche == ib.niche;
+    if !same_niche {
+        // Constraint handling still applies across niches.
+        return match (ia.is_feasible(), ib.is_feasible()) {
+            (true, false) => a,
+            (false, true) => b,
+            _ => {
+                if rng.gen::<bool>() {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+    }
+    match (ia.is_feasible(), ib.is_feasible()) {
+        (true, false) => a,
+        (false, true) => b,
+        (false, false) => {
+            if ia.violation <= ib.violation {
+                a
+            } else {
+                b
+            }
+        }
+        (true, true) => {
+            if ia.rank != ib.rank {
+                if ia.rank < ib.rank {
+                    a
+                } else {
+                    b
+                }
+            } else if ia.niche_distance <= ib.niche_distance {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ind(obj: Vec<f64>, violation: f64, rank: usize, crowding: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0]);
+        i.set_evaluation(Evaluation {
+            objectives: obj,
+            violation,
+        });
+        i.rank = rank;
+        i.crowding = crowding;
+        i
+    }
+
+    #[test]
+    fn unsga3_same_niche_prefers_rank_then_distance() {
+        let mut a = ind(vec![1.0], 0.0, 0, 0.0);
+        let mut b = ind(vec![2.0], 0.0, 1, 0.0);
+        a.niche = 3;
+        b.niche = 3;
+        a.niche_distance = 0.5;
+        b.niche_distance = 0.1;
+        let pop = vec![a, b];
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut wins0 = 0;
+        for _ in 0..200 {
+            if tournament_unsga3(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!(
+            wins0 > 120,
+            "lower rank in same niche must win, got {wins0}/200"
+        );
+    }
+
+    #[test]
+    fn unsga3_different_niches_pick_randomly() {
+        let mut a = ind(vec![1.0], 0.0, 0, 0.0);
+        let mut b = ind(vec![100.0], 0.0, 5, 0.0);
+        a.niche = 1;
+        b.niche = 2;
+        let pop = vec![a, b];
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut wins0 = 0;
+        for _ in 0..400 {
+            if tournament_unsga3(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        // Cross-niche, both feasible: ~50/50 regardless of rank.
+        assert!(
+            (120..280).contains(&wins0),
+            "expected near-uniform, got {wins0}/400"
+        );
+    }
+
+    #[test]
+    fn unsga3_feasibility_dominates_across_niches() {
+        let mut a = ind(vec![1.0], 0.0, 3, 0.0);
+        let mut b = ind(vec![0.1], 2.0, 0, 0.0);
+        a.niche = 1;
+        b.niche = 2;
+        let pop = vec![a, b];
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut wins0 = 0;
+        for _ in 0..200 {
+            if tournament_unsga3(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!(wins0 > 120, "feasible must beat infeasible across niches");
+    }
+
+    #[test]
+    fn nsga2_tournament_prefers_lower_rank() {
+        let pop = vec![ind(vec![1.0], 0.0, 0, 1.0), ind(vec![2.0], 0.0, 5, 100.0)];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut wins0 = 0;
+        for _ in 0..200 {
+            if tournament_nsga2(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        // Index 0 should win every mixed tournament and half of the
+        // self-tournaments: strictly more than 60 % overall.
+        assert!(
+            wins0 > 120,
+            "rank-0 should dominate tournaments, won {wins0}/200"
+        );
+    }
+
+    #[test]
+    fn nsga3_tournament_prefers_feasible() {
+        let pop = vec![ind(vec![1.0], 0.0, 0, 0.0), ind(vec![0.5], 3.0, 0, 0.0)];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut wins0 = 0;
+        for _ in 0..200 {
+            if tournament_nsga3(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!(wins0 > 120, "feasible should dominate, won {wins0}/200");
+    }
+
+    #[test]
+    fn nsga3_tournament_prefers_lower_violation() {
+        let pop = vec![ind(vec![1.0], 1.0, 0, 0.0), ind(vec![1.0], 9.0, 0, 0.0)];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut wins0 = 0;
+        for _ in 0..200 {
+            if tournament_nsga3(&pop, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        assert!(wins0 > 120, "lower violation should win, won {wins0}/200");
+    }
+}

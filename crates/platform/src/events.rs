@@ -1,0 +1,233 @@
+//! The platform event log.
+
+use crate::tenant::TenantId;
+use cpo_model::prelude::ServerId;
+
+/// One platform event, stamped with the window index it occurred in.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum Event {
+    /// A new request arrived in the window's batch.
+    RequestArrived {
+        /// Window index.
+        window: u64,
+        /// Tentative tenant id the request would get.
+        tenant: TenantId,
+        /// Number of resources requested.
+        vms: usize,
+    },
+    /// A request was accepted and placed.
+    TenantAdmitted {
+        /// Window index.
+        window: u64,
+        /// The new tenant.
+        tenant: TenantId,
+    },
+    /// A request was rejected by the allocator.
+    RequestRejected {
+        /// Window index.
+        window: u64,
+        /// The rejected (never-admitted) tenant id.
+        tenant: TenantId,
+    },
+    /// A running resource was migrated by a reconfiguration plan.
+    VmMigrated {
+        /// Window index.
+        window: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Local VM index within the tenant.
+        vm: usize,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// A tenant's lifetime expired and its resources were released.
+    TenantDeparted {
+        /// Window index.
+        window: u64,
+        /// The departing tenant.
+        tenant: TenantId,
+    },
+    /// A physical server failed (future-work platform events).
+    ServerFailed {
+        /// Window index.
+        window: u64,
+        /// The failed server.
+        server: ServerId,
+    },
+    /// A failed server came back after repair.
+    ServerRepaired {
+        /// Window index.
+        window: u64,
+        /// The repaired server.
+        server: ServerId,
+    },
+    /// A scheduling window closed.
+    WindowClosed {
+        /// Window index.
+        window: u64,
+        /// Tenants running at close.
+        running_tenants: usize,
+        /// Active (non-empty) servers at close.
+        active_servers: usize,
+    },
+}
+
+impl Event {
+    /// The window the event belongs to.
+    pub fn window(&self) -> u64 {
+        match self {
+            Event::RequestArrived { window, .. }
+            | Event::TenantAdmitted { window, .. }
+            | Event::RequestRejected { window, .. }
+            | Event::VmMigrated { window, .. }
+            | Event::TenantDeparted { window, .. }
+            | Event::ServerFailed { window, .. }
+            | Event::ServerRepaired { window, .. }
+            | Event::WindowClosed { window, .. } => *window,
+        }
+    }
+}
+
+/// An append-only event log with typed queries.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of one window.
+    pub fn window_events(&self, window: u64) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.window() == window)
+    }
+
+    /// Total migrations recorded.
+    pub fn migration_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::VmMigrated { .. }))
+            .count()
+    }
+
+    /// Total rejections recorded.
+    pub fn rejection_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::RequestRejected { .. }))
+            .count()
+    }
+
+    /// Total server failures recorded.
+    pub fn failure_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::ServerFailed { .. }))
+            .count()
+    }
+
+    /// Serialises the log as JSON lines (one event object per line) — the
+    /// trace format ops tooling and tests replay.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("events always serialise"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-lines trace back into a log.
+    pub fn from_json_lines(trace: &str) -> Result<Self, String> {
+        let mut log = Self::new();
+        for (i, line) in trace.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: Event =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            log.push(event);
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_and_filters() {
+        let mut log = EventLog::new();
+        log.push(Event::RequestArrived {
+            window: 0,
+            tenant: TenantId(1),
+            vms: 2,
+        });
+        log.push(Event::TenantAdmitted {
+            window: 0,
+            tenant: TenantId(1),
+        });
+        log.push(Event::RequestRejected {
+            window: 1,
+            tenant: TenantId(2),
+        });
+        log.push(Event::VmMigrated {
+            window: 1,
+            tenant: TenantId(1),
+            vm: 0,
+            from: ServerId(0),
+            to: ServerId(1),
+        });
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.window_events(1).count(), 2);
+        assert_eq!(log.migration_count(), 1);
+        assert_eq!(log.rejection_count(), 1);
+        assert_eq!(log.events()[3].window(), 1);
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        let mut log = EventLog::new();
+        log.push(Event::TenantAdmitted {
+            window: 0,
+            tenant: TenantId(1),
+        });
+        log.push(Event::ServerFailed {
+            window: 2,
+            server: ServerId(4),
+        });
+        log.push(Event::WindowClosed {
+            window: 2,
+            running_tenants: 1,
+            active_servers: 3,
+        });
+        let trace = log.to_json_lines();
+        assert_eq!(trace.lines().count(), 3);
+        assert!(trace.contains("\"event\":\"server_failed\""));
+        let back = EventLog::from_json_lines(&trace).unwrap();
+        assert_eq!(back.events(), log.events());
+    }
+
+    #[test]
+    fn bad_trace_lines_are_reported_with_position() {
+        let err = EventLog::from_json_lines("{}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

@@ -1,0 +1,54 @@
+//! # cpo-platform — the IaaS platform simulator
+//!
+//! The paper's scheduler "is aware of the cloud platform status in real
+//! time" and batches "all requests within a cyclic time window during the
+//! execution of the allocation optimization process". This crate provides
+//! that operational substrate:
+//!
+//! * [`tenant`] — accepted requests living across windows with their
+//!   affinity rules and lifetimes;
+//! * [`sim`] — the cyclic window loop: departures → arrivals → solve (any
+//!   [`cpo_core::allocator::Allocator`]) → apply reconfiguration plan
+//!   (migrations, Eq. 26) → admit/reject;
+//! * [`events`] — an append-only platform event log;
+//! * [`accounting`] — per-window and per-run metrics (provider cost,
+//!   downtime, migrations, rejection rate).
+//!
+//! Running tenants are never evicted: if the optimizer's plan drops one,
+//! the platform keeps its previous placement and pays only planned
+//! migrations.
+//!
+//! ```
+//! use cpo_model::prelude::*;
+//! use cpo_model::attr::AttrSet;
+//! use cpo_platform::prelude::*;
+//! use cpo_core::prelude::RoundRobinAllocator;
+//!
+//! let infra = Infrastructure::new(
+//!     AttrSet::standard(),
+//!     vec![("dc".into(), ServerProfile::commodity(3).build_many(8))],
+//! );
+//! let mut sim = PlatformSim::new(infra, SimConfig::default());
+//! let report = sim.run(&RoundRobinAllocator, 5);
+//! assert_eq!(report.windows.len(), 5);
+//! assert!(sim.verify_state().is_feasible());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod events;
+pub mod network;
+pub mod sim;
+pub mod sla;
+pub mod tenant;
+
+/// The most-used simulator types.
+pub mod prelude {
+    pub use crate::accounting::{SimReport, WindowReport};
+    pub use crate::events::{Event, EventLog};
+    pub use crate::network::{FlowAdmission, NetworkModel};
+    pub use crate::sim::{PlatformSim, SimConfig};
+    pub use crate::sla::{SlaLedger, SlaRecord};
+    pub use crate::tenant::{Tenant, TenantId};
+}

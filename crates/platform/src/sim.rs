@@ -1,0 +1,694 @@
+//! The cyclic time-window scheduler: "our idea is to directly include all
+//! requests within a cyclic time window during the execution of the
+//! allocation optimization process" (paper, Section III), with the
+//! reconfiguration plan (Eq. 26) connecting consecutive windows.
+
+use crate::accounting::{SimReport, WindowReport};
+use crate::events::{Event, EventLog};
+use crate::network::NetworkModel;
+use crate::sla::SlaLedger;
+use crate::tenant::{rebase_rules, Tenant, TenantId};
+use cpo_core::prelude::Allocator;
+use cpo_model::cost;
+use cpo_model::prelude::*;
+use cpo_scenario::request_gen::{generate_requests, RequestSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Arrival process per window (a fresh batch from this spec).
+    pub arrivals: RequestSpec,
+    /// Tenant lifetime range in windows, inclusive.
+    pub lifetime: (u32, u32),
+    /// Master seed (per-window batches derive from it).
+    pub seed: u64,
+    /// Per-window probability that one running server fails (the paper's
+    /// future-work "platform failures" events). A failed server's VMs
+    /// must be re-placed by the window's reconfiguration plan.
+    pub server_failure_prob: f64,
+    /// Windows a failed server stays offline before repair brings it back.
+    pub repair_windows: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            arrivals: RequestSpec {
+                total_vms: 12,
+                ..Default::default()
+            },
+            lifetime: (3, 8),
+            seed: 0,
+            server_failure_prob: 0.0,
+            repair_windows: 3,
+        }
+    }
+}
+
+/// The live platform: infrastructure + running tenants + event history.
+pub struct PlatformSim {
+    infra: Infrastructure,
+    config: SimConfig,
+    tenants: Vec<Tenant>,
+    next_tenant: u64,
+    window: u64,
+    log: EventLog,
+    rng: SmallRng,
+    /// `offline_until[j]` — window index at which server `j` returns, or 0.
+    offline_until: Vec<u64>,
+    /// Optional east-west network model (spine-leaf pods).
+    network: Option<NetworkModel>,
+    /// Per-tenant SLA ledger (Eq. 23 accumulated over windows).
+    sla: SlaLedger,
+}
+
+impl PlatformSim {
+    /// Creates an idle platform.
+    pub fn new(infra: Infrastructure, config: SimConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let m = infra.server_count();
+        Self {
+            infra,
+            config,
+            tenants: Vec::new(),
+            next_tenant: 0,
+            window: 0,
+            log: EventLog::new(),
+            rng,
+            offline_until: vec![0; m],
+            network: None,
+            sla: SlaLedger::new(),
+        }
+    }
+
+    /// The per-tenant SLA ledger.
+    pub fn sla(&self) -> &SlaLedger {
+        &self.sla
+    }
+
+    /// Attaches a network model: one spine-leaf pod per datacenter plus a
+    /// per-VM-pair bandwidth. Tenant flows are admitted on placement,
+    /// re-routed on migration and released on departure.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// The attached network model, if any.
+    pub fn network(&self) -> Option<&NetworkModel> {
+        self.network.as_ref()
+    }
+
+    /// Servers currently offline (failed, awaiting repair).
+    pub fn offline_servers(&self) -> Vec<ServerId> {
+        self.offline_until
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &until)| (until > self.window).then_some(ServerId(j)))
+            .collect()
+    }
+
+    /// The infrastructure as the scheduler must see it this window:
+    /// offline servers get zero capacity, forcing the optimiser to move
+    /// their tenants and to place nothing new there.
+    fn effective_infra(&self) -> Infrastructure {
+        if self.offline_until.iter().all(|&u| u <= self.window) {
+            return self.infra.clone();
+        }
+        let h = self.infra.attr_count();
+        let dcs = self
+            .infra
+            .datacenters()
+            .iter()
+            .map(|dc| {
+                let servers = dc
+                    .servers()
+                    .map(|j| {
+                        let mut s = self.infra.server(j).clone();
+                        if self.offline_until[j.index()] > self.window {
+                            s.capacity = vec![0.0; h];
+                        }
+                        s
+                    })
+                    .collect();
+                (dc.name.clone(), servers)
+            })
+            .collect();
+        Infrastructure::new(self.infra.attrs().clone(), dcs)
+    }
+
+    /// Running tenants.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Current window index (number of completed windows).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The infrastructure.
+    pub fn infra(&self) -> &Infrastructure {
+        &self.infra
+    }
+
+    /// Builds the combined window problem: one request per running tenant
+    /// (placed, in `previous`) followed by the new arrivals (unplaced).
+    /// Returns the problem plus the number of running requests.
+    fn build_window_problem(&self, arrivals: &RequestBatch) -> (AllocationProblem, usize) {
+        let mut batch = RequestBatch::new();
+        let mut previous_placements: Vec<Option<ServerId>> = Vec::new();
+        for t in &self.tenants {
+            let base = previous_placements.len();
+            let rules = t
+                .rules
+                .iter()
+                .map(|(kind, locals)| {
+                    AffinityRule::new(*kind, locals.iter().map(|&l| VmId(base + l)).collect())
+                })
+                .collect();
+            batch.push_request(t.vms.clone(), rules);
+            previous_placements.extend(t.placement.iter().map(|&s| Some(s)));
+        }
+        let running_requests = self.tenants.len();
+        for req in arrivals.requests() {
+            let base = previous_placements.len();
+            let vms: Vec<VmSpec> = req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect();
+            let rules = rebase_rules(req)
+                .into_iter()
+                .map(|(kind, locals)| {
+                    AffinityRule::new(kind, locals.iter().map(|&l| VmId(base + l)).collect())
+                })
+                .collect();
+            batch.push_request(vms, rules);
+            previous_placements.extend(std::iter::repeat_n(None, req.vms.len()));
+        }
+        let previous = Assignment::from_placements(previous_placements);
+        (
+            AllocationProblem::new(self.effective_infra(), batch, Some(previous)),
+            running_requests,
+        )
+    }
+
+    /// Runs one scheduling window with the given allocator.
+    pub fn step(&mut self, allocator: &dyn Allocator) -> WindowReport {
+        let window = self.window;
+
+        // --- Failures: maybe take one healthy server down. ---
+        if self.config.server_failure_prob > 0.0
+            && self.rng.gen::<f64>() < self.config.server_failure_prob
+        {
+            let healthy: Vec<usize> = self
+                .offline_until
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &u)| (u <= window).then_some(j))
+                .collect();
+            if !healthy.is_empty() {
+                let j = healthy[self.rng.gen_range(0..healthy.len())];
+                self.offline_until[j] = window + u64::from(self.config.repair_windows);
+                self.log.push(Event::ServerFailed {
+                    window,
+                    server: ServerId(j),
+                });
+            }
+        }
+
+        for j in 0..self.offline_until.len() {
+            if self.offline_until[j] == window && window > 0 {
+                self.log.push(Event::ServerRepaired {
+                    window,
+                    server: ServerId(j),
+                });
+                self.offline_until[j] = 0;
+            }
+        }
+
+        // --- Departures. ---
+        let mut departing = Vec::new();
+        for t in &mut self.tenants {
+            t.remaining_windows = t.remaining_windows.saturating_sub(1);
+            if t.remaining_windows == 0 {
+                departing.push(t.id);
+            }
+        }
+        for id in &departing {
+            self.log.push(Event::TenantDeparted {
+                window,
+                tenant: *id,
+            });
+            if let Some(net) = &mut self.network {
+                net.release_tenant(*id);
+            }
+        }
+        self.tenants.retain(|t| t.remaining_windows > 0);
+
+        // --- Arrivals. ---
+        let arrivals = generate_requests(
+            &self.config.arrivals,
+            self.config.seed ^ (window.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        let arrival_tenant_ids: Vec<TenantId> = (0..arrivals.request_count())
+            .map(|i| TenantId(self.next_tenant + i as u64))
+            .collect();
+        for (req, &tid) in arrivals.requests().iter().zip(&arrival_tenant_ids) {
+            self.log.push(Event::RequestArrived {
+                window,
+                tenant: tid,
+                vms: req.vms.len(),
+            });
+        }
+        self.next_tenant += arrivals.request_count() as u64;
+
+        // --- Solve the window. ---
+        let (problem, running_requests) = self.build_window_problem(&arrivals);
+        let solve_start = Instant::now();
+        let outcome = allocator.allocate(&problem);
+        let solve_time = solve_start.elapsed();
+        let accepted = problem.accepted_requests(&outcome.assignment);
+
+        // --- Apply to running tenants (never evicted: a tenant whose
+        //     request the allocator failed keeps its old placement). ---
+        let mut migrations = 0usize;
+        let mut migration_cost = 0.0;
+        let mut denied_flows = 0usize;
+        let mut vm_base = 0usize;
+        let mut moved_tenants: Vec<usize> = Vec::new();
+        for (idx, t) in self.tenants.iter_mut().enumerate() {
+            let req_id = RequestId(idx);
+            let n = t.vms.len();
+            if accepted.contains(&req_id) {
+                let mut moved = false;
+                for local in 0..n {
+                    let k = VmId(vm_base + local);
+                    let new_server = outcome.assignment.server_of(k).expect("accepted ⇒ placed");
+                    let old_server = t.placement[local];
+                    if new_server != old_server {
+                        migrations += 1;
+                        migration_cost += t.vms[local].migration_cost;
+                        self.log.push(Event::VmMigrated {
+                            window,
+                            tenant: t.id,
+                            vm: local,
+                            from: old_server,
+                            to: new_server,
+                        });
+                        t.placement[local] = new_server;
+                        moved = true;
+                    }
+                }
+                if moved {
+                    moved_tenants.push(idx);
+                }
+            }
+            vm_base += n;
+        }
+        if let Some(net) = &mut self.network {
+            for &idx in &moved_tenants {
+                denied_flows += net.readmit_tenant(&self.tenants[idx]).denied;
+            }
+        }
+
+        // --- Admit / reject arrivals. ---
+        let mut admitted = 0usize;
+        let mut rejected = 0usize;
+        for (i, req) in arrivals.requests().iter().enumerate() {
+            let req_id = RequestId(running_requests + i);
+            let tid = arrival_tenant_ids[i];
+            if accepted.contains(&req_id) {
+                // Global VM ids of this request within the window problem.
+                let first = problem
+                    .batch()
+                    .request(req_id)
+                    .vms
+                    .first()
+                    .copied()
+                    .expect("non-empty request");
+                let placement: Vec<ServerId> = (0..req.vms.len())
+                    .map(|l| {
+                        outcome
+                            .assignment
+                            .server_of(VmId(first.index() + l))
+                            .expect("accepted ⇒ placed")
+                    })
+                    .collect();
+                let lifetime = self
+                    .rng
+                    .gen_range(self.config.lifetime.0..=self.config.lifetime.1);
+                self.tenants.push(Tenant {
+                    id: tid,
+                    vms: req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect(),
+                    rules: rebase_rules(req),
+                    placement,
+                    remaining_windows: lifetime.max(1),
+                });
+                if let Some(net) = &mut self.network {
+                    denied_flows += net
+                        .admit_tenant(self.tenants.last().expect("just pushed"))
+                        .denied;
+                }
+                self.log.push(Event::TenantAdmitted {
+                    window,
+                    tenant: tid,
+                });
+                admitted += 1;
+            } else {
+                self.log.push(Event::RequestRejected {
+                    window,
+                    tenant: tid,
+                });
+                rejected += 1;
+            }
+        }
+
+        // --- Post-window accounting on the real platform state. ---
+        let (state_batch, state_assignment) = self.snapshot();
+        let tracker = LoadTracker::from_assignment(&state_assignment, &state_batch, &self.infra);
+        if state_batch.vm_count() > 0 {
+            self.sla
+                .observe_window(&self.tenants, &state_batch, &tracker, &self.infra);
+        }
+        let provider_cost = cost::usage_opex_cost(&tracker, &self.infra);
+        let downtime_cost =
+            cost::downtime_cost(&state_assignment, &tracker, &state_batch, &self.infra);
+        let offline = self.offline_servers();
+        let stranded_vms = self
+            .tenants
+            .iter()
+            .flat_map(|t| t.placement.iter())
+            .filter(|j| offline.contains(j))
+            .count();
+        let report = WindowReport {
+            window,
+            arrivals: arrivals.request_count(),
+            admitted,
+            rejected,
+            migrations,
+            migration_cost,
+            provider_cost,
+            downtime_cost,
+            running_tenants: self.tenants.len(),
+            running_vms: self.tenants.iter().map(Tenant::size).sum(),
+            active_servers: tracker.active_servers(),
+            offline_servers: offline.len(),
+            stranded_vms,
+            fabric_peak_utilization: self
+                .network
+                .as_ref()
+                .map_or(0.0, NetworkModel::peak_utilization),
+            denied_flows,
+            solve_time,
+        };
+        self.log.push(Event::WindowClosed {
+            window,
+            running_tenants: self.tenants.len(),
+            active_servers: tracker.active_servers(),
+        });
+        self.window += 1;
+        report
+    }
+
+    /// Runs `windows` scheduling windows, returning the aggregate report.
+    pub fn run(&mut self, allocator: &dyn Allocator, windows: u64) -> SimReport {
+        let mut report = SimReport::default();
+        for _ in 0..windows {
+            report.windows.push(self.step(allocator));
+        }
+        report
+    }
+
+    /// Snapshot of the running platform as (batch, assignment) — the state
+    /// the accounting evaluates.
+    pub fn snapshot(&self) -> (RequestBatch, Assignment) {
+        let mut batch = RequestBatch::new();
+        let mut placements = Vec::new();
+        for t in &self.tenants {
+            let base = placements.len();
+            let rules = t
+                .rules
+                .iter()
+                .map(|(kind, locals)| {
+                    AffinityRule::new(*kind, locals.iter().map(|&l| VmId(base + l)).collect())
+                })
+                .collect();
+            batch.push_request(t.vms.clone(), rules);
+            placements.extend(t.placement.iter().map(|&s| Some(s)));
+        }
+        (batch, Assignment::from_placements(placements))
+    }
+
+    /// Consistency check: the running platform state never violates
+    /// capacity or the tenants' own rules. Returns the violation report.
+    pub fn verify_state(&self) -> cpo_model::constraints::ViolationReport {
+        let (batch, assignment) = self.snapshot();
+        cpo_model::constraints::check(&assignment, &batch, &self.infra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_core::prelude::RoundRobinAllocator;
+    use cpo_model::attr::AttrSet;
+
+    fn sim(servers: usize, vms_per_window: usize) -> PlatformSim {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+        );
+        let config = SimConfig {
+            arrivals: RequestSpec {
+                total_vms: vms_per_window,
+                ..Default::default()
+            },
+            lifetime: (2, 4),
+            seed: 11,
+            ..Default::default()
+        };
+        PlatformSim::new(infra, config)
+    }
+
+    #[test]
+    fn single_window_admits_and_accounts() {
+        let mut sim = sim(8, 6);
+        let report = sim.step(&RoundRobinAllocator);
+        assert_eq!(report.window, 0);
+        assert!(report.arrivals >= 2);
+        assert_eq!(report.admitted + report.rejected, report.arrivals);
+        assert!(report.running_tenants == report.admitted);
+        assert!(report.provider_cost > 0.0 || report.admitted == 0);
+        assert!(sim.verify_state().is_feasible(), "{:?}", sim.verify_state());
+    }
+
+    #[test]
+    fn tenants_depart_after_lifetime() {
+        let mut sim = sim(8, 4);
+        let mut max_running = 0usize;
+        for _ in 0..12 {
+            let r = sim.step(&RoundRobinAllocator);
+            max_running = max_running.max(r.running_tenants);
+        }
+        // Lifetimes are 2–4 windows: the population must plateau, not grow
+        // linearly with 12 windows of arrivals.
+        let departures = sim
+            .log()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::TenantDeparted { .. }))
+            .count();
+        assert!(departures > 0, "tenants must depart");
+        assert!(
+            max_running < 40,
+            "population must plateau, got {max_running}"
+        );
+    }
+
+    #[test]
+    fn state_stays_feasible_over_many_windows() {
+        let mut sim = sim(6, 8);
+        for _ in 0..10 {
+            sim.step(&RoundRobinAllocator);
+            let report = sim.verify_state();
+            assert!(report.is_feasible(), "window {}: {report:?}", sim.window());
+        }
+    }
+
+    #[test]
+    fn run_aggregates_windows() {
+        let mut sim = sim(8, 5);
+        let report = sim.run(&RoundRobinAllocator, 5);
+        assert_eq!(report.windows.len(), 5);
+        assert_eq!(
+            report.total_arrivals(),
+            report.windows.iter().map(|w| w.arrivals).sum::<usize>()
+        );
+        assert!(report.rejection_rate() <= 1.0);
+    }
+
+    #[test]
+    fn saturated_platform_rejects() {
+        // Tiny platform, heavy arrivals: rejections must appear.
+        let mut sim = sim(1, 30);
+        let report = sim.run(&RoundRobinAllocator, 3);
+        assert!(report.total_rejected() > 0);
+        assert!(sim.verify_state().is_feasible());
+    }
+
+    #[test]
+    fn event_log_is_consistent_with_reports() {
+        let mut sim = sim(6, 6);
+        let report = sim.run(&RoundRobinAllocator, 4);
+        assert_eq!(sim.log().rejection_count(), report.total_rejected());
+        assert_eq!(sim.log().migration_count(), report.total_migrations());
+    }
+
+    #[test]
+    fn server_failures_strand_or_migrate_vms() {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(4))],
+        );
+        let config = SimConfig {
+            arrivals: RequestSpec {
+                total_vms: 6,
+                ..Default::default()
+            },
+            lifetime: (5, 8),
+            seed: 3,
+            server_failure_prob: 1.0, // one failure per window, guaranteed
+            repair_windows: 2,
+        };
+        let mut sim = PlatformSim::new(infra, config);
+        let mut saw_offline = false;
+        for _ in 0..6 {
+            let r = sim.step(&cpo_core::prelude::CpAllocator::default());
+            saw_offline |= r.offline_servers > 0;
+            // Stranded VMs are possible but must never exceed running VMs.
+            assert!(r.stranded_vms <= r.running_vms);
+        }
+        assert!(
+            sim.log().failure_count() > 0,
+            "forced failures must be logged"
+        );
+        assert!(saw_offline, "offline servers must appear in reports");
+        // Repairs must also be logged once the repair window elapses.
+        let repaired = sim
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::ServerRepaired { .. }));
+        assert!(repaired, "servers must come back after repair_windows");
+    }
+
+    #[test]
+    fn failed_server_receives_no_new_vms() {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(3))],
+        );
+        let config = SimConfig {
+            arrivals: RequestSpec {
+                total_vms: 6,
+                ..Default::default()
+            },
+            lifetime: (8, 8),
+            seed: 1,
+            server_failure_prob: 1.0,
+            repair_windows: 10, // stays down for the whole test
+        };
+        let mut sim = PlatformSim::new(infra, config);
+        for step in 0..4u64 {
+            let before_count = sim.tenants().len();
+            sim.step(&cpo_core::prelude::CpAllocator::default());
+            let offline = sim.offline_servers();
+            // Tenants admitted *this* window must avoid the servers that
+            // were offline during the window.
+            for t in sim.tenants().iter().skip(before_count) {
+                for j in &t.placement {
+                    assert!(
+                        !offline.contains(j),
+                        "window {step}: new tenant {:?} placed on offline {j:?}",
+                        t.id
+                    );
+                }
+            }
+        }
+        assert!(sim.log().failure_count() >= 1);
+    }
+
+    #[test]
+    fn sla_ledger_tracks_tenants_over_windows() {
+        let mut sim = sim(8, 6);
+        sim.run(&RoundRobinAllocator, 4);
+        let ledger = sim.sla();
+        // Every still-running tenant has been observed at least once.
+        for t in sim.tenants() {
+            let r = ledger.record(t.id).expect("running tenant observed");
+            assert!(r.observed_windows >= 1);
+            assert!(r.worst_qos_seen <= 1.0);
+        }
+        assert!(ledger.total_credit() >= 0.0);
+    }
+
+    #[test]
+    fn networked_sim_accounts_fabric_utilisation() {
+        use cpo_topology::{build_spine_leaf, SpineLeafSpec};
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), profile.build_many(6))],
+        );
+        let pods = vec![build_spine_leaf(&SpineLeafSpec::for_server_count(6))];
+        let net = crate::network::NetworkModel::new(&infra, pods, 500.0);
+        let config = SimConfig {
+            arrivals: RequestSpec {
+                total_vms: 9,
+                request_size: (2, 3), // multi-VM tenants create traffic
+                ..Default::default()
+            },
+            lifetime: (3, 5),
+            seed: 21,
+            ..Default::default()
+        };
+        let mut sim = PlatformSim::new(infra, config).with_network(net);
+        let mut saw_traffic = false;
+        for _ in 0..6 {
+            let r = sim.step(&cpo_core::prelude::RoundRobinAllocator);
+            saw_traffic |= r.fabric_peak_utilization > 0.0;
+            assert!(r.fabric_peak_utilization <= 1.0);
+        }
+        assert!(
+            saw_traffic,
+            "multi-VM tenants spread by round-robin must use the fabric"
+        );
+        // Flows must not leak: utilisation is bounded by live tenants.
+        let live_pairs: usize = sim
+            .tenants()
+            .iter()
+            .map(|t| t.size() * t.size().saturating_sub(1) / 2)
+            .sum();
+        if live_pairs == 0 {
+            assert_eq!(sim.network().unwrap().peak_utilization(), 0.0);
+        }
+    }
+
+    #[test]
+    fn windows_are_deterministic_per_seed() {
+        let mut a = sim(6, 6);
+        let mut b = sim(6, 6);
+        let ra = a.run(&RoundRobinAllocator, 4);
+        let rb = b.run(&RoundRobinAllocator, 4);
+        for (x, y) in ra.windows.iter().zip(&rb.windows) {
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.migrations, y.migrations);
+        }
+    }
+}

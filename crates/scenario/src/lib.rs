@@ -1,0 +1,46 @@
+//! # cpo-scenario — random evaluation scenarios
+//!
+//! The paper evaluates on scenarios that are "randomly generated with
+//! parameter configurations that reflect typical infrastructures sizes and
+//! cloud provider practices", averaged over 100 runs, at sizes up to 800
+//! servers and 1600 VMs. The exact distributions are unpublished, so this
+//! crate makes every knob explicit and documents the defaults:
+//!
+//! * [`flavors`] — an EC2-like VM flavour catalogue, skewed to small
+//!   instances;
+//! * [`infra_gen`] — heterogeneous hosts (3 hardware classes) in
+//!   spine-leaf datacenters, with jittered costs and QoS envelopes;
+//! * [`request_gen`] — multi-VM requests with affinity/anti-affinity rules
+//!   drawn per configurable probabilities (contradictory pairs excluded);
+//! * [`presets`] — the "few resources" (Fig. 7), "many resources"
+//!   (Fig. 8) and quality (Figs. 9–11) sweeps.
+//!
+//! Everything is deterministic under an explicit seed.
+//!
+//! ```
+//! use cpo_scenario::prelude::*;
+//!
+//! let size = ScenarioSize::with_servers(20);
+//! let problem = ScenarioSpec::for_size(&size).generate(42);
+//! assert_eq!(problem.m(), 20);
+//! assert_eq!(problem.n(), 40);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flavors;
+pub mod infra_gen;
+pub mod io;
+pub mod presets;
+pub mod request_gen;
+
+/// The most-used scenario types.
+pub mod prelude {
+    pub use crate::flavors::{default_catalog, Flavor, VmCostParams};
+    pub use crate::infra_gen::{generate_infra, GeneratedInfra, HostClass, InfraSpec};
+    pub use crate::io::ScenarioFile;
+    pub use crate::presets::{
+        few_resources_sweep, many_resources_sweep, quality_sweep, ScenarioSize, ScenarioSpec,
+    };
+    pub use crate::request_gen::{generate_requests, RequestSpec};
+}

@@ -1,0 +1,132 @@
+//! The tabu list: a bounded FIFO of recently-applied moves (Glover 1986).
+
+use cpo_model::prelude::{ServerId, VmId};
+use std::collections::VecDeque;
+
+/// A move attribute recorded in the tabu list: "VM `vm` was moved away
+/// from server `from`". Re-placing the VM back on `from` is tabu while the
+/// entry is in tenure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TabuMove {
+    /// The moved VM.
+    pub vm: VmId,
+    /// The server the VM left.
+    pub from: ServerId,
+}
+
+/// Fixed-tenure tabu list.
+#[derive(Clone, Debug)]
+pub struct TabuList {
+    tenure: usize,
+    entries: VecDeque<TabuMove>,
+}
+
+impl TabuList {
+    /// Creates a list holding at most `tenure` moves.
+    pub fn new(tenure: usize) -> Self {
+        Self {
+            tenure,
+            entries: VecDeque::with_capacity(tenure),
+        }
+    }
+
+    /// Records a move, evicting the oldest entry past tenure.
+    pub fn push(&mut self, mv: TabuMove) {
+        if self.tenure == 0 {
+            return;
+        }
+        if self.entries.len() == self.tenure {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(mv);
+    }
+
+    /// `true` when moving `vm` (back) onto `to` is currently tabu.
+    pub fn is_tabu(&self, vm: VmId, to: ServerId) -> bool {
+        self.entries.iter().any(|e| e.vm == vm && e.from == to)
+    }
+
+    /// Current number of active entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no move is tabu.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The configured tenure.
+    pub fn tenure(&self) -> usize {
+        self.tenure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_moves_become_tabu() {
+        let mut list = TabuList::new(3);
+        list.push(TabuMove {
+            vm: VmId(1),
+            from: ServerId(5),
+        });
+        assert!(list.is_tabu(VmId(1), ServerId(5)));
+        assert!(!list.is_tabu(VmId(1), ServerId(4)));
+        assert!(!list.is_tabu(VmId(2), ServerId(5)));
+    }
+
+    #[test]
+    fn tenure_evicts_oldest() {
+        let mut list = TabuList::new(2);
+        list.push(TabuMove {
+            vm: VmId(0),
+            from: ServerId(0),
+        });
+        list.push(TabuMove {
+            vm: VmId(1),
+            from: ServerId(1),
+        });
+        list.push(TabuMove {
+            vm: VmId(2),
+            from: ServerId(2),
+        });
+        assert!(
+            !list.is_tabu(VmId(0), ServerId(0)),
+            "oldest must be evicted"
+        );
+        assert!(list.is_tabu(VmId(1), ServerId(1)));
+        assert!(list.is_tabu(VmId(2), ServerId(2)));
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn zero_tenure_disables_memory() {
+        let mut list = TabuList::new(0);
+        list.push(TabuMove {
+            vm: VmId(0),
+            from: ServerId(0),
+        });
+        assert!(list.is_empty());
+        assert!(!list.is_tabu(VmId(0), ServerId(0)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut list = TabuList::new(4);
+        list.push(TabuMove {
+            vm: VmId(0),
+            from: ServerId(0),
+        });
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.tenure(), 4);
+    }
+}

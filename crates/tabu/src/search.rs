@@ -1,0 +1,284 @@
+//! A standalone tabu-search optimiser over assignments (Glover 1986) —
+//! the "local heuristic search procedure (guided) to explore the solution
+//! space beyond local optimality by moving virtual machines on different
+//! servers" the paper embeds in its hybrid; usable on its own for
+//! ablations and as a post-optimisation polish.
+
+use crate::list::{TabuList, TabuMove};
+use cpo_model::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tabu-search configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TabuConfig {
+    /// Tabu tenure.
+    pub tenure: usize,
+    /// Iteration budget (one move per iteration).
+    pub max_iterations: usize,
+    /// Candidate moves sampled per iteration.
+    pub candidates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        Self {
+            tenure: 24,
+            max_iterations: 500,
+            candidates: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Search quality of an assignment: infeasibility first, then Eq. 15 total.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Score {
+    /// Total constraint-violation degree (0 = feasible).
+    pub violation: f64,
+    /// Aggregate objective (Eq. 15 equal weights).
+    pub total_cost: f64,
+}
+
+impl Score {
+    /// Lexicographic comparison: less violating wins; ties by cost.
+    pub fn better_than(&self, other: &Score) -> bool {
+        if self.violation != other.violation {
+            return self.violation < other.violation;
+        }
+        self.total_cost < other.total_cost
+    }
+}
+
+/// Scores an assignment.
+pub fn score(problem: &AllocationProblem, assignment: &Assignment) -> Score {
+    let report = problem.check(assignment);
+    Score {
+        violation: report.degree(),
+        total_cost: problem.evaluate(assignment).total(),
+    }
+}
+
+/// Result of a tabu-search run.
+#[derive(Clone, Debug)]
+pub struct TabuResult {
+    /// Best assignment found.
+    pub best: Assignment,
+    /// Score of the best assignment.
+    pub best_score: Score,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Moves accepted.
+    pub accepted_moves: usize,
+}
+
+/// Runs tabu search from `start`, relocating one VM per iteration.
+///
+/// Per iteration, `config.candidates` random (vm, server) relocations are
+/// scored; the best non-tabu candidate (or a tabu one that beats the best
+/// known — the aspiration criterion) is applied.
+pub fn tabu_search(
+    problem: &AllocationProblem,
+    start: Assignment,
+    config: &TabuConfig,
+) -> TabuResult {
+    let n = problem.n();
+    let m = problem.m();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut tabu = TabuList::new(config.tenure);
+
+    let mut current = start;
+    let mut current_score = score(problem, &current);
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    let mut accepted = 0usize;
+    let mut iterations = 0usize;
+
+    if n == 0 || m < 2 {
+        return TabuResult {
+            best,
+            best_score,
+            iterations,
+            accepted_moves: accepted,
+        };
+    }
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Sample candidate relocations.
+        let mut best_cand: Option<(VmId, ServerId, Score, bool)> = None;
+        for _ in 0..config.candidates {
+            let k = VmId(rng.gen_range(0..n));
+            let j = ServerId(rng.gen_range(0..m));
+            if current.server_of(k) == Some(j) {
+                continue;
+            }
+            let is_tabu = tabu.is_tabu(k, j);
+            let old = current.server_of(k);
+            current.assign(k, j);
+            let s = score(problem, &current);
+            match old {
+                Some(o) => current.assign(k, o),
+                None => current.unassign(k),
+            }
+            let aspirated = is_tabu && s.better_than(&best_score);
+            if is_tabu && !aspirated {
+                continue;
+            }
+            let better = match &best_cand {
+                None => true,
+                Some((_, _, cs, _)) => s.better_than(cs),
+            };
+            if better {
+                best_cand = Some((k, j, s, aspirated));
+            }
+        }
+        let Some((k, j, s, _)) = best_cand else {
+            continue;
+        };
+        if let Some(from) = current.server_of(k) {
+            tabu.push(TabuMove { vm: k, from });
+        }
+        current.assign(k, j);
+        current_score = s;
+        accepted += 1;
+        if current_score.better_than(&best_score) {
+            best = current.clone();
+            best_score = current_score;
+        }
+        // Early exit once feasible and stagnating is handled by budget;
+        // a perfect zero-cost solution cannot exist (opex > 0), so run on.
+    }
+
+    TabuResult {
+        best,
+        best_score,
+        iterations,
+        accepted_moves: accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::attr::AttrSet;
+
+    fn problem(servers: usize, vms: usize) -> AllocationProblem {
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), profile.build_many(servers))],
+        );
+        let mut batch = RequestBatch::new();
+        for _ in 0..vms {
+            batch.push_request(vec![vm_spec(4.0, 4096.0, 50.0)], vec![]);
+        }
+        AllocationProblem::new(infra, batch, None)
+    }
+
+    #[test]
+    fn score_orders_by_violation_then_cost() {
+        let a = Score {
+            violation: 0.0,
+            total_cost: 100.0,
+        };
+        let b = Score {
+            violation: 1.0,
+            total_cost: 1.0,
+        };
+        let c = Score {
+            violation: 0.0,
+            total_cost: 50.0,
+        };
+        assert!(a.better_than(&b));
+        assert!(c.better_than(&a));
+        assert!(!b.better_than(&c));
+    }
+
+    #[test]
+    fn search_reaches_feasibility_from_overload() {
+        // Ten 4-vCPU VMs piled on one 28.8-effective-vCPU server: overloaded.
+        let p = problem(4, 10);
+        let mut start = Assignment::unassigned(10);
+        for k in 0..10 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        assert!(!p.is_feasible(&start));
+        let result = tabu_search(&p, start, &TabuConfig::default());
+        assert_eq!(
+            result.best_score.violation, 0.0,
+            "search must reach feasibility"
+        );
+        assert!(p.is_feasible(&result.best));
+        assert!(result.accepted_moves > 0);
+    }
+
+    #[test]
+    fn search_reduces_cost_of_feasible_start() {
+        // Spread VMs over expensive many servers; packing is cheaper.
+        let p = problem(6, 6);
+        let mut start = Assignment::unassigned(6);
+        for k in 0..6 {
+            start.assign(VmId(k), ServerId(k));
+        }
+        let initial = score(&p, &start);
+        let result = tabu_search(
+            &p,
+            start,
+            &TabuConfig {
+                max_iterations: 800,
+                ..Default::default()
+            },
+        );
+        assert!(
+            result.best_score.total_cost < initial.total_cost,
+            "tabu should consolidate: {} -> {}",
+            initial.total_cost,
+            result.best_score.total_cost
+        );
+        assert_eq!(result.best_score.violation, 0.0);
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let p = problem(4, 8);
+        let start = Assignment::from_genes(&[0; 8]);
+        let r1 = tabu_search(&p, start.clone(), &TabuConfig::default());
+        let r2 = tabu_search(&p, start, &TabuConfig::default());
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.accepted_moves, r2.accepted_moves);
+    }
+
+    #[test]
+    fn empty_problem_is_a_noop() {
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), profile.build_many(1))],
+        );
+        let p = AllocationProblem::new(infra, RequestBatch::new(), None);
+        let r = tabu_search(&p, Assignment::unassigned(0), &TabuConfig::default());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn best_never_worse_than_start() {
+        let p = problem(5, 10);
+        let start = Assignment::from_genes(&[0, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
+        let s0 = score(&p, &start);
+        let r = tabu_search(
+            &p,
+            start,
+            &TabuConfig {
+                max_iterations: 100,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.best_score.better_than(&s0) || r.best_score == s0,
+            "tabu must never return worse than its start"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Parameterised construction of canonical spine-leaf datacenters
+//! (Fig. 1 of the paper; Al-Fares et al. / leaf-spine practice).
+
+use crate::fabric::Fabric;
+use crate::node::{Node, NodeId, Tier};
+
+/// Parameters of one spine-leaf datacenter pod.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpineLeafSpec {
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Number of leaf (top-of-rack) switches = racks.
+    pub leaves: usize,
+    /// Servers attached to each leaf.
+    pub servers_per_leaf: usize,
+    /// Server access-link bandwidth in Mbit/s.
+    pub access_bw: f64,
+    /// Leaf-to-spine uplink bandwidth in Mbit/s.
+    pub uplink_bw: f64,
+    /// Number of core routers (0 for a standalone pod).
+    pub cores: usize,
+    /// Spine-to-core bandwidth in Mbit/s.
+    pub core_bw: f64,
+}
+
+impl Default for SpineLeafSpec {
+    fn default() -> Self {
+        Self {
+            spines: 2,
+            leaves: 4,
+            servers_per_leaf: 16,
+            access_bw: 10_000.0, // 10 GbE access
+            uplink_bw: 40_000.0, // 40 GbE uplinks
+            cores: 1,
+            core_bw: 100_000.0, // 100 GbE to core
+        }
+    }
+}
+
+impl SpineLeafSpec {
+    /// A spec sized to hold (at least) `servers` hosts, preserving the
+    /// default oversubscription shape: 16 servers per rack, one spine per
+    /// four racks (min 2).
+    pub fn for_server_count(servers: usize) -> Self {
+        let servers_per_leaf = 16usize;
+        let leaves = servers.div_ceil(servers_per_leaf).max(1);
+        let spines = (leaves / 4).max(2);
+        Self {
+            spines,
+            leaves,
+            servers_per_leaf,
+            ..Self::default()
+        }
+    }
+
+    /// Total server slots in the pod.
+    pub fn server_slots(&self) -> usize {
+        self.leaves * self.servers_per_leaf
+    }
+}
+
+/// The built pod: the fabric plus the node ids per tier.
+#[derive(Clone, Debug)]
+pub struct BuiltPod {
+    /// The fabric graph.
+    pub fabric: Fabric,
+    /// Core routers (may be empty).
+    pub cores: Vec<NodeId>,
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+    /// Leaf switches; `leaves[r]` serves rack `r`.
+    pub leaves: Vec<NodeId>,
+    /// Servers; `servers[r * servers_per_leaf + s]` is server `s` of rack `r`.
+    pub servers: Vec<NodeId>,
+}
+
+impl BuiltPod {
+    /// Rack (failure domain) of a server node.
+    pub fn rack_of(&self, server: NodeId) -> Option<usize> {
+        self.fabric.node(server).rack
+    }
+}
+
+/// Builds a full spine-leaf pod from a spec.
+///
+/// Every leaf connects to every spine (the full bipartite mesh that gives
+/// the architecture its bandwidth and redundancy properties), every server
+/// to exactly one leaf, and every spine to every core.
+pub fn build_spine_leaf(spec: &SpineLeafSpec) -> BuiltPod {
+    assert!(spec.spines >= 1 && spec.leaves >= 1 && spec.servers_per_leaf >= 1);
+    let mut fabric = Fabric::new();
+
+    let cores: Vec<NodeId> = (0..spec.cores)
+        .map(|i| {
+            fabric.add_node(Node {
+                tier: Tier::Core,
+                name: format!("core-{i}"),
+                rack: None,
+            })
+        })
+        .collect();
+    let spines: Vec<NodeId> = (0..spec.spines)
+        .map(|i| {
+            fabric.add_node(Node {
+                tier: Tier::Spine,
+                name: format!("spine-{i}"),
+                rack: None,
+            })
+        })
+        .collect();
+    let leaves: Vec<NodeId> = (0..spec.leaves)
+        .map(|r| {
+            fabric.add_node(Node {
+                tier: Tier::Leaf,
+                name: format!("leaf-{r}"),
+                rack: Some(r),
+            })
+        })
+        .collect();
+
+    let mut servers = Vec::with_capacity(spec.server_slots());
+    for (r, &leaf) in leaves.iter().enumerate() {
+        for s in 0..spec.servers_per_leaf {
+            let srv = fabric.add_node(Node {
+                tier: Tier::Server,
+                name: format!("rack{r}-srv{s:02}"),
+                rack: Some(r),
+            });
+            fabric.add_link(leaf, srv, spec.access_bw);
+            servers.push(srv);
+        }
+    }
+    for &leaf in &leaves {
+        for &spine in &spines {
+            fabric.add_link(leaf, spine, spec.uplink_bw);
+        }
+    }
+    for &spine in &spines {
+        for &core in &cores {
+            fabric.add_link(spine, core, spec.core_bw);
+        }
+    }
+
+    BuiltPod {
+        fabric,
+        cores,
+        spines,
+        leaves,
+        servers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pod_has_expected_counts() {
+        let spec = SpineLeafSpec::default();
+        let pod = build_spine_leaf(&spec);
+        assert_eq!(pod.spines.len(), 2);
+        assert_eq!(pod.leaves.len(), 4);
+        assert_eq!(pod.servers.len(), 64);
+        assert_eq!(pod.cores.len(), 1);
+        // links: 64 access + 4*2 uplinks + 2*1 core
+        assert_eq!(pod.fabric.link_count(), 64 + 8 + 2);
+    }
+
+    #[test]
+    fn every_leaf_reaches_every_spine() {
+        let pod = build_spine_leaf(&SpineLeafSpec::default());
+        for &leaf in &pod.leaves {
+            for &spine in &pod.spines {
+                let p = pod.fabric.shortest_path(leaf, spine, 0.0).unwrap();
+                assert_eq!(p.len(), 1, "leaf-spine mesh must be direct");
+            }
+        }
+    }
+
+    #[test]
+    fn any_two_servers_are_connected() {
+        let pod = build_spine_leaf(&SpineLeafSpec {
+            spines: 2,
+            leaves: 3,
+            servers_per_leaf: 2,
+            ..Default::default()
+        });
+        for &a in &pod.servers {
+            for &b in &pod.servers {
+                assert!(pod.fabric.shortest_path(a, b, 0.0).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn rack_of_reflects_leaf_attachment() {
+        let pod = build_spine_leaf(&SpineLeafSpec {
+            spines: 2,
+            leaves: 2,
+            servers_per_leaf: 3,
+            ..Default::default()
+        });
+        assert_eq!(pod.rack_of(pod.servers[0]), Some(0));
+        assert_eq!(pod.rack_of(pod.servers[3]), Some(1));
+    }
+
+    #[test]
+    fn for_server_count_sizes_racks() {
+        let spec = SpineLeafSpec::for_server_count(100);
+        assert!(spec.server_slots() >= 100);
+        assert_eq!(spec.leaves, 7);
+        assert_eq!(spec.spines, 2);
+        let big = SpineLeafSpec::for_server_count(800);
+        assert_eq!(big.leaves, 50);
+        assert_eq!(big.spines, 12);
+        assert!(big.server_slots() >= 800);
+    }
+
+    #[test]
+    fn redundancy_survives_one_spine_saturation() {
+        // The paper picked spine-leaf for redundancy; verify a cross-rack
+        // flow survives losing (saturating) an entire spine.
+        let mut pod = build_spine_leaf(&SpineLeafSpec {
+            spines: 2,
+            leaves: 2,
+            servers_per_leaf: 1,
+            ..Default::default()
+        });
+        let spine0 = pod.spines[0];
+        // Saturate all spine0 links.
+        for lid in (0..pod.fabric.link_count()).map(crate::link::LinkId) {
+            let link = pod.fabric.link(lid);
+            if link.a == spine0 || link.b == spine0 {
+                let cap = link.capacity;
+                pod.fabric.link_mut(lid).try_reserve(cap);
+            }
+        }
+        let a = pod.servers[0];
+        let b = pod.servers[1];
+        assert!(
+            pod.fabric.admit_flow(a, b, 1_000.0).is_some(),
+            "spine-1 must carry the flow"
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! The spine-leaf fabric graph: adjacency, path computation, bandwidth
+//! admission. This is the datacenter substrate of the paper's Fig. 1.
+
+use crate::link::{Link, LinkId};
+use crate::node::{Node, NodeId, Tier};
+
+/// A datacenter network fabric (one per datacenter).
+#[derive(Clone, Debug, Default)]
+pub struct Fabric {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// `adjacency[n]` = links incident to node `n`.
+    adjacency: Vec<Vec<LinkId>>,
+}
+
+impl Fabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link, returning its id.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(a.index() < self.nodes.len() && b.index() < self.nodes.len());
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(a, b, capacity));
+        self.adjacency[a.index()].push(id);
+        self.adjacency[b.index()].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node `n`.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.index()]
+    }
+
+    /// Link `l`.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.index()]
+    }
+
+    /// Mutable link `l`.
+    pub fn link_mut(&mut self, l: LinkId) -> &mut Link {
+        &mut self.links[l.index()]
+    }
+
+    /// Links incident to node `n`.
+    pub fn incident(&self, n: NodeId) -> &[LinkId] {
+        &self.adjacency[n.index()]
+    }
+
+    /// All node ids of a tier.
+    pub fn tier_nodes(&self, tier: Tier) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| (n.tier == tier).then_some(NodeId(i)))
+            .collect()
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst` using only links
+    /// with at least `min_headroom` available bandwidth. Returns the link
+    /// sequence, or `None` when disconnected under that requirement.
+    pub fn shortest_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        min_headroom: f64,
+    ) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let n = self.nodes.len();
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[src.index()] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &lid in &self.adjacency[u.index()] {
+                let link = &self.links[lid.index()];
+                if link.headroom() + 1e-9 < min_headroom {
+                    continue;
+                }
+                let v = link.other(u).expect("adjacency is consistent");
+                if visited[v.index()] {
+                    continue;
+                }
+                visited[v.index()] = true;
+                prev[v.index()] = Some((u, lid));
+                if v == dst {
+                    // Reconstruct.
+                    let mut path = Vec::new();
+                    let mut cur = dst;
+                    while cur != src {
+                        let (p, l) = prev[cur.index()].expect("path is connected");
+                        path.push(l);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// Reserves `bw` along a path atomically: either every link admits the
+    /// flow or nothing is reserved.
+    pub fn reserve_path(&mut self, path: &[LinkId], bw: f64) -> bool {
+        for (i, &lid) in path.iter().enumerate() {
+            if !self.links[lid.index()].try_reserve(bw) {
+                // Roll back what we already took.
+                for &undo in &path[..i] {
+                    self.links[undo.index()].release(bw);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Releases `bw` along a path.
+    pub fn release_path(&mut self, path: &[LinkId], bw: f64) {
+        for &lid in path {
+            self.links[lid.index()].release(bw);
+        }
+    }
+
+    /// Admits a flow of `bw` between two nodes: finds a feasible shortest
+    /// path and reserves it. Returns the path on success.
+    pub fn admit_flow(&mut self, src: NodeId, dst: NodeId, bw: f64) -> Option<Vec<LinkId>> {
+        let path = self.shortest_path(src, dst, bw)?;
+        let ok = self.reserve_path(&path, bw);
+        debug_assert!(ok, "shortest_path guaranteed headroom");
+        Some(path)
+    }
+
+    /// Peak link utilisation across the fabric — a congestion indicator
+    /// used by the platform simulator's accounting.
+    pub fn peak_utilization(&self) -> f64 {
+        self.links.iter().map(Link::utilization).fold(0.0, f64::max)
+    }
+
+    /// Mean link utilisation.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.links.is_empty() {
+            return 0.0;
+        }
+        self.links.iter().map(Link::utilization).sum::<f64>() / self.links.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a 2-spine, 2-leaf, 2-servers-per-leaf mini fabric.
+    fn mini() -> (Fabric, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+        let mut f = Fabric::new();
+        let spines: Vec<_> = (0..2)
+            .map(|i| {
+                f.add_node(Node {
+                    tier: Tier::Spine,
+                    name: format!("spine-{i}"),
+                    rack: None,
+                })
+            })
+            .collect();
+        let leaves: Vec<_> = (0..2)
+            .map(|i| {
+                f.add_node(Node {
+                    tier: Tier::Leaf,
+                    name: format!("leaf-{i}"),
+                    rack: Some(i),
+                })
+            })
+            .collect();
+        let mut servers = Vec::new();
+        for (r, &leaf) in leaves.iter().enumerate() {
+            for s in 0..2 {
+                let srv = f.add_node(Node {
+                    tier: Tier::Server,
+                    name: format!("rack{r}-srv{s}"),
+                    rack: Some(r),
+                });
+                f.add_link(leaf, srv, 10_000.0);
+                servers.push(srv);
+            }
+        }
+        for &leaf in &leaves {
+            for &spine in &spines {
+                f.add_link(leaf, spine, 40_000.0);
+            }
+        }
+        (f, spines, leaves, servers)
+    }
+
+    #[test]
+    fn mini_fabric_shape() {
+        let (f, spines, leaves, servers) = mini();
+        assert_eq!(f.node_count(), 8);
+        assert_eq!(f.link_count(), 4 + 4); // 4 server links + full leaf-spine mesh
+        assert_eq!(f.tier_nodes(Tier::Spine), spines);
+        assert_eq!(f.tier_nodes(Tier::Leaf), leaves);
+        assert_eq!(f.tier_nodes(Tier::Server), servers);
+    }
+
+    #[test]
+    fn same_rack_path_stays_under_leaf() {
+        let (f, _, _, servers) = mini();
+        let path = f.shortest_path(servers[0], servers[1], 0.0).unwrap();
+        assert_eq!(path.len(), 2, "server → leaf → server");
+    }
+
+    #[test]
+    fn cross_rack_path_traverses_spine() {
+        let (f, _, _, servers) = mini();
+        let path = f.shortest_path(servers[0], servers[2], 0.0).unwrap();
+        assert_eq!(path.len(), 4, "server → leaf → spine → leaf → server");
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let (f, _, _, servers) = mini();
+        assert_eq!(f.shortest_path(servers[0], servers[0], 0.0), Some(vec![]));
+    }
+
+    #[test]
+    fn admission_respects_bandwidth() {
+        let (mut f, _, _, servers) = mini();
+        // Server access links are 10 G; a 12 G flow cannot be admitted.
+        assert!(f.admit_flow(servers[0], servers[2], 12_000.0).is_none());
+        // A 6 G flow fits; a second 6 G flow saturates the access link.
+        assert!(f.admit_flow(servers[0], servers[2], 6_000.0).is_some());
+        assert!(f.admit_flow(servers[0], servers[2], 6_000.0).is_none());
+    }
+
+    #[test]
+    fn multipath_spreads_when_one_spine_is_full() {
+        let (mut f, _, _, servers) = mini();
+        // Saturate spine-0's leaf0 uplink directly.
+        let leaf0_spine0 = LinkId(4); // first leaf-spine link added
+        assert!(f.link_mut(leaf0_spine0).try_reserve(40_000.0));
+        // Cross-rack flow must still be admitted via spine-1.
+        let path = f
+            .admit_flow(servers[0], servers[2], 5_000.0)
+            .expect("second spine available");
+        assert!(!path.contains(&leaf0_spine0));
+    }
+
+    #[test]
+    fn reserve_path_is_atomic() {
+        let (mut f, _, _, servers) = mini();
+        let path = f.shortest_path(servers[0], servers[2], 0.0).unwrap();
+        // Saturate the last link of the path, then try to reserve the path.
+        let last = *path.last().unwrap();
+        let cap = f.link(last).capacity;
+        assert!(f.link_mut(last).try_reserve(cap));
+        assert!(!f.reserve_path(&path, 1_000.0));
+        // No partial reservations must remain on the earlier links.
+        for &l in &path[..path.len() - 1] {
+            assert_eq!(f.link(l).reserved, 0.0, "atomicity violated on {l:?}");
+        }
+    }
+
+    #[test]
+    fn release_path_frees_bandwidth() {
+        let (mut f, _, _, servers) = mini();
+        let path = f.admit_flow(servers[0], servers[3], 2_000.0).unwrap();
+        f.release_path(&path, 2_000.0);
+        assert_eq!(f.peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_statistics() {
+        let (mut f, _, _, servers) = mini();
+        assert_eq!(f.mean_utilization(), 0.0);
+        f.admit_flow(servers[0], servers[1], 5_000.0).unwrap();
+        assert!(f.peak_utilization() > 0.0);
+        assert!(f.mean_utilization() > 0.0);
+        assert!(f.mean_utilization() <= f.peak_utilization());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut f = Fabric::new();
+        let n = f.add_node(Node {
+            tier: Tier::Spine,
+            name: "s".into(),
+            rack: None,
+        });
+        f.add_link(n, n, 1.0);
+    }
+}

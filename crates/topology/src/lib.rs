@@ -1,0 +1,34 @@
+//! # cpo-topology — spine-leaf datacenter fabric substrate
+//!
+//! The paper grounds its model in the Core/Leaf-Spine distributed network
+//! architecture (Fig. 1, refs [19–21]): servers attach to leaf (top-of-rack)
+//! switches, every leaf connects to every spine, and spines uplink to core
+//! routers. This crate provides that substrate: a capacity-annotated fabric
+//! graph with shortest-path routing and atomic bandwidth admission, plus a
+//! parameterised builder for canonical pods.
+//!
+//! The scenario generator uses the builder to lay out datacenters (racks →
+//! servers) and the platform simulator uses admission to account for
+//! east-west traffic between co-dependent virtual resources.
+//!
+//! ```
+//! use cpo_topology::{build_spine_leaf, SpineLeafSpec};
+//!
+//! let pod = build_spine_leaf(&SpineLeafSpec::for_server_count(48));
+//! assert!(pod.servers.len() >= 48);
+//! // Cross-rack traffic flows server → leaf → spine → leaf → server.
+//! let path = pod.fabric.shortest_path(pod.servers[0], *pod.servers.last().unwrap(), 0.0).unwrap();
+//! assert_eq!(path.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod fabric;
+pub mod link;
+pub mod node;
+
+pub use builder::{build_spine_leaf, BuiltPod, SpineLeafSpec};
+pub use fabric::Fabric;
+pub use link::{Link, LinkId};
+pub use node::{Node, NodeId, Tier};

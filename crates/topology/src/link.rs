@@ -1,0 +1,127 @@
+//! Links of the fabric with capacity and reservation accounting.
+
+use crate::node::NodeId;
+
+/// Index of a link within a [`crate::fabric::Fabric`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An undirected fabric link with bandwidth accounting (Mbit/s).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Total capacity in Mbit/s.
+    pub capacity: f64,
+    /// Currently reserved bandwidth in Mbit/s.
+    pub reserved: f64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(a: NodeId, b: NodeId, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive"
+        );
+        Self {
+            a,
+            b,
+            capacity,
+            reserved: 0.0,
+        }
+    }
+
+    /// Bandwidth still available.
+    #[inline]
+    pub fn headroom(&self) -> f64 {
+        (self.capacity - self.reserved).max(0.0)
+    }
+
+    /// Utilisation in `[0, 1]`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        (self.reserved / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// Attempts to reserve `bw`; returns `false` (unchanged) if it does
+    /// not fit.
+    pub fn try_reserve(&mut self, bw: f64) -> bool {
+        if bw <= self.headroom() + 1e-9 {
+            self.reserved += bw;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `bw` (clamped at zero).
+    pub fn release(&mut self, bw: f64) {
+        self.reserved = (self.reserved - bw).max(0.0);
+    }
+
+    /// The opposite endpoint of `n`, if `n` is an endpoint.
+    pub fn other(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.a {
+            Some(self.b)
+        } else if n == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut l = Link::new(NodeId(0), NodeId(1), 10_000.0);
+        assert!(l.try_reserve(4_000.0));
+        assert_eq!(l.headroom(), 6_000.0);
+        assert!((l.utilization() - 0.4).abs() < 1e-12);
+        l.release(4_000.0);
+        assert_eq!(l.reserved, 0.0);
+    }
+
+    #[test]
+    fn overcommit_is_refused() {
+        let mut l = Link::new(NodeId(0), NodeId(1), 1_000.0);
+        assert!(l.try_reserve(999.0));
+        assert!(!l.try_reserve(2.0));
+        assert_eq!(l.reserved, 999.0);
+    }
+
+    #[test]
+    fn release_clamps_at_zero() {
+        let mut l = Link::new(NodeId(0), NodeId(1), 100.0);
+        l.release(50.0);
+        assert_eq!(l.reserved, 0.0);
+    }
+
+    #[test]
+    fn other_endpoint_lookup() {
+        let l = Link::new(NodeId(3), NodeId(7), 100.0);
+        assert_eq!(l.other(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(l.other(NodeId(7)), Some(NodeId(3)));
+        assert_eq!(l.other(NodeId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Link::new(NodeId(0), NodeId(1), 0.0);
+    }
+}

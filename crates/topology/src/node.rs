@@ -1,0 +1,79 @@
+//! Nodes of the spine-leaf datacenter fabric (paper Fig. 1, refs [19–21]).
+
+/// Index of a node within a [`crate::fabric::Fabric`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The tier a node belongs to in the Core/Spine-Leaf architecture.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tier {
+    /// Core router interconnecting datacenters / pods.
+    Core,
+    /// Spine switch: every leaf connects to every spine.
+    Spine,
+    /// Leaf (top-of-rack) switch: servers connect here.
+    Leaf,
+    /// Physical server (hypervisor host).
+    Server,
+}
+
+impl Tier {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Core => "core",
+            Tier::Spine => "spine",
+            Tier::Leaf => "leaf",
+            Tier::Server => "server",
+        }
+    }
+}
+
+/// A fabric node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Which tier the node sits in.
+    pub tier: Tier,
+    /// Human-readable name (`spine-2`, `rack3-srv07`, …).
+    pub name: String,
+    /// Rack index for leaves and servers (failure domain), `None` for
+    /// spines and cores.
+    pub rack: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(Tier::Core.label(), "core");
+        assert_eq!(Tier::Spine.label(), "spine");
+        assert_eq!(Tier::Leaf.label(), "leaf");
+        assert_eq!(Tier::Server.label(), "server");
+    }
+
+    #[test]
+    fn node_carries_rack_domain() {
+        let n = Node {
+            tier: Tier::Server,
+            name: "rack0-srv1".into(),
+            rack: Some(0),
+        };
+        assert_eq!(n.rack, Some(0));
+        let s = Node {
+            tier: Tier::Spine,
+            name: "spine-0".into(),
+            rack: None,
+        };
+        assert_eq!(s.rack, None);
+    }
+}

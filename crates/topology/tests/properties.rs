@@ -1,0 +1,100 @@
+//! Property-based tests of the spine-leaf fabric: connectivity, path
+//! validity, reservation conservation.
+
+use cpo_topology::{build_spine_leaf, LinkId, SpineLeafSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SpineLeafSpec> {
+    (1usize..4, 1usize..5, 1usize..6).prop_map(|(spines, leaves, per_leaf)| SpineLeafSpec {
+        spines,
+        leaves,
+        servers_per_leaf: per_leaf,
+        cores: 1,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pair of servers is connected, and the returned path is a
+    /// valid walk between them.
+    #[test]
+    fn all_server_pairs_connected(spec in spec_strategy()) {
+        let pod = build_spine_leaf(&spec);
+        let servers = &pod.servers;
+        for (i, &a) in servers.iter().enumerate() {
+            for &b in servers.iter().skip(i + 1) {
+                let path = pod.fabric.shortest_path(a, b, 0.0)
+                    .expect("spine-leaf pods are connected");
+                // Walk the path: consecutive links must chain from a to b.
+                let mut at = a;
+                for lid in &path {
+                    at = pod.fabric.link(*lid).other(at)
+                        .expect("path link not incident to walk position");
+                }
+                prop_assert_eq!(at, b);
+            }
+        }
+    }
+
+    /// Same-rack paths are 2 hops; cross-rack are exactly 4 (leaf-spine-leaf).
+    #[test]
+    fn hop_counts_match_the_architecture(spec in spec_strategy()) {
+        let pod = build_spine_leaf(&spec);
+        for (i, &a) in pod.servers.iter().enumerate() {
+            for &b in pod.servers.iter().skip(i + 1) {
+                let hops = pod.fabric.shortest_path(a, b, 0.0).unwrap().len();
+                let same_rack = pod.rack_of(a) == pod.rack_of(b);
+                if same_rack {
+                    prop_assert_eq!(hops, 2, "same-rack via the leaf");
+                } else {
+                    prop_assert_eq!(hops, 4, "cross-rack via one spine");
+                }
+            }
+        }
+    }
+
+    /// Admit + release conserves bandwidth exactly.
+    #[test]
+    fn reservation_conservation(spec in spec_strategy(), bw in 1.0_f64..5_000.0) {
+        let mut pod = build_spine_leaf(&spec);
+        let a = pod.servers[0];
+        let b = *pod.servers.last().unwrap();
+        if a == b {
+            return Ok(());
+        }
+        let before: f64 = (0..pod.fabric.link_count())
+            .map(|l| pod.fabric.link(LinkId(l)).reserved)
+            .sum();
+        if let Some(path) = pod.fabric.admit_flow(a, b, bw) {
+            let during: f64 = (0..pod.fabric.link_count())
+                .map(|l| pod.fabric.link(LinkId(l)).reserved)
+                .sum();
+            prop_assert!((during - before - bw * path.len() as f64).abs() < 1e-6);
+            pod.fabric.release_path(&path, bw);
+        }
+        let after: f64 = (0..pod.fabric.link_count())
+            .map(|l| pod.fabric.link(LinkId(l)).reserved)
+            .sum();
+        prop_assert!((after - before).abs() < 1e-6);
+    }
+
+    /// Admission never overcommits any link.
+    #[test]
+    fn admission_never_overcommits(spec in spec_strategy(), flows in 1usize..30) {
+        let mut pod = build_spine_leaf(&spec);
+        let n = pod.servers.len();
+        for f in 0..flows {
+            let a = pod.servers[f % n];
+            let b = pod.servers[(f * 7 + 3) % n];
+            if a != b {
+                let _ = pod.fabric.admit_flow(a, b, 3_000.0);
+            }
+        }
+        for l in 0..pod.fabric.link_count() {
+            let link = pod.fabric.link(LinkId(l));
+            prop_assert!(link.reserved <= link.capacity + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduce the Fig. 7 / Fig. 8 execution-time story in one run: sweep
+//! problem sizes and watch the crossover — CP is fastest on small
+//! problems and stops scaling, while the NSGA-III + tabu hybrid grows
+//! gently.
+//!
+//! ```text
+//! cargo run --release --example scalability_sweep [max_servers]
+//! ```
+
+use cpo_iaas::exper::runner::{Algorithm, Effort};
+use cpo_iaas::prelude::*;
+
+fn main() {
+    let max_servers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    let algorithms = [
+        Algorithm::RoundRobin,
+        Algorithm::ConstraintProgramming,
+        Algorithm::Nsga3,
+        Algorithm::Nsga3Tabu,
+    ];
+    let mut sizes = vec![10, 25, 50, 100, 200, 400, 800];
+    sizes.retain(|&s| s <= max_servers);
+
+    print!("{:>14}", "size");
+    for a in &algorithms {
+        print!(" {:>22}", a.label());
+    }
+    println!("  [time in ms]");
+
+    for servers in sizes {
+        let size = ScenarioSize::with_servers(servers);
+        let problem = ScenarioSpec::for_size(&size).generate(7);
+        print!("{:>14}", size.label());
+        for algorithm in &algorithms {
+            let outcome = algorithm.build(Effort::Quick, 7).allocate(&problem);
+            print!(" {:>22.2}", outcome.elapsed.as_secs_f64() * 1_000.0);
+        }
+        println!();
+    }
+
+    println!(
+        "\nexpected: constraint-programming wins small sizes, then its solve\n\
+         time inflates (Fig. 8's cliff); nsga3-tabu stays on a gentle slope."
+    );
+}

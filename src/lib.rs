@@ -1,0 +1,60 @@
+//! # cpo-iaas — consumer-and-provider-oriented IaaS resource allocation
+//!
+//! A from-scratch Rust reproduction of *Ecarot, Zeghlache, Brandily,
+//! "Consumer-and-Provider-oriented efficient IaaS resource allocation",
+//! IEEE IPDPSW 2017*: the full allocation model (Section III), all six
+//! evaluated algorithms (Section IV) including the proposed
+//! **NSGA-III + tabu search** hybrid, and every substrate they need.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! name and hosts the runnable examples and the cross-crate integration
+//! tests.
+//!
+//! | subsystem | crate | role |
+//! |---|---|---|
+//! | model | [`model`] | matrices, constraints, objectives (Eqs. 1–26) |
+//! | topology | [`topology`] | spine-leaf datacenter fabric (Fig. 1) |
+//! | scenario | [`scenario`] | seeded workload / infrastructure generation |
+//! | moea | [`moea`] | NSGA-II / NSGA-III engine (Table III settings) |
+//! | tabu | [`tabu`] | tabu search + the repair operator (Figs. 4–6) |
+//! | cpsolve | [`cpsolve`] | constraint-programming solver (Choco substitute) |
+//! | core | [`core`] | the `Allocator` trait and the six algorithms |
+//! | platform | [`platform`] | cyclic time-window IaaS simulator |
+//! | exper | [`exper`] | figure/table regeneration harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpo_iaas::prelude::*;
+//!
+//! // A 20-server problem with 40 VMs and affinity rules.
+//! let size = ScenarioSize::with_servers(20);
+//! let problem = ScenarioSpec::for_size(&size).generate(7);
+//!
+//! // Solve with the paper's hybrid (reduced budget for the doctest).
+//! let config = NsgaConfig {
+//!     population_size: 20,
+//!     max_evaluations: 600,
+//!     ..NsgaConfig::paper_defaults(Variant::Nsga3)
+//! };
+//! let outcome = EvoAllocator::nsga3_tabu(config).allocate(&problem);
+//! assert!(outcome.is_clean());
+//! ```
+
+pub use cpo_core as core;
+pub use cpo_cpsolve as cpsolve;
+pub use cpo_exper as exper;
+pub use cpo_model as model;
+pub use cpo_moea as moea;
+pub use cpo_platform as platform;
+pub use cpo_scenario as scenario;
+pub use cpo_tabu as tabu;
+pub use cpo_topology as topology;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use cpo_core::prelude::*;
+    pub use cpo_model::prelude::*;
+    pub use cpo_platform::prelude::*;
+    pub use cpo_scenario::prelude::*;
+}

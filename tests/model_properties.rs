@@ -1,0 +1,209 @@
+//! Property-based tests over the model and the repair operators:
+//! randomised problems and assignments, with the paper's invariants as
+//! properties.
+
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::prelude::*;
+use cpo_iaas::tabu::repair::{repair, RepairConfig};
+use proptest::prelude::*;
+
+/// Strategy: a small random problem (infrastructure + batch, no rules).
+fn problem_strategy() -> impl Strategy<Value = AllocationProblem> {
+    (2usize..6, 1usize..10, 1u64..1_000).prop_map(|(m, reqs, seed)| {
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), profile.build_many(m))],
+        );
+        let mut batch = RequestBatch::new();
+        let mut s = seed;
+        for _ in 0..reqs {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cpu = 1.0 + (s >> 33) as f64 % 8.0;
+            batch.push_request(vec![vm_spec(cpu, cpu * 1024.0, cpu * 10.0)], vec![]);
+        }
+        AllocationProblem::new(infra, batch, None)
+    })
+}
+
+/// Strategy: a problem plus a complete random assignment.
+fn problem_and_assignment() -> impl Strategy<Value = (AllocationProblem, Assignment)> {
+    problem_strategy().prop_flat_map(|p| {
+        let (m, n) = (p.m(), p.n());
+        (Just(p), proptest::collection::vec(0usize..m, n))
+            .prop_map(|(p, genes)| (p, Assignment::from_genes(&genes)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Violation degree is zero exactly when the assignment is feasible.
+    #[test]
+    fn degree_zero_iff_feasible((p, a) in problem_and_assignment()) {
+        let report = p.check(&a);
+        prop_assert_eq!(report.degree() == 0.0, p.is_feasible(&a));
+        prop_assert_eq!(report.count() == 0, p.is_feasible(&a));
+    }
+
+    /// The incremental load tracker agrees with a from-scratch rebuild
+    /// after any sequence of assigns.
+    #[test]
+    fn incremental_tracker_matches_rebuild((p, a) in problem_and_assignment()) {
+        let mut inc = LoadTracker::new(p.m(), p.h());
+        for (k, j) in a.iter_assigned() {
+            inc.add(k, j, p.batch());
+        }
+        let rebuilt = p.tracker(&a);
+        for j in p.infra().server_ids() {
+            for l in p.infra().attrs().ids() {
+                prop_assert!((inc.used(j, l) - rebuilt.used(j, l)).abs() < 1e-9);
+            }
+            prop_assert_eq!(inc.hosted(j), rebuilt.hosted(j));
+        }
+    }
+
+    /// Objectives are finite and non-negative for any complete assignment.
+    #[test]
+    fn objectives_are_finite_and_nonnegative((p, a) in problem_and_assignment()) {
+        let z = p.evaluate(&a);
+        for v in z.as_array() {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0);
+        }
+        prop_assert!(z.total() >= z.usage_opex);
+    }
+
+    /// The X_ijk tensor view holds exactly one true cell per assigned VM.
+    #[test]
+    fn xijk_is_a_function_of_vms((p, a) in problem_and_assignment()) {
+        for k in p.batch().vm_ids() {
+            let count = p
+                .infra()
+                .datacenter_ids()
+                .flat_map(|i| p.infra().server_ids().map(move |j| (i, j)))
+                .filter(|&(i, j)| a.xijk(i, j, k, p.infra()))
+                .count();
+            prop_assert_eq!(count, usize::from(a.server_of(k).is_some()));
+        }
+    }
+
+    /// Repair never breaks a feasible assignment and never increases the
+    /// violation degree of an infeasible one.
+    #[test]
+    fn repair_is_monotone((p, mut a) in problem_and_assignment()) {
+        let before = p.check(&a).degree();
+        let _ = repair(&p, &mut a, &RepairConfig::default());
+        let after = p.check(&a).degree();
+        prop_assert!(after <= before + 1e-9, "repair worsened {before} -> {after}");
+    }
+
+    /// Migration cost is zero against itself and symmetric in count.
+    #[test]
+    fn migrations_are_a_metric_like_diff((p, a) in problem_and_assignment()) {
+        prop_assert_eq!(a.migrations_from(&a).len(), 0);
+        let mut b = a.clone();
+        if p.n() > 0 && p.m() > 1 {
+            // Move the first assigned VM somewhere else.
+            if let Some((k, j)) = a.iter_assigned().next() {
+                let other = ServerId((j.index() + 1) % p.m());
+                b.assign(k, other);
+                prop_assert_eq!(b.migrations_from(&a).len(), 1);
+                prop_assert_eq!(a.migrations_from(&b).len(), 1);
+            }
+        }
+    }
+
+    /// Rejection rate is consistent with accepted_requests.
+    #[test]
+    fn rejection_rate_matches_acceptance((p, a) in problem_and_assignment()) {
+        let accepted = p.accepted_requests(&a).len();
+        let total = p.batch().request_count();
+        let expected = (total - accepted) as f64 / total as f64;
+        prop_assert!((p.rejection_rate(&a) - expected).abs() < 1e-12);
+    }
+
+    /// Consolidating two VMs onto one server never increases usage+opex
+    /// versus hosting them on two servers with equal parameters.
+    #[test]
+    fn consolidation_never_costs_more(seed in 0u64..500) {
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), profile.build_many(2))],
+        );
+        let mut batch = RequestBatch::new();
+        let cpu = 1.0 + (seed % 10) as f64;
+        batch.push_request(vec![vm_spec(cpu, 1024.0, 10.0); 2], vec![]);
+        let p = AllocationProblem::new(infra, batch, None);
+        let packed = Assignment::from_genes(&[0, 0]);
+        let spread = Assignment::from_genes(&[0, 1]);
+        let zp = p.evaluate(&packed);
+        let zs = p.evaluate(&spread);
+        prop_assert!(zp.usage_opex <= zs.usage_opex);
+    }
+}
+
+/// Strategy: a rule-rich problem plus a complete random assignment.
+fn ruled_problem_and_assignment() -> impl Strategy<Value = (AllocationProblem, Assignment)> {
+    use cpo_iaas::model::prelude::{AffinityKind, AffinityRule};
+    (2usize..5, 0usize..4, 1u64..1_000).prop_flat_map(|(m_per_dc, kind_idx, seed)| {
+        let profile = ServerProfile::commodity(3);
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![
+                ("dc0".into(), profile.build_many(m_per_dc)),
+                ("dc1".into(), profile.build_many(m_per_dc)),
+            ],
+        );
+        let kinds = [
+            AffinityKind::SameServer,
+            AffinityKind::SameDatacenter,
+            AffinityKind::DifferentServer,
+            AffinityKind::DifferentDatacenter,
+        ];
+        let mut batch = RequestBatch::new();
+        let cpu = 1.0 + (seed % 12) as f64;
+        batch.push_request(
+            vec![vm_spec(cpu, 1024.0, 10.0); 2],
+            vec![AffinityRule::new(kinds[kind_idx], vec![VmId(0), VmId(1)])],
+        );
+        batch.push_request(vec![vm_spec(cpu, 1024.0, 10.0)], vec![]);
+        let p = AllocationProblem::new(infra, batch, None);
+        let m = p.m();
+        (Just(p), proptest::collection::vec(0usize..m, 3))
+            .prop_map(|(p, genes)| (p, Assignment::from_genes(&genes)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The explicit ILP of Section III and the executable model agree on
+    /// feasibility and on the linear (usage+opex) objective for every
+    /// assignment, across all four rule kinds.
+    #[test]
+    fn ilp_and_model_agree((p, a) in ruled_problem_and_assignment()) {
+        use cpo_iaas::model::ilp::IlpFormulation;
+        let ilp = IlpFormulation::from_problem(&p);
+        let solution = ilp.solution_of(&a);
+        prop_assert_eq!(ilp.is_feasible(&solution), p.is_feasible(&a));
+        let model_cost = p.evaluate(&a).usage_opex;
+        prop_assert!((ilp.objective_value(&solution) - model_cost).abs() < 1e-9);
+    }
+}
+
+// Gene encoding round-trips for every complete assignment.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn genome_roundtrip(genes in proptest::collection::vec(0usize..7, 1..30)) {
+        let codec = cpo_iaas::core::prelude::GenomeCodec::new(7, genes.len());
+        let a = Assignment::from_genes(&genes);
+        let encoded = codec.encode(&a);
+        let decoded = codec.decode(&encoded);
+        prop_assert_eq!(decoded, a);
+    }
+}

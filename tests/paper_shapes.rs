@@ -1,0 +1,171 @@
+//! Qualitative shape checks of the paper's claims at miniature scale.
+//! These are the Section IV findings, asserted as inequalities over
+//! seed-averaged metrics — the same direction the full figures show.
+
+use cpo_iaas::exper::runner::{Algorithm, Effort};
+use cpo_iaas::prelude::*;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+fn mean<F: Fn(&AllocationOutcome) -> f64>(
+    algorithm: Algorithm,
+    servers: usize,
+    heavy: bool,
+    f: F,
+) -> f64 {
+    let mut total = 0.0;
+    for &seed in &SEEDS {
+        let size = ScenarioSize::with_servers(servers);
+        let spec = if heavy {
+            ScenarioSpec::for_size(&size).with_heavy_affinity()
+        } else {
+            ScenarioSpec::for_size(&size)
+        };
+        let problem = spec.generate(seed);
+        let outcome = algorithm.build(Effort::Quick, seed).allocate(&problem);
+        total += f(&outcome);
+    }
+    total / SEEDS.len() as f64
+}
+
+/// Fig. 7: on small problems the evolutionary algorithms are slower than
+/// Round Robin and CP ("2 to 3 times slower" in the paper; we assert the
+/// ordering, not the ratio).
+#[test]
+fn fig7_shape_baselines_faster_on_small_problems() {
+    let time = |o: &AllocationOutcome| o.elapsed.as_secs_f64();
+    let rr = mean(Algorithm::RoundRobin, 10, false, time);
+    let cp = mean(Algorithm::ConstraintProgramming, 10, false, time);
+    let tabu = mean(Algorithm::Nsga3Tabu, 10, false, time);
+    assert!(
+        rr < tabu,
+        "round-robin ({rr:.4}s) must beat the hybrid ({tabu:.4}s)"
+    );
+    assert!(
+        cp < tabu,
+        "cp ({cp:.4}s) must beat the hybrid ({tabu:.4}s) on small sizes"
+    );
+}
+
+/// Fig. 8: CP's solve time grows much faster with size than the hybrid's
+/// (the scalability cliff). Compare growth factors between two sizes.
+#[test]
+fn fig8_shape_cp_scales_worse_than_the_hybrid() {
+    let time = |o: &AllocationOutcome| o.elapsed.as_secs_f64();
+    let cp_small = mean(Algorithm::ConstraintProgramming, 20, false, time);
+    let cp_big = mean(Algorithm::ConstraintProgramming, 120, false, time);
+    let tabu_small = mean(Algorithm::Nsga3Tabu, 20, false, time);
+    let tabu_big = mean(Algorithm::Nsga3Tabu, 120, false, time);
+    let cp_growth = cp_big / cp_small.max(1e-9);
+    let tabu_growth = tabu_big / tabu_small.max(1e-9);
+    assert!(
+        cp_growth > tabu_growth,
+        "cp growth {cp_growth:.1}x must exceed hybrid growth {tabu_growth:.1}x"
+    );
+}
+
+/// Fig. 9: the hybrid rejects no more than Round Robin and far less than
+/// unmodified NSGA (whose 'rejections' are requests it fails to serve).
+#[test]
+fn fig9_shape_hybrid_accepts_most() {
+    let rej = |o: &AllocationOutcome| o.rejection_rate;
+    let rr = mean(Algorithm::RoundRobin, 25, true, rej);
+    let nsga3 = mean(Algorithm::Nsga3, 25, true, rej);
+    let tabu = mean(Algorithm::Nsga3Tabu, 25, true, rej);
+    assert!(
+        tabu <= rr + 1e-9,
+        "hybrid rejection ({tabu:.3}) must not exceed round-robin ({rr:.3})"
+    );
+    assert!(
+        tabu < nsga3,
+        "hybrid rejection ({tabu:.3}) must beat unmodified nsga3 ({nsga3:.3})"
+    );
+}
+
+/// Fig. 10: only the unmodified evolutionary algorithms violate
+/// constraints; everything else is exactly zero.
+#[test]
+fn fig10_shape_only_unmodified_nsga_violates() {
+    let viol = |o: &AllocationOutcome| o.violated_constraints as f64;
+    for algorithm in [
+        Algorithm::RoundRobin,
+        Algorithm::ConstraintProgramming,
+        Algorithm::Nsga3Cp,
+        Algorithm::Nsga3Tabu,
+    ] {
+        let v = mean(algorithm, 25, true, &viol);
+        assert_eq!(v, 0.0, "{} must never violate", algorithm.label());
+    }
+    let v2 = mean(Algorithm::Nsga2, 25, true, &viol);
+    let v3 = mean(Algorithm::Nsga3, 25, true, &viol);
+    assert!(
+        v2 > 0.0,
+        "unmodified nsga2 should violate on hard scenarios"
+    );
+    assert!(
+        v3 > 0.0,
+        "unmodified nsga3 should violate on hard scenarios"
+    );
+}
+
+/// Fig. 11: unmodified NSGA incurs the highest provider cost; CP and the
+/// hybrids stay below it.
+#[test]
+fn fig11_shape_cp_and_hybrids_cheapest() {
+    let cost = |o: &AllocationOutcome| o.provider_cost();
+    let cp = mean(Algorithm::ConstraintProgramming, 25, true, cost);
+    let nsga2 = mean(Algorithm::Nsga2, 25, true, cost);
+    let tabu = mean(Algorithm::Nsga3Tabu, 25, true, cost);
+    assert!(
+        cp < nsga2,
+        "cp ({cp:.1}) must undercut unmodified nsga2 ({nsga2:.1})"
+    );
+    assert!(
+        tabu < nsga2,
+        "hybrid ({tabu:.1}) must undercut unmodified nsga2 ({nsga2:.1})"
+    );
+}
+
+/// The conclusion's revenue claim: the hybrid "is designed to generate
+/// the largest revenues for the providers" — net revenue (earned minus
+/// Eq. 15 costs) must beat the unmodified NSGA and be at least
+/// competitive with Round Robin.
+#[test]
+fn conclusion_hybrid_earns_most_net_revenue() {
+    let net = |o: &AllocationOutcome| o.net_revenue();
+    let tabu = mean(Algorithm::Nsga3Tabu, 25, true, net);
+    let nsga3 = mean(Algorithm::Nsga3, 25, true, net);
+    let rr = mean(Algorithm::RoundRobin, 25, true, net);
+    assert!(
+        tabu > nsga3,
+        "hybrid net revenue ({tabu:.1}) must beat unmodified nsga3 ({nsga3:.1})"
+    );
+    assert!(
+        tabu >= rr - 1e-9,
+        "hybrid net revenue ({tabu:.1}) must be at least round-robin's ({rr:.1})"
+    );
+}
+
+/// Table II, NSGA row: our modified NSGA achieves what the paper set out
+/// to add — constraint compliance + scalability + customer compliance —
+/// on one instance, end to end.
+#[test]
+fn table2_modified_nsga_meets_the_three_needs() {
+    let size = ScenarioSize::with_servers(20);
+    let problem = ScenarioSpec::for_size(&size)
+        .with_heavy_affinity()
+        .generate(4);
+    let outcome = Algorithm::Nsga3Tabu
+        .build(Effort::Quick, 4)
+        .allocate(&problem);
+    // Compliance with constraints.
+    assert_eq!(outcome.violated_constraints, 0);
+    // Compliance with customer requests: at least as many acceptances as
+    // the greedy baseline.
+    let rr = Algorithm::RoundRobin
+        .build(Effort::Quick, 4)
+        .allocate(&problem);
+    assert!(outcome.rejection_rate <= rr.rejection_rate + 1e-9);
+    // Control over infrastructure: provider cost is accounted and finite.
+    assert!(outcome.provider_cost().is_finite() && outcome.provider_cost() > 0.0);
+}
