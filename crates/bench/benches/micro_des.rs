@@ -1,0 +1,29 @@
+//! Micro — DES kernel throughput: events/sec through the timestamp-ordered
+//! queue (schedule + pop of synthetic events), the substrate every
+//! continuous-time scenario rides on. The acceptance bar is ≥ 1M
+//! events/sec in release mode; the companion integration test
+//! `crates/des/tests/throughput.rs` asserts it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_des");
+    group.sample_size(10);
+    for &events in &[100_000usize, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_pop", events),
+            &events,
+            |b, &n| {
+                b.iter(|| {
+                    let processed = cpo_des::queue::synthetic_churn(n, 1024, 0x5eed);
+                    black_box(processed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

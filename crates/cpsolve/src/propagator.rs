@@ -269,8 +269,8 @@ impl Propagator for Pack {
         }
         // Committed overflow → infeasible.
         for (value, u) in used.iter().enumerate() {
-            for l in 0..h {
-                if u[l] > self.capacity[value][l] + 1e-9 {
+            for (ul, cl) in u.iter().zip(&self.capacity[value]) {
+                if *ul > cl + 1e-9 {
                     return Propagation::Infeasible;
                 }
             }

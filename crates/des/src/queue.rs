@@ -1,0 +1,216 @@
+//! The timestamp-ordered event queue — the kernel's substrate.
+//!
+//! A binary heap keyed on `(time, sequence)`: events pop in timestamp
+//! order, and events scheduled for the *same* timestamp pop in the order
+//! they were scheduled (stable FIFO tie-breaking via a monotonically
+//! increasing sequence number). Determinism is the whole point: two runs
+//! that schedule the same events in the same order observe the same
+//! history, whatever the mix of tied timestamps.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// One scheduled entry.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use cpo_des::prelude::*;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::new(2.0), "late");
+/// q.schedule(SimTime::new(1.0), "early");
+/// q.schedule(SimTime::new(1.0), "early-too"); // same stamp: FIFO
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-too");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at the epoch.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current clock — the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// When `at` lies before the current clock — the past is immutable.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` at `dt` time units after the current clock.
+    pub fn schedule_in(&mut self, dt: f64, event: E) {
+        let at = self.now + dt;
+        self.schedule(at, event);
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest event (FIFO among ties) and advances the clock
+    /// to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+/// Synthetic schedule/pop churn for throughput measurement: keeps a
+/// steady population of `pending` events in flight and processes `n` of
+/// them, rescheduling a successor for each pop at a pseudo-random offset
+/// (SplitMix64 — no external RNG in the hot loop). Returns the number of
+/// events processed; used by the `micro_des` benchmark and the release
+/// throughput gate (≥ 1M events/sec).
+pub fn synthetic_churn(n: usize, pending: usize, seed: u64) -> u64 {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    // Offsets in (0, 1]: 21 random bits are plenty for a spread of stamps
+    // and keep every value exactly representable.
+    let mut offset = move || ((next() >> 43) + 1) as f64 * (1.0 / (1u64 << 21) as f64);
+
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..pending {
+        let at = SimTime::new(offset());
+        q.schedule(at, i as u32);
+    }
+    let mut processed = 0u64;
+    while processed < n as u64 {
+        let (now, id) = q.pop().expect("population never drains early");
+        q.schedule(now + offset(), id);
+        processed += 1;
+    }
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_timestamp_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.schedule(SimTime::new(t), t as u32);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::new(1.0);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        q.schedule(SimTime::new(7.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(2.0));
+        q.schedule_in(1.0, ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(5.0), ());
+        q.pop();
+        q.schedule(SimTime::new(4.0), ());
+    }
+
+    #[test]
+    fn synthetic_churn_processes_exactly_n() {
+        assert_eq!(synthetic_churn(10_000, 256, 1), 10_000);
+        // Deterministic per seed (the count trivially is; run twice to
+        // exercise the path).
+        assert_eq!(synthetic_churn(10_000, 256, 1), 10_000);
+    }
+}

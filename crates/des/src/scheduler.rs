@@ -1,0 +1,498 @@
+//! The continuous-time cyclic-window scheduler.
+//!
+//! [`WindowedScheduler`] accumulates arrivals from an [`ArrivalSource`]
+//! into cyclic windows of `window_length` sim-time units and, at each
+//! window boundary, hands the accumulated batch to any
+//! [`cpo_core::prelude::Allocator`] through the shared
+//! [`WindowExecutor`]. The solve's latency — measured wall clock or a
+//! deterministic model — feeds back into the timeline:
+//!
+//! * every request decided in a window waits until `boundary + latency`
+//!   for its admission (or rejection), so a slow allocator directly
+//!   raises mean request waiting time;
+//! * the next window cannot open before the solve finishes: when
+//!   `latency > window_length` the boundary slips, arrivals pile up and
+//!   the queueing delay compounds — the paper's execution-time figures
+//!   (Fig. 7/8) becoming admission latency.
+//!
+//! Tenant departures and server failures/repairs are ordinary events on
+//! the same queue, interleaved deterministically with arrivals and
+//! boundaries (FIFO among equal timestamps).
+
+use crate::queue::EventQueue;
+use crate::sources::{ArrivalSource, FailureProcess};
+use crate::time::SimTime;
+use cpo_core::prelude::Allocator;
+use cpo_model::prelude::*;
+use cpo_platform::prelude::{LifetimePolicy, SimConfig, TenantId, WindowExecutor, WindowReport};
+use cpo_platform::tenant::rebase_rules;
+
+/// How a window's solve time becomes simulation latency.
+#[derive(Clone, Copy, Debug)]
+pub enum LatencyModel {
+    /// Use the measured wall-clock solve time, scaled by the given factor
+    /// (sim-time units per wall-clock second). Realistic but
+    /// non-deterministic across machines.
+    Measured(f64),
+    /// A constant latency per window — deterministic, for tests and
+    /// what-if studies ("what if the solver always took half a window?").
+    Fixed(f64),
+    /// Latency affine in the window's problem size: `base +
+    /// per_request × requests`. Deterministic; mirrors the paper's
+    /// observation that solve time grows with the request count.
+    PerRequest {
+        /// Constant part per solve.
+        base: f64,
+        /// Additional latency per request in the window problem.
+        per_request: f64,
+    },
+}
+
+impl LatencyModel {
+    fn latency(&self, report: &WindowReport, problem_requests: usize) -> f64 {
+        match *self {
+            LatencyModel::Measured(scale) => report.solve_time.as_secs_f64() * scale,
+            LatencyModel::Fixed(l) => l,
+            LatencyModel::PerRequest { base, per_request } => {
+                base + per_request * problem_requests as f64
+            }
+        }
+    }
+}
+
+/// Server failure/repair configuration for the continuous-time driver.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureSpec {
+    /// Mean time between failures per server, in sim-time units.
+    pub mtbf: f64,
+    /// Mean time to repair, in sim-time units.
+    pub mttr: f64,
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct DesConfig {
+    /// Window length in sim-time units.
+    pub window_length: f64,
+    /// Solve-latency feedback model.
+    pub latency: LatencyModel,
+    /// Optional per-server failure/repair processes.
+    pub failures: Option<FailureSpec>,
+    /// Master seed for the failure processes (arrival streams carry their
+    /// own seeds).
+    pub seed: u64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        Self {
+            window_length: 1.0,
+            latency: LatencyModel::Measured(1.0),
+            failures: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Events on the kernel queue.
+enum DesEvent {
+    /// A request arrived (payload drawn from the arrival source).
+    Arrival { batch: RequestBatch, holding: f64 },
+    /// A tenant's holding time expired.
+    Departure(TenantId),
+    /// A server went down.
+    ServerFailure(ServerId),
+    /// A server came back.
+    ServerRepair(ServerId),
+    /// End of a cyclic window: solve and apply.
+    WindowBoundary,
+}
+
+/// Request waiting-time statistics (arrival → admission/rejection
+/// decision taking effect).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WaitingStats {
+    /// Requests decided.
+    pub count: usize,
+    /// Sum of waiting times.
+    pub total: f64,
+    /// Worst waiting time.
+    pub max: f64,
+}
+
+impl WaitingStats {
+    fn observe(&mut self, wait: f64) {
+        self.count += 1;
+        self.total += wait;
+        self.max = self.max.max(wait);
+    }
+
+    /// Mean waiting time over all decided requests (0 when none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+}
+
+/// Aggregate result of a continuous-time run.
+#[derive(Debug, Default)]
+pub struct DesReport {
+    /// Per-window reports, in window order.
+    pub windows: Vec<WindowReport>,
+    /// Request waiting times (arrival to decision effect).
+    pub waiting: WaitingStats,
+    /// Simulation clock when the run stopped.
+    pub end_time: f64,
+}
+
+impl DesReport {
+    /// Total admitted requests.
+    pub fn total_admitted(&self) -> usize {
+        self.windows.iter().map(|w| w.admitted).sum()
+    }
+
+    /// Total rejected requests.
+    pub fn total_rejected(&self) -> usize {
+        self.windows.iter().map(|w| w.rejected).sum()
+    }
+}
+
+/// One pending (not yet solved) arrival.
+struct PendingArrival {
+    at: SimTime,
+    batch: RequestBatch,
+    holding: f64,
+}
+
+/// The continuous-time window scheduler over a shared [`WindowExecutor`].
+pub struct WindowedScheduler<S: ArrivalSource> {
+    exec: WindowExecutor,
+    queue: EventQueue<DesEvent>,
+    source: S,
+    config: DesConfig,
+    pending: Vec<PendingArrival>,
+    failures: Option<FailureProcess>,
+}
+
+impl<S: ArrivalSource> WindowedScheduler<S> {
+    /// Builds the scheduler. `sim_config`'s arrival spec and lifetime
+    /// range are unused here (the arrival source owns both); its seed
+    /// drives the executor RNG, unused under external lifetimes, so any
+    /// value is fine.
+    pub fn new(infra: Infrastructure, sim_config: SimConfig, config: DesConfig, source: S) -> Self {
+        assert!(config.window_length > 0.0, "window length must be positive");
+        Self {
+            exec: WindowExecutor::new(infra, sim_config),
+            queue: EventQueue::new(),
+            source,
+            config,
+            pending: Vec::new(),
+            failures: None,
+        }
+    }
+
+    /// The underlying executor (event log, tenants, SLA ledger).
+    pub fn executor(&self) -> &WindowExecutor {
+        &self.exec
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Pulls the next arrival from the source onto the queue.
+    fn schedule_next_arrival(&mut self, horizon: f64) {
+        if let Some((at, batch, holding)) = self.source.next_arrival() {
+            if at.as_f64() <= horizon {
+                self.queue
+                    .schedule(at, DesEvent::Arrival { batch, holding });
+            }
+        }
+    }
+
+    /// Runs until the simulation clock passes `horizon`.
+    pub fn run(&mut self, allocator: &dyn Allocator, horizon: f64) -> DesReport {
+        assert!(horizon > 0.0);
+        let mut report = DesReport::default();
+
+        // Prime the event chains: first arrival, first boundary, and one
+        // failure process per server when configured.
+        self.schedule_next_arrival(horizon);
+        self.queue.schedule(
+            SimTime::new(self.config.window_length),
+            DesEvent::WindowBoundary,
+        );
+        if let Some(spec) = self.config.failures {
+            let mut proc = FailureProcess::new(spec.mtbf, spec.mttr, self.config.seed);
+            for j in 0..self.exec.infra().server_count() {
+                let up = proc.next_uptime();
+                if up <= horizon {
+                    self.queue
+                        .schedule(SimTime::new(up), DesEvent::ServerFailure(ServerId(j)));
+                }
+            }
+            self.failures = Some(proc);
+        }
+
+        while let Some(t) = self.queue.peek_time() {
+            if t.as_f64() > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            match event {
+                DesEvent::Arrival { batch, holding } => {
+                    self.pending.push(PendingArrival {
+                        at: now,
+                        batch,
+                        holding,
+                    });
+                    self.schedule_next_arrival(horizon);
+                }
+                DesEvent::Departure(id) => {
+                    self.exec.depart_tenant(id);
+                }
+                DesEvent::ServerFailure(server) => {
+                    self.exec.force_failure(server);
+                    if let Some(proc) = &mut self.failures {
+                        let down = proc.next_downtime();
+                        self.queue
+                            .schedule(now + down, DesEvent::ServerRepair(server));
+                    }
+                }
+                DesEvent::ServerRepair(server) => {
+                    self.exec.force_repair(server);
+                    if let Some(proc) = &mut self.failures {
+                        let up = proc.next_uptime();
+                        self.queue
+                            .schedule(now + up, DesEvent::ServerFailure(server));
+                    }
+                }
+                DesEvent::WindowBoundary => {
+                    self.close_window(allocator, now, &mut report);
+                }
+            }
+        }
+        report.end_time = self.queue.now().as_f64().min(horizon);
+        report
+    }
+
+    /// Solves one window at boundary time `now` and feeds the solve
+    /// latency back into the timeline.
+    fn close_window(&mut self, allocator: &dyn Allocator, now: SimTime, report: &mut DesReport) {
+        let pending = std::mem::take(&mut self.pending);
+        let (batch, arrival_times, holdings) = merge_pending(&pending);
+        let ids = self.exec.register_arrivals(&batch);
+        let problem_requests = self.exec.tenants().len() + batch.request_count();
+        let (window_report, admitted) =
+            self.exec
+                .execute(allocator, &batch, &ids, LifetimePolicy::External);
+        let latency = self
+            .config
+            .latency
+            .latency(&window_report, problem_requests)
+            .max(0.0);
+        let effective = now + latency;
+
+        // Every request decided this window waited from its arrival until
+        // the solve finished.
+        for at in &arrival_times {
+            report.waiting.observe(effective - *at);
+        }
+        // Admitted tenants depart one holding time after admission.
+        for id in &admitted {
+            let pos = ids.iter().position(|t| t == id).expect("admitted ⊆ ids");
+            self.queue
+                .schedule(effective + holdings[pos], DesEvent::Departure(*id));
+        }
+        // The next window opens when both the cycle and the solve allow.
+        let next = (now + self.config.window_length).max(effective);
+        self.queue.schedule(next, DesEvent::WindowBoundary);
+        report.windows.push(window_report);
+    }
+}
+
+/// Merges single-request pending batches into one window batch, keeping
+/// arrival order; returns the batch plus per-request arrival times and
+/// holding times (indexed like the batch's requests).
+fn merge_pending(pending: &[PendingArrival]) -> (RequestBatch, Vec<SimTime>, Vec<f64>) {
+    let mut batch = RequestBatch::new();
+    let mut times = Vec::with_capacity(pending.len());
+    let mut holdings = Vec::with_capacity(pending.len());
+    for p in pending {
+        for req in p.batch.requests() {
+            let base = batch.vm_count();
+            let vms: Vec<VmSpec> = req.vms.iter().map(|&k| p.batch.vm(k).clone()).collect();
+            let rules = rebase_rules(req)
+                .into_iter()
+                .map(|(kind, locals)| {
+                    AffinityRule::new(kind, locals.iter().map(|&l| VmId(base + l)).collect())
+                })
+                .collect();
+            batch.push_request(vms, rules);
+            times.push(p.at);
+            holdings.push(p.holding);
+        }
+    }
+    (batch, times, holdings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::PoissonArrivals;
+    use cpo_core::prelude::RoundRobinAllocator;
+    use cpo_model::attr::AttrSet;
+    use cpo_scenario::arrival_gen::ArrivalSpec;
+
+    fn infra(servers: usize) -> Infrastructure {
+        Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+        )
+    }
+
+    fn scheduler(
+        servers: usize,
+        rate: f64,
+        latency: LatencyModel,
+    ) -> WindowedScheduler<PoissonArrivals> {
+        let spec = ArrivalSpec {
+            rate,
+            lifetime: (2.0, 5.0),
+            ..Default::default()
+        };
+        let config = DesConfig {
+            window_length: 1.0,
+            latency,
+            failures: None,
+            seed: 7,
+        };
+        WindowedScheduler::new(
+            infra(servers),
+            SimConfig::default(),
+            config,
+            PoissonArrivals::new(spec, 7),
+        )
+    }
+
+    #[test]
+    fn open_loop_run_admits_and_departs() {
+        let mut s = scheduler(10, 3.0, LatencyModel::Fixed(0.0));
+        let report = s.run(&RoundRobinAllocator, 30.0);
+        assert!(!report.windows.is_empty());
+        assert!(report.total_admitted() > 0, "arrivals must be admitted");
+        let log = s.executor().log();
+        let departed = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, cpo_platform::prelude::Event::TenantDeparted { .. }))
+            .count();
+        assert!(departed > 0, "holding times must expire within horizon");
+        assert!(s.executor().verify_state().is_feasible());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut s = scheduler(8, 2.0, LatencyModel::Fixed(0.1));
+            let r = s.run(&RoundRobinAllocator, 25.0);
+            (
+                r.windows.iter().map(|w| w.admitted).collect::<Vec<_>>(),
+                r.waiting.count,
+                r.waiting.total,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_latency_waits_are_bounded_by_window_length() {
+        let mut s = scheduler(10, 3.0, LatencyModel::Fixed(0.0));
+        let report = s.run(&RoundRobinAllocator, 20.0);
+        assert!(report.waiting.count > 0);
+        // With instant solves a request waits at most one full window
+        // (arrive just after a boundary, decided at the next).
+        assert!(
+            report.waiting.max <= 1.0 + 1e-9,
+            "max wait {} exceeds the window",
+            report.waiting.max
+        );
+    }
+
+    #[test]
+    fn slower_solves_raise_waiting_time() {
+        let fast = {
+            let mut s = scheduler(10, 3.0, LatencyModel::Fixed(0.01));
+            s.run(&RoundRobinAllocator, 40.0)
+        };
+        let slow = {
+            let mut s = scheduler(10, 3.0, LatencyModel::Fixed(1.5));
+            s.run(&RoundRobinAllocator, 40.0)
+        };
+        assert!(fast.waiting.count > 0 && slow.waiting.count > 0);
+        assert!(
+            slow.waiting.mean() > fast.waiting.mean() + 1.0,
+            "latency 1.5 (mean wait {:.3}) must dominate latency 0.01 (mean wait {:.3})",
+            slow.waiting.mean(),
+            fast.waiting.mean()
+        );
+        // A solve longer than the window also stretches the cycle: fewer
+        // windows fit in the same horizon.
+        assert!(slow.windows.len() < fast.windows.len());
+    }
+
+    #[test]
+    fn failures_interleave_with_windows() {
+        let spec = ArrivalSpec {
+            rate: 2.0,
+            lifetime: (3.0, 6.0),
+            ..Default::default()
+        };
+        let config = DesConfig {
+            window_length: 1.0,
+            latency: LatencyModel::Fixed(0.0),
+            failures: Some(FailureSpec {
+                mtbf: 10.0,
+                mttr: 2.0,
+            }),
+            seed: 3,
+        };
+        let mut s = WindowedScheduler::new(
+            infra(8),
+            SimConfig::default(),
+            config,
+            PoissonArrivals::new(spec, 3),
+        );
+        let report = s.run(&RoundRobinAllocator, 40.0);
+        let log = s.executor().log();
+        assert!(log.failure_count() > 0, "MTBF 10 over 40 units must fail");
+        let repaired = log
+            .events()
+            .iter()
+            .any(|e| matches!(e, cpo_platform::prelude::Event::ServerRepaired { .. }));
+        assert!(repaired, "MTTR 2 must repair within horizon");
+        assert!(report.windows.iter().any(|w| w.offline_servers > 0));
+        assert!(s.executor().verify_state().is_feasible());
+    }
+
+    #[test]
+    fn per_request_latency_tracks_problem_size() {
+        let mut s = scheduler(
+            10,
+            4.0,
+            LatencyModel::PerRequest {
+                base: 0.05,
+                per_request: 0.02,
+            },
+        );
+        let report = s.run(&RoundRobinAllocator, 30.0);
+        assert!(report.waiting.count > 0);
+        // Affine latency is strictly positive, so waits exceed the
+        // zero-latency bound somewhere.
+        assert!(report.waiting.mean() > 0.05);
+    }
+}

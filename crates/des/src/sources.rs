@@ -1,0 +1,228 @@
+//! Event sources: seeded arrival processes and server failure/repair.
+//!
+//! Two arrival sources feed the kernel:
+//!
+//! * [`PoissonArrivals`] — an open-loop Poisson process over an
+//!   [`ArrivalSpec`]: exponential interarrivals at rate λ, each arrival a
+//!   deterministic single-request draw from the spec's template;
+//! * [`TraceArrivals`] — replay of a JSON-lines [`EventLog`] produced by
+//!   any earlier run: `request_arrived` events become arrivals at
+//!   `window × window_length`, and each tenant's observed departure
+//!   window reconstructs its holding time.
+//!
+//! [`FailureProcess`] samples exponential uptimes (MTBF) and downtimes
+//! (MTTR) for server failure/repair event chains.
+
+use crate::time::SimTime;
+use cpo_model::prelude::RequestBatch;
+use cpo_platform::prelude::{Event, EventLog};
+use cpo_scenario::arrival_gen::{generate_single_request, ArrivalSpec};
+use cpo_scenario::request_gen::RequestSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws an exponential variate with the given mean.
+fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen();
+    // u ∈ [0, 1) ⇒ 1 − u ∈ (0, 1] ⇒ ln is finite.
+    -mean * (1.0 - u).ln()
+}
+
+/// A stream of timestamped requests. Sources own their clock: every call
+/// yields the next arrival strictly after the previous one.
+pub trait ArrivalSource {
+    /// The next arrival — absolute time, the (single-request) batch and
+    /// its holding time — or `None` when the stream is exhausted.
+    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)>;
+}
+
+/// Open-loop Poisson arrivals over an [`ArrivalSpec`].
+pub struct PoissonArrivals {
+    spec: ArrivalSpec,
+    seed: u64,
+    rng: SmallRng,
+    index: u64,
+    clock: f64,
+}
+
+impl PoissonArrivals {
+    /// A fresh stream; `seed` fixes both the interarrival draws and the
+    /// request bodies.
+    pub fn new(spec: ArrivalSpec, seed: u64) -> Self {
+        assert!(spec.rate > 0.0, "arrival rate must be positive");
+        Self {
+            spec,
+            seed,
+            rng: SmallRng::seed_from_u64(seed ^ 0x0a11_4a15_5e0f_ace5),
+            index: 0,
+            clock: 0.0,
+        }
+    }
+}
+
+impl ArrivalSource for PoissonArrivals {
+    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)> {
+        self.clock += exponential(&mut self.rng, 1.0 / self.spec.rate);
+        let batch = self.spec.request_at(self.seed, self.index);
+        let holding = self.spec.lifetime_at(self.seed, self.index);
+        self.index += 1;
+        Some((SimTime::new(self.clock), batch, holding))
+    }
+}
+
+/// Replays the arrival pattern of a recorded [`EventLog`].
+pub struct TraceArrivals {
+    /// (time, vm count, holding time), in trace order.
+    entries: std::vec::IntoIter<(f64, usize, f64)>,
+    template: RequestSpec,
+    seed: u64,
+    index: u64,
+}
+
+impl TraceArrivals {
+    /// Builds the replay stream. Each `request_arrived` event at window
+    /// `w` becomes an arrival at `w × window_length` with the same VM
+    /// count (bodies re-drawn from `template`); its holding time spans to
+    /// the tenant's logged departure, or to the end of the trace when the
+    /// tenant never departed.
+    pub fn from_log(log: &EventLog, window_length: f64, template: RequestSpec, seed: u64) -> Self {
+        assert!(window_length > 0.0);
+        let mut arrivals: Vec<(u64, u64, usize)> = Vec::new(); // (window, tenant, vms)
+        let mut departures: Vec<(u64, u64)> = Vec::new(); // (tenant, window)
+        let mut last_window = 0u64;
+        for e in log.events() {
+            match e {
+                Event::RequestArrived {
+                    window,
+                    tenant,
+                    vms,
+                } => {
+                    arrivals.push((*window, tenant.0, *vms));
+                    last_window = last_window.max(*window);
+                }
+                Event::TenantDeparted { window, tenant } => {
+                    departures.push((tenant.0, *window));
+                    last_window = last_window.max(*window);
+                }
+                Event::WindowClosed { window, .. } => last_window = last_window.max(*window),
+                _ => {}
+            }
+        }
+        let horizon = (last_window + 1) as f64 * window_length;
+        let entries: Vec<(f64, usize, f64)> = arrivals
+            .into_iter()
+            .map(|(w, tenant, vms)| {
+                let at = w as f64 * window_length;
+                let holding = departures
+                    .iter()
+                    .find(|&&(t, _)| t == tenant)
+                    .map(|&(_, dep)| (dep.saturating_sub(w)).max(1) as f64 * window_length)
+                    .unwrap_or(horizon - at);
+                (at, vms.max(1), holding)
+            })
+            .collect();
+        Self {
+            entries: entries.into_iter(),
+            template,
+            seed,
+            index: 0,
+        }
+    }
+}
+
+impl ArrivalSource for TraceArrivals {
+    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)> {
+        let (at, vms, holding) = self.entries.next()?;
+        let shape = RequestSpec {
+            request_size: (vms, vms),
+            ..self.template.clone()
+        };
+        let batch = generate_single_request(
+            &shape,
+            self.seed ^ self.index.wrapping_mul(0x2545_f491_4f6c_dd1d),
+        );
+        self.index += 1;
+        Some((SimTime::new(at), batch, holding))
+    }
+}
+
+/// Exponential server uptime/downtime sampling (MTBF / MTTR).
+pub struct FailureProcess {
+    mtbf: f64,
+    mttr: f64,
+    rng: SmallRng,
+}
+
+impl FailureProcess {
+    /// A per-fleet process: mean time between failures and mean time to
+    /// repair, in sim-time units.
+    pub fn new(mtbf: f64, mttr: f64, seed: u64) -> Self {
+        assert!(mtbf > 0.0 && mttr > 0.0);
+        Self {
+            mtbf,
+            mttr,
+            rng: SmallRng::seed_from_u64(seed ^ 0xfa11_0ff5_e7d0_0d1e),
+        }
+    }
+
+    /// Time until the next failure of a healthy server.
+    pub fn next_uptime(&mut self) -> f64 {
+        exponential(&mut self.rng, self.mtbf)
+    }
+
+    /// Time until a failed server is repaired.
+    pub fn next_downtime(&mut self) -> f64 {
+        exponential(&mut self.rng, self.mttr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_interarrivals_are_positive_and_mean_tracks_rate() {
+        let spec = ArrivalSpec {
+            rate: 2.0,
+            ..Default::default()
+        };
+        let mut src = PoissonArrivals::new(spec, 5);
+        let mut last = 0.0;
+        let mut times = Vec::new();
+        for _ in 0..2_000 {
+            let (t, batch, holding) = src.next_arrival().unwrap();
+            assert!(t.as_f64() > last);
+            assert_eq!(batch.request_count(), 1);
+            assert!(holding >= 0.0);
+            times.push(t.as_f64() - last);
+            last = t.as_f64();
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        // λ = 2 ⇒ mean interarrival 0.5; allow generous sampling noise.
+        assert!((0.4..0.6).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic() {
+        let spec = ArrivalSpec::default();
+        let mut a = PoissonArrivals::new(spec.clone(), 9);
+        let mut b = PoissonArrivals::new(spec, 9);
+        for _ in 0..50 {
+            let (ta, ba, ha) = a.next_arrival().unwrap();
+            let (tb, bb, hb) = b.next_arrival().unwrap();
+            assert_eq!(ta, tb);
+            assert_eq!(ha, hb);
+            assert_eq!(ba.vm_count(), bb.vm_count());
+        }
+    }
+
+    #[test]
+    fn failure_process_samples_positive() {
+        let mut f = FailureProcess::new(100.0, 5.0, 3);
+        for _ in 0..100 {
+            assert!(f.next_uptime() > 0.0);
+            assert!(f.next_downtime() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Continuous simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulation clock, in abstract time units (a scenario
+/// decides whether a unit is a second or a scheduling quantum). Always
+/// finite; ordering is total.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a finite number of time units.
+    ///
+    /// # Panics
+    /// When `t` is NaN, infinite or negative — none of these are points
+    /// on a simulation clock.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "invalid sim time: {t}");
+        SimTime(t)
+    }
+
+    /// The raw value in time units.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are always finite (checked at construction), so
+        // total_cmp agrees with the usual order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 0.5;
+        assert!(b > a);
+        assert_eq!(b - a, 0.5);
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn nan_rejected() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_rejected() {
+        SimTime::new(-1.0);
+    }
+}

@@ -14,8 +14,8 @@ use cpo_exper::chart::{render_chart, ChartOptions};
 use cpo_exper::figures::{self, Figure, Metric};
 use cpo_exper::markdown::figure_markdown;
 use cpo_exper::report::{figure_csv, render_figure, render_table3, shape_summary};
-use cpo_exper::runner::Effort;
 use cpo_exper::runner::Algorithm;
+use cpo_exper::runner::Effort;
 use cpo_scenario::prelude::{ScenarioFile, ScenarioSize};
 use std::env;
 use std::fs;

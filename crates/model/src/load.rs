@@ -129,7 +129,8 @@ impl LoadTracker {
         used.iter()
             .zip(cap)
             .enumerate()
-            .filter_map(|(l, (u, c))| (u - c > 1e-9).then(|| (AttrId(l), u - c)))
+            .filter(|&(_, (u, c))| u - c > 1e-9)
+            .map(|(l, (u, c))| (AttrId(l), u - c))
             .collect()
     }
 

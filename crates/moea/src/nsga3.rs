@@ -115,13 +115,14 @@ fn solve_intercepts(translated: &[Vec<f64>], extremes: &[usize], m: usize) -> Op
         }
         mat.swap(col, pivot);
         let pv = mat[col][col];
-        for r in 0..m {
+        let pivot_row = mat[col].clone();
+        for (r, row) in mat.iter_mut().enumerate() {
             if r == col {
                 continue;
             }
-            let factor = mat[r][col] / pv;
-            for c in col..=m {
-                mat[r][c] -= factor * mat[col][c];
+            let factor = row[col] / pv;
+            for (x, pc) in row[col..=m].iter_mut().zip(&pivot_row[col..=m]) {
+                *x -= factor * pc;
             }
         }
     }

@@ -38,6 +38,7 @@
 
 pub mod accounting;
 pub mod events;
+pub mod executor;
 pub mod network;
 pub mod sim;
 pub mod sla;
@@ -47,6 +48,7 @@ pub mod tenant;
 pub mod prelude {
     pub use crate::accounting::{SimReport, WindowReport};
     pub use crate::events::{Event, EventLog};
+    pub use crate::executor::{LifetimePolicy, WindowExecutor};
     pub use crate::network::{FlowAdmission, NetworkModel};
     pub use crate::sim::{PlatformSim, SimConfig};
     pub use crate::sla::{SlaLedger, SlaRecord};

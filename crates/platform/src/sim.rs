@@ -2,418 +2,93 @@
 //! requests within a cyclic time window during the execution of the
 //! allocation optimization process" (paper, Section III), with the
 //! reconfiguration plan (Eq. 26) connecting consecutive windows.
+//!
+//! The window mechanics live in [`crate::executor::WindowExecutor`];
+//! [`PlatformSim`] sequences them as the classic fixed-step loop. An
+//! event-driven driver (the `cpo-des` crate) sequences the same executor
+//! from a continuous-time event queue.
 
 use crate::accounting::{SimReport, WindowReport};
-use crate::events::{Event, EventLog};
+use crate::events::EventLog;
+pub use crate::executor::SimConfig;
+use crate::executor::{LifetimePolicy, WindowExecutor};
 use crate::network::NetworkModel;
 use crate::sla::SlaLedger;
-use crate::tenant::{rebase_rules, Tenant, TenantId};
+use crate::tenant::Tenant;
 use cpo_core::prelude::Allocator;
-use cpo_model::cost;
 use cpo_model::prelude::*;
-use cpo_scenario::request_gen::{generate_requests, RequestSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
-/// Simulation configuration.
-#[derive(Clone, Debug)]
-pub struct SimConfig {
-    /// Arrival process per window (a fresh batch from this spec).
-    pub arrivals: RequestSpec,
-    /// Tenant lifetime range in windows, inclusive.
-    pub lifetime: (u32, u32),
-    /// Master seed (per-window batches derive from it).
-    pub seed: u64,
-    /// Per-window probability that one running server fails (the paper's
-    /// future-work "platform failures" events). A failed server's VMs
-    /// must be re-placed by the window's reconfiguration plan.
-    pub server_failure_prob: f64,
-    /// Windows a failed server stays offline before repair brings it back.
-    pub repair_windows: u32,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        Self {
-            arrivals: RequestSpec {
-                total_vms: 12,
-                ..Default::default()
-            },
-            lifetime: (3, 8),
-            seed: 0,
-            server_failure_prob: 0.0,
-            repair_windows: 3,
-        }
-    }
-}
 
 /// The live platform: infrastructure + running tenants + event history.
 pub struct PlatformSim {
-    infra: Infrastructure,
-    config: SimConfig,
-    tenants: Vec<Tenant>,
-    next_tenant: u64,
-    window: u64,
-    log: EventLog,
-    rng: SmallRng,
-    /// `offline_until[j]` — window index at which server `j` returns, or 0.
-    offline_until: Vec<u64>,
-    /// Optional east-west network model (spine-leaf pods).
-    network: Option<NetworkModel>,
-    /// Per-tenant SLA ledger (Eq. 23 accumulated over windows).
-    sla: SlaLedger,
+    exec: WindowExecutor,
 }
 
 impl PlatformSim {
     /// Creates an idle platform.
     pub fn new(infra: Infrastructure, config: SimConfig) -> Self {
-        let rng = SmallRng::seed_from_u64(config.seed);
-        let m = infra.server_count();
         Self {
-            infra,
-            config,
-            tenants: Vec::new(),
-            next_tenant: 0,
-            window: 0,
-            log: EventLog::new(),
-            rng,
-            offline_until: vec![0; m],
-            network: None,
-            sla: SlaLedger::new(),
+            exec: WindowExecutor::new(infra, config),
         }
     }
 
     /// The per-tenant SLA ledger.
     pub fn sla(&self) -> &SlaLedger {
-        &self.sla
+        self.exec.sla()
     }
 
     /// Attaches a network model: one spine-leaf pod per datacenter plus a
     /// per-VM-pair bandwidth. Tenant flows are admitted on placement,
     /// re-routed on migration and released on departure.
     pub fn with_network(mut self, network: NetworkModel) -> Self {
-        self.network = Some(network);
+        self.exec.set_network(network);
         self
     }
 
     /// The attached network model, if any.
     pub fn network(&self) -> Option<&NetworkModel> {
-        self.network.as_ref()
+        self.exec.network()
     }
 
     /// Servers currently offline (failed, awaiting repair).
     pub fn offline_servers(&self) -> Vec<ServerId> {
-        self.offline_until
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &until)| (until > self.window).then_some(ServerId(j)))
-            .collect()
-    }
-
-    /// The infrastructure as the scheduler must see it this window:
-    /// offline servers get zero capacity, forcing the optimiser to move
-    /// their tenants and to place nothing new there.
-    fn effective_infra(&self) -> Infrastructure {
-        if self.offline_until.iter().all(|&u| u <= self.window) {
-            return self.infra.clone();
-        }
-        let h = self.infra.attr_count();
-        let dcs = self
-            .infra
-            .datacenters()
-            .iter()
-            .map(|dc| {
-                let servers = dc
-                    .servers()
-                    .map(|j| {
-                        let mut s = self.infra.server(j).clone();
-                        if self.offline_until[j.index()] > self.window {
-                            s.capacity = vec![0.0; h];
-                        }
-                        s
-                    })
-                    .collect();
-                (dc.name.clone(), servers)
-            })
-            .collect();
-        Infrastructure::new(self.infra.attrs().clone(), dcs)
+        self.exec.offline_servers()
     }
 
     /// Running tenants.
     pub fn tenants(&self) -> &[Tenant] {
-        &self.tenants
+        self.exec.tenants()
     }
 
     /// The event log.
     pub fn log(&self) -> &EventLog {
-        &self.log
+        self.exec.log()
     }
 
     /// Current window index (number of completed windows).
     pub fn window(&self) -> u64 {
-        self.window
+        self.exec.window()
     }
 
     /// The infrastructure.
     pub fn infra(&self) -> &Infrastructure {
-        &self.infra
+        self.exec.infra()
     }
 
-    /// Builds the combined window problem: one request per running tenant
-    /// (placed, in `previous`) followed by the new arrivals (unplaced).
-    /// Returns the problem plus the number of running requests.
-    fn build_window_problem(&self, arrivals: &RequestBatch) -> (AllocationProblem, usize) {
-        let mut batch = RequestBatch::new();
-        let mut previous_placements: Vec<Option<ServerId>> = Vec::new();
-        for t in &self.tenants {
-            let base = previous_placements.len();
-            let rules = t
-                .rules
-                .iter()
-                .map(|(kind, locals)| {
-                    AffinityRule::new(*kind, locals.iter().map(|&l| VmId(base + l)).collect())
-                })
-                .collect();
-            batch.push_request(t.vms.clone(), rules);
-            previous_placements.extend(t.placement.iter().map(|&s| Some(s)));
-        }
-        let running_requests = self.tenants.len();
-        for req in arrivals.requests() {
-            let base = previous_placements.len();
-            let vms: Vec<VmSpec> = req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect();
-            let rules = rebase_rules(req)
-                .into_iter()
-                .map(|(kind, locals)| {
-                    AffinityRule::new(kind, locals.iter().map(|&l| VmId(base + l)).collect())
-                })
-                .collect();
-            batch.push_request(vms, rules);
-            previous_placements.extend(std::iter::repeat_n(None, req.vms.len()));
-        }
-        let previous = Assignment::from_placements(previous_placements);
-        (
-            AllocationProblem::new(self.effective_infra(), batch, Some(previous)),
-            running_requests,
-        )
+    /// The underlying window executor (for drivers that need phase-level
+    /// control; `step` is the fixed-step composition of its phases).
+    pub fn executor(&self) -> &WindowExecutor {
+        &self.exec
     }
 
-    /// Runs one scheduling window with the given allocator.
+    /// Runs one scheduling window with the given allocator: failures →
+    /// repairs → departures → generated arrivals → solve/apply/admit.
     pub fn step(&mut self, allocator: &dyn Allocator) -> WindowReport {
-        let window = self.window;
-
-        // --- Failures: maybe take one healthy server down. ---
-        if self.config.server_failure_prob > 0.0
-            && self.rng.gen::<f64>() < self.config.server_failure_prob
-        {
-            let healthy: Vec<usize> = self
-                .offline_until
-                .iter()
-                .enumerate()
-                .filter_map(|(j, &u)| (u <= window).then_some(j))
-                .collect();
-            if !healthy.is_empty() {
-                let j = healthy[self.rng.gen_range(0..healthy.len())];
-                self.offline_until[j] = window + u64::from(self.config.repair_windows);
-                self.log.push(Event::ServerFailed {
-                    window,
-                    server: ServerId(j),
-                });
-            }
-        }
-
-        for j in 0..self.offline_until.len() {
-            if self.offline_until[j] == window && window > 0 {
-                self.log.push(Event::ServerRepaired {
-                    window,
-                    server: ServerId(j),
-                });
-                self.offline_until[j] = 0;
-            }
-        }
-
-        // --- Departures. ---
-        let mut departing = Vec::new();
-        for t in &mut self.tenants {
-            t.remaining_windows = t.remaining_windows.saturating_sub(1);
-            if t.remaining_windows == 0 {
-                departing.push(t.id);
-            }
-        }
-        for id in &departing {
-            self.log.push(Event::TenantDeparted {
-                window,
-                tenant: *id,
-            });
-            if let Some(net) = &mut self.network {
-                net.release_tenant(*id);
-            }
-        }
-        self.tenants.retain(|t| t.remaining_windows > 0);
-
-        // --- Arrivals. ---
-        let arrivals = generate_requests(
-            &self.config.arrivals,
-            self.config.seed ^ (window.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-        );
-        let arrival_tenant_ids: Vec<TenantId> = (0..arrivals.request_count())
-            .map(|i| TenantId(self.next_tenant + i as u64))
-            .collect();
-        for (req, &tid) in arrivals.requests().iter().zip(&arrival_tenant_ids) {
-            self.log.push(Event::RequestArrived {
-                window,
-                tenant: tid,
-                vms: req.vms.len(),
-            });
-        }
-        self.next_tenant += arrivals.request_count() as u64;
-
-        // --- Solve the window. ---
-        let (problem, running_requests) = self.build_window_problem(&arrivals);
-        let solve_start = Instant::now();
-        let outcome = allocator.allocate(&problem);
-        let solve_time = solve_start.elapsed();
-        let accepted = problem.accepted_requests(&outcome.assignment);
-
-        // --- Apply to running tenants (never evicted: a tenant whose
-        //     request the allocator failed keeps its old placement). ---
-        let mut migrations = 0usize;
-        let mut migration_cost = 0.0;
-        let mut denied_flows = 0usize;
-        let mut vm_base = 0usize;
-        let mut moved_tenants: Vec<usize> = Vec::new();
-        for (idx, t) in self.tenants.iter_mut().enumerate() {
-            let req_id = RequestId(idx);
-            let n = t.vms.len();
-            if accepted.contains(&req_id) {
-                let mut moved = false;
-                for local in 0..n {
-                    let k = VmId(vm_base + local);
-                    let new_server = outcome.assignment.server_of(k).expect("accepted ⇒ placed");
-                    let old_server = t.placement[local];
-                    if new_server != old_server {
-                        migrations += 1;
-                        migration_cost += t.vms[local].migration_cost;
-                        self.log.push(Event::VmMigrated {
-                            window,
-                            tenant: t.id,
-                            vm: local,
-                            from: old_server,
-                            to: new_server,
-                        });
-                        t.placement[local] = new_server;
-                        moved = true;
-                    }
-                }
-                if moved {
-                    moved_tenants.push(idx);
-                }
-            }
-            vm_base += n;
-        }
-        if let Some(net) = &mut self.network {
-            for &idx in &moved_tenants {
-                denied_flows += net.readmit_tenant(&self.tenants[idx]).denied;
-            }
-        }
-
-        // --- Admit / reject arrivals. ---
-        let mut admitted = 0usize;
-        let mut rejected = 0usize;
-        for (i, req) in arrivals.requests().iter().enumerate() {
-            let req_id = RequestId(running_requests + i);
-            let tid = arrival_tenant_ids[i];
-            if accepted.contains(&req_id) {
-                // Global VM ids of this request within the window problem.
-                let first = problem
-                    .batch()
-                    .request(req_id)
-                    .vms
-                    .first()
-                    .copied()
-                    .expect("non-empty request");
-                let placement: Vec<ServerId> = (0..req.vms.len())
-                    .map(|l| {
-                        outcome
-                            .assignment
-                            .server_of(VmId(first.index() + l))
-                            .expect("accepted ⇒ placed")
-                    })
-                    .collect();
-                let lifetime = self
-                    .rng
-                    .gen_range(self.config.lifetime.0..=self.config.lifetime.1);
-                self.tenants.push(Tenant {
-                    id: tid,
-                    vms: req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect(),
-                    rules: rebase_rules(req),
-                    placement,
-                    remaining_windows: lifetime.max(1),
-                });
-                if let Some(net) = &mut self.network {
-                    denied_flows += net
-                        .admit_tenant(self.tenants.last().expect("just pushed"))
-                        .denied;
-                }
-                self.log.push(Event::TenantAdmitted {
-                    window,
-                    tenant: tid,
-                });
-                admitted += 1;
-            } else {
-                self.log.push(Event::RequestRejected {
-                    window,
-                    tenant: tid,
-                });
-                rejected += 1;
-            }
-        }
-
-        // --- Post-window accounting on the real platform state. ---
-        let (state_batch, state_assignment) = self.snapshot();
-        let tracker = LoadTracker::from_assignment(&state_assignment, &state_batch, &self.infra);
-        if state_batch.vm_count() > 0 {
-            self.sla
-                .observe_window(&self.tenants, &state_batch, &tracker, &self.infra);
-        }
-        let provider_cost = cost::usage_opex_cost(&tracker, &self.infra);
-        let downtime_cost =
-            cost::downtime_cost(&state_assignment, &tracker, &state_batch, &self.infra);
-        let offline = self.offline_servers();
-        let stranded_vms = self
-            .tenants
-            .iter()
-            .flat_map(|t| t.placement.iter())
-            .filter(|j| offline.contains(j))
-            .count();
-        let report = WindowReport {
-            window,
-            arrivals: arrivals.request_count(),
-            admitted,
-            rejected,
-            migrations,
-            migration_cost,
-            provider_cost,
-            downtime_cost,
-            running_tenants: self.tenants.len(),
-            running_vms: self.tenants.iter().map(Tenant::size).sum(),
-            active_servers: tracker.active_servers(),
-            offline_servers: offline.len(),
-            stranded_vms,
-            fabric_peak_utilization: self
-                .network
-                .as_ref()
-                .map_or(0.0, NetworkModel::peak_utilization),
-            denied_flows,
-            solve_time,
-        };
-        self.log.push(Event::WindowClosed {
-            window,
-            running_tenants: self.tenants.len(),
-            active_servers: tracker.active_servers(),
-        });
-        self.window += 1;
-        report
+        self.exec.inject_failures();
+        self.exec.tick_departures();
+        let (arrivals, ids) = self.exec.generate_window_arrivals();
+        self.exec
+            .execute(allocator, &arrivals, &ids, LifetimePolicy::DrawnWindows)
+            .0
     }
 
     /// Runs `windows` scheduling windows, returning the aggregate report.
@@ -428,36 +103,23 @@ impl PlatformSim {
     /// Snapshot of the running platform as (batch, assignment) — the state
     /// the accounting evaluates.
     pub fn snapshot(&self) -> (RequestBatch, Assignment) {
-        let mut batch = RequestBatch::new();
-        let mut placements = Vec::new();
-        for t in &self.tenants {
-            let base = placements.len();
-            let rules = t
-                .rules
-                .iter()
-                .map(|(kind, locals)| {
-                    AffinityRule::new(*kind, locals.iter().map(|&l| VmId(base + l)).collect())
-                })
-                .collect();
-            batch.push_request(t.vms.clone(), rules);
-            placements.extend(t.placement.iter().map(|&s| Some(s)));
-        }
-        (batch, Assignment::from_placements(placements))
+        self.exec.snapshot()
     }
 
     /// Consistency check: the running platform state never violates
     /// capacity or the tenants' own rules. Returns the violation report.
     pub fn verify_state(&self) -> cpo_model::constraints::ViolationReport {
-        let (batch, assignment) = self.snapshot();
-        cpo_model::constraints::check(&assignment, &batch, &self.infra)
+        self.exec.verify_state()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::Event;
     use cpo_core::prelude::RoundRobinAllocator;
     use cpo_model::attr::AttrSet;
+    use cpo_scenario::request_gen::RequestSpec;
 
     fn sim(servers: usize, vms_per_window: usize) -> PlatformSim {
         let infra = Infrastructure::new(

@@ -11,7 +11,7 @@ use cpo_model::qos::worst_qos;
 use std::collections::HashMap;
 
 /// Cumulative SLA record of one tenant.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SlaRecord {
     /// Windows during which at least one resource ran below its
     /// guarantee.
@@ -24,14 +24,20 @@ pub struct SlaRecord {
     pub worst_qos_seen: f64,
 }
 
-impl SlaRecord {
-    fn new() -> Self {
+impl Default for SlaRecord {
+    /// A fresh record: nothing observed yet, so the worst QoS seen is the
+    /// perfect 1.0.
+    fn default() -> Self {
         Self {
+            degraded_windows: 0,
+            observed_windows: 0,
+            credit_owed: 0.0,
             worst_qos_seen: 1.0,
-            ..Self::default()
         }
     }
+}
 
+impl SlaRecord {
     /// Fraction of observed windows with degraded service.
     pub fn degradation_ratio(&self) -> f64 {
         if self.observed_windows == 0 {
@@ -66,7 +72,7 @@ impl SlaLedger {
     ) {
         let mut vm_base = 0usize;
         for t in tenants {
-            let record = self.records.entry(t.id).or_insert_with(SlaRecord::new);
+            let record = self.records.entry(t.id).or_default();
             record.observed_windows += 1;
             let mut degraded = false;
             for (local, &server) in t.placement.iter().enumerate() {
@@ -197,7 +203,7 @@ mod tests {
         let mut ledger = SlaLedger::new();
         observe(&mut ledger, &infra, &batch, &tenants);
         // A second, healthy tenant observed via a different ledger entry.
-        ledger.records.insert(TenantId(2), SlaRecord::new());
+        ledger.records.insert(TenantId(2), SlaRecord::default());
         let worst = ledger.worst_tenants(2);
         assert_eq!(worst.len(), 2);
         assert_eq!(worst[0].0, TenantId(1));

@@ -12,6 +12,8 @@
 //!   spine-leaf datacenters, with jittered costs and QoS envelopes;
 //! * [`request_gen`] — multi-VM requests with affinity/anti-affinity rules
 //!   drawn per configurable probabilities (contradictory pairs excluded);
+//! * [`arrival_gen`] — continuous-time open-loop arrival processes: one
+//!   request per Poisson arrival with a real-valued holding time;
 //! * [`presets`] — the "few resources" (Fig. 7), "many resources"
 //!   (Fig. 8) and quality (Figs. 9–11) sweeps.
 //!
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival_gen;
 pub mod flavors;
 pub mod infra_gen;
 pub mod io;
@@ -36,6 +39,7 @@ pub mod request_gen;
 
 /// The most-used scenario types.
 pub mod prelude {
+    pub use crate::arrival_gen::{generate_single_request, ArrivalSpec};
     pub use crate::flavors::{default_catalog, Flavor, VmCostParams};
     pub use crate::infra_gen::{generate_infra, GeneratedInfra, HostClass, InfraSpec};
     pub use crate::io::ScenarioFile;

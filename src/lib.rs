@@ -20,6 +20,7 @@
 //! | cpsolve | [`cpsolve`] | constraint-programming solver (Choco substitute) |
 //! | core | [`core`] | the `Allocator` trait and the six algorithms |
 //! | platform | [`platform`] | cyclic time-window IaaS simulator |
+//! | des | [`des`] | continuous-time discrete-event kernel |
 //! | exper | [`exper`] | figure/table regeneration harness |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@
 
 pub use cpo_core as core;
 pub use cpo_cpsolve as cpsolve;
+pub use cpo_des as des;
 pub use cpo_exper as exper;
 pub use cpo_model as model;
 pub use cpo_moea as moea;

@@ -1,0 +1,133 @@
+//! Offline stand-in for `rayon`: the `par_iter().map().collect()` shape
+//! this workspace uses, executed on scoped `std::thread`s with
+//! order-preserving chunked collection.
+
+use std::num::NonZeroUsize;
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParMap, ParIter};
+}
+
+/// Number of worker threads (available parallelism, min 1).
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Borrowing conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (run on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map on scoped threads and collects in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return C::from_ordered(Vec::new());
+        }
+        let threads = workers().min(n);
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let out: Vec<R> = if threads <= 1 {
+            self.items.iter().map(f).collect()
+        } else {
+            let mut parts: Vec<Vec<R>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("rayon-stub worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        };
+        C::from_ordered(out)
+    }
+}
+
+/// Collections buildable from an ordered parallel map result.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

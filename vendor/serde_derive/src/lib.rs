@@ -1,0 +1,449 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree model of the patched `serde` crate, parsing the input token
+//! stream by hand (no `syn`/`quote` available offline). Supported shapes —
+//! the ones this workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialise transparently);
+//! * enums with unit and named-field variants, optionally with
+//!   `#[serde(tag = "...")]` (internal tagging) and
+//!   `#[serde(rename_all = "snake_case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Strips surrounding quotes from a string literal's token text.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// `CamelCase` → `snake_case`.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Applies the container's `rename_all` rule to a variant name.
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some(other) => panic!("serde stub: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+/// Parses `tag = "..."` / `rename_all = "..."` pairs from the tokens
+/// inside `#[serde(...)]`.
+fn parse_serde_attr(tokens: TokenStream, tag: &mut Option<String>, rename_all: &mut Option<String>) {
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(key) = &tt {
+            let key = key.to_string();
+            if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                iter.next();
+                if let Some(TokenTree::Literal(lit)) = iter.next() {
+                    let val = unquote(&lit.to_string());
+                    match key.as_str() {
+                        "tag" => *tag = Some(val),
+                        "rename_all" => *rename_all = Some(val),
+                        other => panic!("serde stub: unsupported serde attribute `{other}`"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses the fields of a braced body: `vis? name: Type, ...`
+/// (attributes on fields are skipped).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next(); // the [...] group
+        }
+        // Skip visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            None => break,
+            Some(other) => panic!("serde stub: unexpected token in fields: {other}"),
+        }
+        // Consume `: Type` up to the next top-level comma. Angle brackets
+        // appear as plain '<'/'>' puncts; track their depth so commas in
+        // `Vec<(A, B)>` don't split the field.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesised (tuple) body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parses enum variants: `attrs? Name ( {...} | (...) )? , ...`
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde stub: unexpected token in enum body: {other}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip discriminant (`= expr`) and the separating comma.
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Parses the whole derive input item.
+fn parse_input(input: TokenStream) -> Input {
+    let mut tag = None;
+    let mut rename_all = None;
+    let mut iter = input.into_iter().peekable();
+
+    // Container attributes.
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(path)) = inner.next() {
+                if path.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        parse_serde_attr(args.stream(), &mut tag, &mut rename_all);
+                    }
+                }
+            }
+        }
+    }
+
+    // Visibility.
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+
+    let item_kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub: expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub: generic types are not supported (derive on `{name}`)");
+    }
+
+    let kind = match (item_kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Kind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (k, t) => panic!("serde stub: unsupported item shape ({k}, {t:?})"),
+    };
+
+    Input {
+        name,
+        tag,
+        rename_all,
+        kind,
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let renamed = rename(vname, input.rename_all.as_deref());
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => serde::Value::Str(\"{renamed}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => match &input.tag {
+                        Some(_) => panic!(
+                            "serde stub: newtype variants unsupported with tag ({name}::{vname})"
+                        ),
+                        None => format!(
+                            "{name}::{vname}(x0) => serde::Value::Object(vec![(\"{renamed}\"\
+                             .to_string(), serde::Serialize::to_value(x0))]),"
+                        ),
+                    },
+                    Fields::Tuple(_) => {
+                        panic!("serde stub: multi-field tuple variants unsupported")
+                    }
+                    Fields::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "fields.push((\"{f}\".to_string(), \
+                                     serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        let head = match &input.tag {
+                            Some(tag) => format!(
+                                "let mut fields = vec![(\"{tag}\".to_string(), \
+                                 serde::Value::Str(\"{renamed}\".to_string()))];"
+                            ),
+                            None => "let mut fields = Vec::new();".to_string(),
+                        };
+                        let finish = match &input.tag {
+                            Some(_) => "serde::Value::Object(fields)".to_string(),
+                            None => format!(
+                                "serde::Value::Object(vec![(\"{renamed}\".to_string(), \
+                                 serde::Value::Object(fields))])"
+                            ),
+                        };
+                        format!(
+                            "{name}::{vname} {{ {pats} }} => {{ {head} {} {finish} }}",
+                            pushes.join(" ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(items.get({i}).ok_or_else(|| serde::Error::msg(\"missing tuple field\"))?)?"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Array(items) => Ok({name}({})), \
+                 other => Err(serde::Error::msg(format!(\"expected array, got {{}}\", other.kind()))) }}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(v.field(\"{f}\")?)?,")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(" "))
+        }
+        Kind::Enum(variants) => {
+            let tag_key = input.tag.clone();
+            let mut arms = Vec::new();
+            let mut unit_arms = Vec::new();
+            for (vname, fields) in variants {
+                let renamed = rename(vname, input.rename_all.as_deref());
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("\"{renamed}\" => Ok({name}::{vname}),"));
+                        if tag_key.is_some() {
+                            arms.push(format!("\"{renamed}\" => Ok({name}::{vname}),"));
+                        }
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(body.field(\"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "\"{renamed}\" => Ok({name}::{vname} {{ {} }}),",
+                            items.join(" ")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        if tag_key.is_some() {
+                            panic!("serde stub: newtype variants unsupported with tag");
+                        }
+                        arms.push(format!(
+                            "\"{renamed}\" => Ok({name}::{vname}(serde::Deserialize::from_value(body)?)),"
+                        ));
+                    }
+                    Fields::Tuple(_) => {
+                        panic!("serde stub: multi-field tuple variants unsupported")
+                    }
+                }
+            }
+            match tag_key {
+                Some(tag) => format!(
+                    "let tag = match v.field(\"{tag}\")? {{ \
+                         serde::Value::Str(s) => s.clone(), \
+                         other => return Err(serde::Error::msg(format!(\
+                             \"expected string tag, got {{}}\", other.kind()))) }};\n\
+                     let body = v;\n\
+                     let _ = body;\n\
+                     match tag.as_str() {{ {} other => Err(serde::Error::msg(\
+                         format!(\"unknown variant `{{other}}`\"))) }}",
+                    arms.join(" ")
+                ),
+                None => format!(
+                    "match v {{\n\
+                         serde::Value::Str(s) => match s.as_str() {{ {units} other => \
+                             Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))) }},\n\
+                         serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                             let (key, body) = &fields[0];\n\
+                             let _ = body;\n\
+                             match key.as_str() {{ {arms} other => Err(serde::Error::msg(\
+                                 format!(\"unknown variant `{{other}}`\"))) }}\n\
+                         }}\n\
+                         other => Err(serde::Error::msg(format!(\
+                             \"expected enum value, got {{}}\", other.kind()))),\n\
+                     }}",
+                    units = unit_arms.join(" "),
+                    arms = arms.join(" ")
+                ),
+            }
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub: generated Deserialize impl parses")
+}
