@@ -113,6 +113,27 @@ pub trait Allocator {
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome;
 }
 
+/// Records one `Allocator::allocate` call into the observability
+/// registry: outcome labels on the span, a per-algorithm solve-time
+/// histogram (`allocator.solve_ns.<name>`) and run counter. No-op when
+/// instrumentation is disabled. Allocator impls call this right before
+/// returning their outcome.
+pub fn observe_outcome(span: &mut cpo_obs::SpanGuard, name: &str, outcome: &AllocationOutcome) {
+    if !span.is_live() {
+        return;
+    }
+    span.field("accepted", outcome.accepted_requests)
+        .field("rejected", outcome.rejected.len())
+        .field("violations", outcome.violated_constraints)
+        .field("evaluations", outcome.evaluations)
+        .field("clean", outcome.is_clean());
+    cpo_obs::record_value(
+        &format!("allocator.solve_ns.{name}"),
+        outcome.elapsed.as_nanos() as u64,
+    );
+    cpo_obs::counter_add(&format!("allocator.runs.{name}"), 1);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,7 @@ impl Allocator for EvoAllocator {
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
         let adapter = AllocMoeaProblem::new(problem);
         let codec = adapter.codec();
@@ -263,13 +264,15 @@ impl Allocator for EvoAllocator {
             (codec.decode(&best.genes), Vec::new())
         };
 
-        AllocationOutcome::from_assignment(
+        let outcome = AllocationOutcome::from_assignment(
             problem,
             assignment,
             rejected,
             start.elapsed(),
             result.evaluations,
-        )
+        );
+        crate::allocator::observe_outcome(&mut sp, self.name(), &outcome);
+        outcome
     }
 }
 

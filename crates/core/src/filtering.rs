@@ -52,6 +52,7 @@ impl Allocator for FilteringAllocator {
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
         let mut assignment = Assignment::unassigned(problem.n());
         let mut tracker = LoadTracker::new(problem.m(), problem.h());
@@ -91,7 +92,10 @@ impl Allocator for FilteringAllocator {
                 rejected.push(req.id);
             }
         }
-        AllocationOutcome::from_assignment(problem, assignment, rejected, start.elapsed(), 0)
+        let outcome =
+            AllocationOutcome::from_assignment(problem, assignment, rejected, start.elapsed(), 0);
+        crate::allocator::observe_outcome(&mut sp, self.name(), &outcome);
+        outcome
     }
 }
 

@@ -61,6 +61,7 @@ impl Allocator for PortfolioAllocator {
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
         let mut best: Option<AllocationOutcome> = None;
         for member in &self.members {
@@ -79,6 +80,7 @@ impl Allocator for PortfolioAllocator {
         let mut outcome = best.expect("at least one member");
         // The portfolio's wall-clock is the sum of its members' runs.
         outcome.elapsed = start.elapsed();
+        crate::allocator::observe_outcome(&mut sp, self.name(), &outcome);
         outcome
     }
 }

@@ -86,6 +86,7 @@ impl Allocator for WeightedGaAllocator {
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
         let codec = GenomeCodec::new(problem.m(), problem.n());
         let adapter = WeightedProblem {
@@ -131,13 +132,15 @@ impl Allocator for WeightedGaAllocator {
                 rejected.push(req.id);
             }
         }
-        AllocationOutcome::from_assignment(
+        let outcome = AllocationOutcome::from_assignment(
             problem,
             assignment,
             rejected,
             start.elapsed(),
             result.evaluations,
-        )
+        );
+        crate::allocator::observe_outcome(&mut sp, self.name(), &outcome);
+        outcome
     }
 }
 

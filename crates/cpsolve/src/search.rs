@@ -69,6 +69,8 @@ pub struct Csp {
     pub store: Store,
     /// The constraint propagators.
     pub propagators: Vec<Box<dyn Propagator>>,
+    /// Individual propagator invocations performed so far.
+    propagations: u64,
 }
 
 impl Csp {
@@ -77,6 +79,7 @@ impl Csp {
         Self {
             store: Store::new(n_vars, n_values),
             propagators: Vec::new(),
+            propagations: 0,
         }
     }
 
@@ -85,11 +88,18 @@ impl Csp {
         self.propagators.push(p);
     }
 
+    /// Total propagator invocations performed on this CSP so far (across
+    /// all searches run on it).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
     /// Runs all propagators to fixpoint. Returns `false` on failure.
     pub fn propagate(&mut self) -> bool {
         loop {
             let mut any_change = false;
             for p in &self.propagators {
+                self.propagations += 1;
                 match p.propagate(&mut self.store) {
                     Propagation::Infeasible => return false,
                     Propagation::Changed => any_change = true,
@@ -112,6 +122,8 @@ pub struct SearchStats {
     pub backtracks: usize,
     /// Solutions encountered (B&B may pass several).
     pub solutions: usize,
+    /// Propagator invocations during this search.
+    pub propagations: u64,
 }
 
 fn ordered_values(store: &Store, var: VarId, order: &ValueOrder) -> Vec<usize> {
@@ -175,6 +187,7 @@ pub fn solve_with_restarts(
         total.nodes += stats.nodes;
         total.backtracks += stats.backtracks;
         total.solutions += stats.solutions;
+        total.propagations += stats.propagations;
         match outcome {
             Outcome::Timeout => {
                 nodes = nodes.saturating_mul(2);
@@ -188,13 +201,36 @@ pub fn solve_with_restarts(
 
 /// Finds the first feasible solution.
 pub fn solve(csp: &mut Csp, config: &SearchConfig) -> (Outcome, SearchStats) {
+    let mut sp = cpo_obs::span!("cp.solve", mode = "satisfy");
     let start = Instant::now();
     let mut stats = SearchStats::default();
-    if !csp.propagate() {
-        return (Outcome::Infeasible, stats);
-    }
-    let outcome = dfs_first(csp, config, start, &mut stats);
+    let before = csp.propagations;
+    let outcome = if !csp.propagate() {
+        Outcome::Infeasible
+    } else {
+        dfs_first(csp, config, start, &mut stats)
+    };
+    stats.propagations = csp.propagations - before;
+    report_search(&mut sp, outcome_label(&outcome), &stats);
     (outcome, stats)
+}
+
+fn outcome_label(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Solution(_) => "solution",
+        Outcome::Infeasible => "infeasible",
+        Outcome::Timeout => "timeout",
+    }
+}
+
+fn report_search(sp: &mut cpo_obs::SpanGuard, outcome: &str, stats: &SearchStats) {
+    sp.field("outcome", outcome)
+        .field("nodes", stats.nodes)
+        .field("backtracks", stats.backtracks)
+        .field("propagations", stats.propagations);
+    cpo_obs::counter_add("cp.propagations", stats.propagations);
+    cpo_obs::counter_add("cp.backtracks", stats.backtracks as u64);
+    cpo_obs::counter_add("cp.decisions", stats.nodes as u64);
 }
 
 fn budget_exceeded(config: &SearchConfig, start: Instant, stats: &SearchStats) -> bool {
@@ -260,13 +296,25 @@ pub fn optimize(
     cost: &[Vec<f64>],
     config: &SearchConfig,
 ) -> (Option<(Vec<usize>, f64)>, bool, SearchStats) {
+    let mut sp = cpo_obs::span!("cp.solve", mode = "optimize");
     let start = Instant::now();
     let mut stats = SearchStats::default();
+    let before = csp.propagations;
     if !csp.propagate() {
+        stats.propagations = csp.propagations - before;
+        report_search(&mut sp, "infeasible", &stats);
         return (None, true, stats); // proven infeasible
     }
     let mut best: Option<(Vec<usize>, f64)> = None;
     let complete = bnb(csp, cost, config, start, &mut stats, &mut best);
+    stats.propagations = csp.propagations - before;
+    let label = match (&best, complete) {
+        (Some(_), true) => "optimal",
+        (Some(_), false) => "feasible",
+        (None, true) => "infeasible",
+        (None, false) => "timeout",
+    };
+    report_search(&mut sp, label, &stats);
     (best, complete, stats)
 }
 

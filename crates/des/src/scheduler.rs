@@ -283,6 +283,8 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
     /// Solves one window at boundary time `now` and feeds the solve
     /// latency back into the timeline.
     fn close_window(&mut self, allocator: &dyn Allocator, now: SimTime, report: &mut DesReport) {
+        let mut sp = cpo_obs::span!("des.window", window = report.windows.len());
+        cpo_obs::gauge_set("des.queue_depth", self.pending.len() as f64);
         let pending = std::mem::take(&mut self.pending);
         let (batch, arrival_times, holdings) = merge_pending(&pending);
         let ids = self.exec.register_arrivals(&batch);
@@ -311,6 +313,14 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
         // The next window opens when both the cycle and the solve allow.
         let next = (now + self.config.window_length).max(effective);
         self.queue.schedule(next, DesEvent::WindowBoundary);
+        sp.field("admitted", window_report.admitted)
+            .field("rejected", window_report.rejected)
+            .field("latency", latency);
+        cpo_obs::gauge_set("des.solve_latency", latency);
+        cpo_obs::record_value("des.solve_latency_us", (latency * 1e6) as u64);
+        if latency > self.config.window_length {
+            cpo_obs::counter_add("des.stretched_windows", 1);
+        }
         report.windows.push(window_report);
     }
 }

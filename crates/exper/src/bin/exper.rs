@@ -9,6 +9,11 @@
 //!
 //! Default effort is `--quick` (reduced budgets, same qualitative shape);
 //! `--paper` switches to the Table III settings with 100 runs.
+//!
+//! `--telemetry` records solver/simulator instrumentation and appends a
+//! telemetry section (per-solver p95 solve time, propagation totals) to
+//! the output; `--trace FILE` additionally writes a `chrome://tracing`
+//! compatible span trace.
 
 use cpo_exper::chart::{render_chart, ChartOptions};
 use cpo_exper::figures::{self, Figure, Metric};
@@ -29,6 +34,8 @@ struct Options {
     csv_dir: Option<String>,
     md: bool,
     chart: bool,
+    telemetry: bool,
+    trace: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -40,6 +47,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         csv_dir: None,
         md: false,
         chart: false,
+        telemetry: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,12 +65,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--md" => opts.md = true,
             "--chart" => opts.chart = true,
+            "--telemetry" => opts.telemetry = true,
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+                opts.telemetry = true; // a trace needs recording on
+            }
             "--csv" => opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--csv-dir" => opts.csv_dir = Some(it.next().ok_or("--csv-dir needs a path")?.clone()),
             other => return Err(format!("unknown option {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Prints the telemetry section and writes the chrome trace if requested.
+fn finish_telemetry(opts: &Options) -> Result<(), String> {
+    if !opts.telemetry {
+        return Ok(());
+    }
+    let snap = cpo_obs::snapshot();
+    if opts.md {
+        print!("{}", cpo_exper::markdown::telemetry_markdown(&snap));
+    } else {
+        print!("{}", cpo_exper::report::render_telemetry(&snap));
+    }
+    if let Some(path) = &opts.trace {
+        fs::write(path, cpo_obs::chrome_trace(&snap))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    Ok(())
 }
 
 fn emit(fig: &Figure, opts: &Options) -> Result<(), String> {
@@ -142,7 +175,8 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         eprintln!(
             "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|all> \
-             [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart]"
+             [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
+             [--telemetry] [--trace FILE]"
         );
         return ExitCode::FAILURE;
     };
@@ -166,6 +200,9 @@ fn main() -> ExitCode {
         }
     };
     let runs = opts.runs.unwrap_or_else(|| opts.effort.runs());
+    if opts.telemetry {
+        cpo_obs::enable();
+    }
 
     let result: Result<(), String> = match command.as_str() {
         "table3" => {
@@ -220,6 +257,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other}")),
     };
+    let result = result.and_then(|()| finish_telemetry(&opts));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -1,6 +1,7 @@
 //! Per-figure experiment definitions. Each function regenerates the data
 //! behind one figure of the paper's evaluation section.
 
+use crate::metrics::Stat;
 use crate::runner::{run_sweep, Algorithm, Cell, Effort};
 use cpo_scenario::prelude::{
     few_resources_sweep, many_resources_sweep, quality_sweep, ScenarioSize,
@@ -27,13 +28,18 @@ pub enum Metric {
 impl Metric {
     /// Extracts the metric's mean from a cell.
     pub fn mean_of(self, cell: &Cell) -> f64 {
+        self.stat_of(cell).mean
+    }
+
+    /// Extracts the metric's full summary from a cell.
+    pub fn stat_of(self, cell: &Cell) -> Stat {
         match self {
-            Metric::TimeMs => cell.metrics.time_ms.mean,
-            Metric::RejectionRate => cell.metrics.rejection_rate.mean,
-            Metric::Violations => cell.metrics.violations.mean,
-            Metric::ProviderCost => cell.metrics.provider_cost.mean,
-            Metric::CostPerRequest => cell.metrics.cost_per_request.mean,
-            Metric::NetRevenue => cell.metrics.net_revenue.mean,
+            Metric::TimeMs => cell.metrics.time_ms,
+            Metric::RejectionRate => cell.metrics.rejection_rate,
+            Metric::Violations => cell.metrics.violations,
+            Metric::ProviderCost => cell.metrics.provider_cost,
+            Metric::CostPerRequest => cell.metrics.cost_per_request,
+            Metric::NetRevenue => cell.metrics.net_revenue,
         }
     }
 
@@ -307,6 +313,7 @@ mod tests {
             },
         };
         assert_eq!(Metric::TimeMs.mean_of(&cell), 1.0);
+        assert_eq!(Metric::TimeMs.stat_of(&cell).mean, 1.0);
         assert_eq!(Metric::RejectionRate.mean_of(&cell), 2.0);
         assert_eq!(Metric::Violations.mean_of(&cell), 3.0);
         assert_eq!(Metric::ProviderCost.mean_of(&cell), 4.0);

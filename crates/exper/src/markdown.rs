@@ -34,7 +34,8 @@ pub fn figure_markdown(fig: &Figure) -> String {
                 .find(|c| c.algorithm == *a && c.size == *size)
             {
                 Some(c) => {
-                    let _ = write!(out, " {:.3} |", fig.metric.mean_of(c));
+                    let s = fig.metric.stat_of(c);
+                    let _ = write!(out, " {:.3} (p50 {:.3}, p95 {:.3}) |", s.mean, s.p50, s.p95);
                 }
                 None => {
                     let _ = write!(out, " – |");
@@ -62,6 +63,52 @@ pub fn report_markdown(figures: &[Figure], runs: usize, seed: u64) -> String {
     out
 }
 
+/// Renders a telemetry snapshot as a markdown section: per-solver p95
+/// solve times, propagation/iteration totals and simulator gauges. The
+/// `exper` report appends this when telemetry is enabled.
+pub fn telemetry_markdown(snap: &cpo_obs::Snapshot) -> String {
+    let mut out = String::from("## Telemetry\n\n");
+    if snap.histograms.is_empty() && snap.counters.is_empty() && snap.gauges.is_empty() {
+        out.push_str("_No telemetry recorded (run with `--telemetry`)._\n");
+        return out;
+    }
+    if !snap.histograms.is_empty() {
+        // Histogram names carry their unit (`span.*.us`, `*.solve_ns`).
+        out.push_str("| timing | count | mean | p50 | p95 | max |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} | {} | {} | {} |",
+                name, h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+        out.push('\n');
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("| counter | total |\n|---|---|\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "| {name} | {v} |");
+        }
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("| gauge | last |\n|---|---|\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "| {name} | {v:.3} |");
+        }
+        out.push('\n');
+    }
+    if snap.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "_{} trace events dropped at the buffer cap._",
+            snap.dropped
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +130,8 @@ mod tests {
                 metrics: AggregateMetrics {
                     rejection_rate: Stat {
                         mean: 0.125,
+                        p50: 0.1,
+                        p95: 0.15,
                         ..Default::default()
                     },
                     runs: 2,
@@ -97,9 +146,32 @@ mod tests {
         let md = figure_markdown(&fig());
         assert!(md.contains("### fig9"));
         assert!(md.contains("| size | nsga3-tabu |"));
-        assert!(md.contains("| m=10 n=20 | 0.125 |"));
+        assert!(md.contains("| m=10 n=20 | 0.125 (p50 0.100, p95 0.150) |"));
         // Header separator row present.
         assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn telemetry_section_lists_metrics() {
+        cpo_obs::reset();
+        cpo_obs::enable();
+        cpo_obs::counter_add("cp.propagations", 7);
+        cpo_obs::gauge_set("des.queue_depth", 3.0);
+        cpo_obs::record_value("allocator.solve_ns.round-robin", 1_000);
+        let snap = cpo_obs::snapshot();
+        cpo_obs::disable();
+        cpo_obs::reset();
+        let md = telemetry_markdown(&snap);
+        assert!(md.starts_with("## Telemetry"));
+        assert!(md.contains("| cp.propagations | 7 |"));
+        assert!(md.contains("| des.queue_depth | 3.000 |"));
+        assert!(md.contains("allocator.solve_ns.round-robin"));
+    }
+
+    #[test]
+    fn empty_telemetry_points_at_the_flag() {
+        let md = telemetry_markdown(&cpo_obs::Snapshot::default());
+        assert!(md.contains("--telemetry"));
     }
 
     #[test]

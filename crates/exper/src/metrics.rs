@@ -2,7 +2,7 @@
 
 use cpo_core::prelude::AllocationOutcome;
 
-/// Mean/min/max summary of one metric over runs.
+/// Mean/min/max/percentile summary of one metric over runs.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct Stat {
     /// Arithmetic mean.
@@ -13,6 +13,16 @@ pub struct Stat {
     pub min: f64,
     /// Maximum observed.
     pub max: f64,
+    /// Median (exact nearest-rank — the samples are ≤ a few dozen runs).
+    pub p50: f64,
+    /// 95th percentile (exact nearest-rank).
+    pub p95: f64,
+}
+
+/// Exact nearest-rank quantile of a sorted sample.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 impl Stat {
@@ -28,11 +38,15 @@ impl Stat {
         } else {
             0.0
         };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Self {
             mean,
             std: var.sqrt(),
-            min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: quantile_sorted(&sorted, 0.50),
+            p95: quantile_sorted(&sorted, 0.95),
         }
     }
 }
@@ -100,6 +114,16 @@ mod tests {
         assert!((s.std - 2.138089935).abs() < 1e-6);
         assert_eq!(s.min, 2.0);
         assert_eq!(s.max, 9.0);
+        // Nearest rank: p50 → rank ceil(0.5·8)=4 → 4.0; p95 → rank 8 → 9.0.
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p95, 9.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let s = Stat::of(&[9.0, 2.0, 5.0, 4.0, 7.0, 4.0, 5.0, 4.0]);
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p95, 9.0);
     }
 
     #[test]
@@ -107,6 +131,8 @@ mod tests {
         let s = Stat::of(&[3.5]);
         assert_eq!(s.mean, 3.5);
         assert_eq!(s.std, 0.0);
+        assert_eq!(s.p50, 3.5);
+        assert_eq!(s.p95, 3.5);
     }
 
     #[test]

@@ -97,6 +97,52 @@ pub fn shape_summary(fig: &Figure) -> String {
     out
 }
 
+/// Renders a telemetry snapshot as an ASCII table for the terminal:
+/// span/solve timings, counter totals and gauge values. Histogram names
+/// carry their unit (`span.*.us` in microseconds, `*.solve_ns` in
+/// nanoseconds).
+pub fn render_telemetry(snap: &cpo_obs::Snapshot) -> String {
+    let mut out = String::from("Telemetry\n");
+    if snap.histograms.is_empty() && snap.counters.is_empty() && snap.gauges.is_empty() {
+        let _ = writeln!(out, "  (nothing recorded — run with --telemetry)");
+        return out;
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>40} {:>10} {:>12} {:>10} {:>10} {:>10}",
+            "timing", "count", "mean", "p50", "p95", "max"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:>40} {:>10} {:>12.1} {:>10} {:>10} {:>10}",
+                name, h.count, h.mean, h.p50, h.p95, h.max
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "{:>40} {:>10}", "counter", "total");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name:>40} {v:>10}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "{:>40} {:>10}", "gauge", "last");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name:>40} {v:>10.3}");
+        }
+    }
+    if snap.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  {} trace events dropped at the buffer cap",
+            snap.dropped
+        );
+    }
+    out
+}
+
 /// Renders any cell list (used by ablation benches' summaries).
 pub fn render_cells(title: &str, cells: &[Cell]) -> String {
     let mut out = String::new();
@@ -177,6 +223,23 @@ mod tests {
         assert!(s.contains("populationSize"));
         assert!(s.contains("100"));
         assert!(s.contains("0.70"));
+    }
+
+    #[test]
+    fn telemetry_table_renders_summaries() {
+        let mut snap = cpo_obs::Snapshot::default();
+        snap.counters.insert("tabu.iterations".into(), 42);
+        snap.gauges.insert("platform.active_servers".into(), 5.0);
+        let s = render_telemetry(&snap);
+        assert!(s.contains("tabu.iterations"));
+        assert!(s.contains("42"));
+        assert!(s.contains("platform.active_servers"));
+    }
+
+    #[test]
+    fn empty_telemetry_mentions_the_flag() {
+        let s = render_telemetry(&cpo_obs::Snapshot::default());
+        assert!(s.contains("--telemetry"));
     }
 
     #[test]

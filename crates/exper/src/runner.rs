@@ -181,7 +181,15 @@ pub fn run_sweep(
             let outcomes: Vec<AllocationOutcome> = problems
                 .iter()
                 .enumerate()
-                .map(|(r, p)| algorithm.build(effort, base_seed + r as u64).allocate(p))
+                .map(|(r, p)| {
+                    let _run = cpo_obs::span!(
+                        "exper.run",
+                        algo = algorithm.label(),
+                        servers = size.servers,
+                        run = r
+                    );
+                    algorithm.build(effort, base_seed + r as u64).allocate(p)
+                })
                 .collect();
             cells.push(Cell {
                 algorithm,

@@ -292,6 +292,12 @@ pub fn run<P: MoeaProblem>(
     repair: Option<&dyn Repair>,
 ) -> MoeaResult {
     assert!(config.population_size >= 4, "population too small");
+    let variant_label = match config.variant {
+        Variant::Nsga2 => "nsga2",
+        Variant::Nsga3 => "nsga3",
+        Variant::UNsga3 => "unsga3",
+    };
+    let mut run_span = cpo_obs::span!("moea.run", variant = variant_label);
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let n = config.population_size;
@@ -346,6 +352,8 @@ pub fn run<P: MoeaProblem>(
             }
         }
         generation += 1;
+        let mut gen_span = cpo_obs::span!("nsga3.generation", gen = generation as u64);
+        let evals_before = evaluations;
 
         // --- Mating: tournaments, optional parent repair, SBX, PM. ---
         let mut offspring: Vec<Individual> = Vec::with_capacity(n);
@@ -493,9 +501,17 @@ pub fn run<P: MoeaProblem>(
             }
         }
         pop = next;
-        history.push(stats(&pop, generation, evaluations));
+        let gen_stats = stats(&pop, generation, evaluations);
+        gen_span
+            .field("feasible", gen_stats.feasible)
+            .field("evaluations", evaluations);
+        cpo_obs::counter_add("moea.evaluations", (evaluations - evals_before) as u64);
+        history.push(gen_stats);
     }
 
+    run_span
+        .field("generations", generation)
+        .field("evaluations", evaluations);
     MoeaResult {
         population: pop,
         evaluations,

@@ -7,6 +7,8 @@
 ///
 /// Supports 2 and 3 objectives (all this repo needs).
 pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut sp = cpo_obs::span!("moea.hypervolume");
+    sp.field("points", front.len());
     match reference.len() {
         2 => hv2(front, reference),
         3 => hv3(front, reference),

@@ -1,0 +1,234 @@
+//! Trace-event model: the typed field values attached to spans and the
+//! flat event record every exporter consumes.
+
+use crate::json::Value;
+use std::fmt;
+
+/// A typed field value attached to a span, counter, or gauge.
+///
+/// The integer variants are normalised so that a JSONL round-trip is
+/// exact: non-negative integers are always `U64`, `I64` is only used for
+/// negative values. The `From` impls enforce this — construct fields
+/// through them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (normalised: never holds values ≥ 0).
+    I64(i64),
+    /// Floating-point value.
+    F64(f64),
+    /// String label.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            FieldValue::I64(v)
+        } else {
+            FieldValue::U64(v as u64)
+        }
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::from(i64::from(v))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    /// Converts to a JSON value for the exporters.
+    pub fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::UInt(*v),
+            FieldValue::I64(v) => Value::Int(*v),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+            FieldValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+
+    /// Parses a JSON value back to a field value (inverse of [`to_json`]
+    /// for every value the exporter can write).
+    ///
+    /// [`to_json`]: FieldValue::to_json
+    pub fn from_json(v: &Value) -> Option<FieldValue> {
+        match v {
+            Value::UInt(n) => Some(FieldValue::U64(*n)),
+            Value::Int(n) => Some(FieldValue::from(*n)),
+            Value::Float(n) => Some(FieldValue::F64(*n)),
+            Value::Str(s) => Some(FieldValue::Str(s.clone())),
+            Value::Bool(b) => Some(FieldValue::Bool(*b)),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A completed span: `ts_us` is the start, `dur_us` the duration.
+    Span,
+    /// A counter increment at `ts_us`; `value` is the delta.
+    Counter,
+    /// A gauge sample at `ts_us`; `value` is the level.
+    Gauge,
+}
+
+impl TraceKind {
+    /// The tag written in the JSONL `"event"` field.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceKind::Span => "span",
+            TraceKind::Counter => "counter",
+            TraceKind::Gauge => "gauge",
+        }
+    }
+
+    /// Parses a JSONL `"event"` tag.
+    pub fn from_tag(tag: &str) -> Option<TraceKind> {
+        match tag {
+            "span" => Some(TraceKind::Span),
+            "counter" => Some(TraceKind::Counter),
+            "gauge" => Some(TraceKind::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event, the unit every exporter consumes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// What this event records.
+    pub kind: TraceKind,
+    /// Span/counter/gauge name (dotted, e.g. `nsga3.generation`).
+    pub name: String,
+    /// Microseconds since the registry was created (span start for spans).
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for counters/gauges).
+    pub dur_us: u64,
+    /// Counter delta or gauge level (`None` for spans).
+    pub value: Option<f64>,
+    /// Small dense thread id assigned on first use per thread.
+    pub tid: u64,
+    /// Span nesting depth on the recording thread (0 = root).
+    pub depth: u32,
+    /// Structured fields, in attachment order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_conversion_normalises_to_unsigned() {
+        assert_eq!(FieldValue::from(3i64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(0i64), FieldValue::U64(0));
+        assert_eq!(FieldValue::from(-3i64), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(-1i32), FieldValue::I64(-1));
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let values = [
+            FieldValue::U64(u64::MAX),
+            FieldValue::I64(i64::MIN),
+            FieldValue::F64(0.125),
+            FieldValue::Str("tabu/nsga3".into()),
+            FieldValue::Bool(true),
+        ];
+        for v in values {
+            assert_eq!(FieldValue::from_json(&v.to_json()), Some(v));
+        }
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in [TraceKind::Span, TraceKind::Counter, TraceKind::Gauge] {
+            assert_eq!(TraceKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(TraceKind::from_tag("meta"), None);
+    }
+
+    #[test]
+    fn field_lookup_finds_first_match() {
+        let ev = TraceEvent {
+            kind: TraceKind::Span,
+            name: "x".into(),
+            ts_us: 0,
+            dur_us: 1,
+            value: None,
+            tid: 0,
+            depth: 0,
+            fields: vec![("gen".into(), FieldValue::U64(7))],
+        };
+        assert_eq!(ev.field("gen"), Some(&FieldValue::U64(7)));
+        assert_eq!(ev.field("missing"), None);
+    }
+}

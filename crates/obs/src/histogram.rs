@@ -1,0 +1,226 @@
+//! A log-linear histogram (HDR-style): exact below 16, then 16 linear
+//! sub-buckets per power of two, so any recorded value is off by at most
+//! 1/16 ≈ 6.25% of itself. Covers the whole `u64` range in 976 fixed
+//! buckets — no resizing, no allocation after construction.
+
+/// Sub-bucket bits per octave (2⁴ = 16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: 16 exact + 60 octaves (exponents 4..=63) × 16.
+const N_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-layout log-linear histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics of one histogram, cheap to copy into reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank over buckets; ≤ 6.25% relative error).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    let sub = ((v >> (e - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + (e - SUB_BITS) as usize * SUB + sub
+}
+
+/// The smallest value mapping to bucket `idx`.
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx - SUB) / SUB;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let e = octave as u32 + SUB_BITS;
+    (1u64 << e) + sub * (1u64 << (e - SUB_BITS))
+}
+
+/// The width of bucket `idx` (1 for the exact range).
+pub fn bucket_width(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return 1;
+    }
+    let octave = (idx - SUB) / SUB;
+    1u64 << (octave as u32)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest rank over buckets. The
+    /// returned value is the containing bucket's midpoint clamped to the
+    /// observed `[min, max]`, so it is within one sub-bucket (≤ 6.25%
+    /// relative error) of the exact order statistic. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lower_bound(idx) + bucket_width(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Snapshot of the summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_below_sixteen_are_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+            assert_eq!(bucket_width(v as usize), 1);
+        }
+    }
+
+    #[test]
+    fn octave_boundaries_map_to_fresh_subbucket_rows() {
+        // Each power of two starts a new octave at sub-bucket 0.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32); // width-2 bucket [32,34)
+        assert_eq!(bucket_index(34), 33);
+        assert_eq!(bucket_index(63), 47);
+        assert_eq!(bucket_index(64), 48);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bounds_invert_the_index() {
+        for idx in 0..N_BUCKETS {
+            let lo = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lo), idx, "lower bound of bucket {idx}");
+            let hi = lo + (bucket_width(idx) - 1);
+            assert_eq!(bucket_index(hi), idx, "upper edge of bucket {idx}");
+            if idx + 1 < N_BUCKETS {
+                assert_eq!(
+                    bucket_index(hi + 1),
+                    idx + 1,
+                    "first value past bucket {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sixteenth() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "q={q}: {got} vs {exact} ({err})");
+        }
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(s.p50, 20);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        assert_eq!(Histogram::new().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        let s = h.summary();
+        assert_eq!(s.p50, s.p99);
+        assert!(s.p50 >= 1_000_000 - 1_000_000 / 16);
+        assert!(s.p50 <= 1_000_000 + 1_000_000 / 16);
+    }
+}

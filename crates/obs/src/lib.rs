@@ -1,0 +1,57 @@
+//! `cpo-obs` — zero-dependency observability for the CPO workspace.
+//!
+//! Structured spans with nested timing, monotonic counters, gauges, and
+//! log-linear histograms behind one thread-safe global registry that is
+//! a no-op when disabled (the default): every instrumentation entry
+//! point costs a single relaxed atomic load and performs no allocation
+//! until [`enable`] is called. Two exporters turn the recorded data into
+//! files: [`metrics_json_lines`] writes the same tagged JSON-lines shape
+//! as the platform `EventLog`, and [`chrome_trace`] writes the Chrome
+//! trace-event format for flame-style inspection in `chrome://tracing`
+//! or Perfetto.
+//!
+//! # Quickstart
+//!
+//! ```
+//! cpo_obs::enable();
+//! {
+//!     let mut sp = cpo_obs::span!("nsga3.generation", gen = 7u64);
+//!     sp.field("feasible", 12u64);
+//!     cpo_obs::counter_add("cp.propagations", 42);
+//!     cpo_obs::gauge_set("des.queue_depth", 17.0);
+//! } // span records here
+//! let snap = cpo_obs::snapshot();
+//! assert_eq!(snap.counters["cp.propagations"], 42);
+//! let _trace_json = cpo_obs::chrome_trace(&snap);
+//! let _metrics_jsonl = cpo_obs::metrics_json_lines(&snap);
+//! # cpo_obs::disable();
+//! # cpo_obs::reset();
+//! ```
+//!
+//! # Naming convention
+//!
+//! Dotted lower-case names, `<subsystem>.<what>`: `nsga3.generation`,
+//! `cp.propagations`, `tabu.iterations`, `allocator.allocate`,
+//! `des.queue_depth`. Span durations are additionally folded into a
+//! histogram named `span.<name>.us`.
+
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod histogram;
+pub mod json;
+mod registry;
+mod span;
+
+pub use event::{FieldValue, TraceEvent, TraceKind};
+pub use export::{
+    chrome_trace, events_from_json_lines, events_to_json_lines, metrics_json_lines,
+    TRACE_SCHEMA_VERSION,
+};
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{
+    counter_add, disable, enable, gauge_set, is_enabled, now_us, record_value, reset, snapshot,
+    Snapshot,
+};
+pub use span::{span, SpanGuard};

@@ -1,0 +1,245 @@
+//! The global metrics registry.
+//!
+//! All instrumentation funnels through free functions here
+//! ([`counter_add`], [`gauge_set`], [`record_value`], and the span
+//! machinery in [`crate::span`]). When the registry is disabled — the
+//! default — every entry point returns after one relaxed atomic load and
+//! performs no allocation. When enabled, state lives behind a single
+//! `Mutex`; the hot paths instrumented in this workspace record at
+//! per-window / per-generation granularity, so contention is negligible.
+
+use crate::event::{FieldValue, TraceEvent, TraceKind};
+use crate::histogram::{Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Flipped by [`enable`]/[`disable`]; lives outside the `OnceLock` so the
+/// disabled fast path never initialises anything.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Maximum buffered trace events before new ones are dropped (counted).
+const DEFAULT_EVENT_CAP: usize = 1 << 20;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+struct Registry {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        inner: Mutex::new(Inner {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: Vec::new(),
+            dropped: 0,
+        }),
+    })
+}
+
+/// Turns instrumentation on. Idempotent.
+pub fn enable() {
+    registry(); // pin the epoch before the first measurement
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns instrumentation off. Recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether instrumentation is currently recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded counters, gauges, histograms, and events. The
+/// enabled flag and the time epoch are left untouched.
+pub fn reset() {
+    if let Some(r) = REGISTRY.get() {
+        let mut inner = r.inner.lock().unwrap();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+/// Microseconds since the registry epoch (first enable/use).
+pub fn now_us() -> u64 {
+    registry().epoch.elapsed().as_micros() as u64
+}
+
+/// The dense id of the calling thread.
+pub(crate) fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Current span nesting depth on this thread.
+pub(crate) fn depth() -> u32 {
+    DEPTH.with(|d| d.get())
+}
+
+pub(crate) fn push_depth() -> u32 {
+    DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    })
+}
+
+pub(crate) fn pop_depth() {
+    DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    let mut inner = registry().inner.lock().unwrap();
+    *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    push_event(
+        &mut inner,
+        TraceEvent {
+            kind: TraceKind::Counter,
+            name: name.to_string(),
+            ts_us,
+            dur_us: 0,
+            value: Some(delta as f64),
+            tid: thread_id(),
+            depth: depth(),
+            fields: Vec::new(),
+        },
+    );
+}
+
+/// Sets the named gauge to `value`. No-op when disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    let mut inner = registry().inner.lock().unwrap();
+    inner.gauges.insert(name.to_string(), value);
+    push_event(
+        &mut inner,
+        TraceEvent {
+            kind: TraceKind::Gauge,
+            name: name.to_string(),
+            ts_us,
+            dur_us: 0,
+            value: Some(value),
+            tid: thread_id(),
+            depth: depth(),
+            fields: Vec::new(),
+        },
+    );
+}
+
+/// Records `value` into the named log-linear histogram. No-op when
+/// disabled. Histogram samples do not emit trace events — only the
+/// summary appears in snapshots/exports — so this is cheap enough for
+/// per-solve latencies.
+pub fn record_value(name: &str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut inner = registry().inner.lock().unwrap();
+    inner
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
+}
+
+pub(crate) fn record_span(name: String, ts_us: u64, depth: u32, fields: Vec<(String, FieldValue)>) {
+    let dur_us = now_us().saturating_sub(ts_us);
+    let tid = thread_id();
+    let mut inner = registry().inner.lock().unwrap();
+    inner
+        .histograms
+        .entry(format!("span.{name}.us"))
+        .or_default()
+        .record(dur_us);
+    push_event(
+        &mut inner,
+        TraceEvent {
+            kind: TraceKind::Span,
+            name,
+            ts_us,
+            dur_us,
+            value: None,
+            tid,
+            depth,
+            fields,
+        },
+    );
+}
+
+fn push_event(inner: &mut Inner, ev: TraceEvent) {
+    if inner.events.len() < DEFAULT_EVENT_CAP {
+        inner.events.push(ev);
+    } else {
+        inner.dropped += 1;
+    }
+}
+
+/// A point-in-time copy of everything the registry has recorded.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Monotonic counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name (spans appear as `span.<name>.us`).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// The buffered trace events, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the buffer cap was reached.
+    pub dropped: u64,
+}
+
+/// Copies out the current registry contents.
+pub fn snapshot() -> Snapshot {
+    match REGISTRY.get() {
+        None => Snapshot::default(),
+        Some(r) => {
+            let inner = r.inner.lock().unwrap();
+            Snapshot {
+                counters: inner.counters.clone(),
+                gauges: inner.gauges.clone(),
+                histograms: inner
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.summary()))
+                    .collect(),
+                events: inner.events.clone(),
+                dropped: inner.dropped,
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Scoped timing spans. A span measures from [`span`] (or the [`span!`]
+//! macro) until the guard drops, records the duration into a histogram
+//! named `span.<name>.us`, and emits one trace event carrying its fields.
+//!
+//! [`span!`]: crate::span!
+
+use crate::event::FieldValue;
+use crate::registry;
+
+/// Starts a span. Returns a guard that records on drop. When the
+/// registry is disabled this touches nothing — no clock read, no
+/// allocation — and [`SpanGuard::field`] is a no-op too.
+pub fn span(name: &str) -> SpanGuard {
+    if !registry::is_enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(ActiveSpan {
+        name: name.to_string(),
+        ts_us: registry::now_us(),
+        depth: registry::push_depth(),
+        fields: Vec::new(),
+    }))
+}
+
+struct ActiveSpan {
+    name: String,
+    ts_us: u64,
+    depth: u32,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// RAII guard for one span; records the event when dropped.
+#[must_use = "a span measures until the guard drops; binding it to _ ends it immediately"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Attaches a structured field. The value conversion only happens
+    /// when the span is live, so disabled-mode callers pay nothing.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) -> &mut Self {
+        if let Some(active) = self.0.as_mut() {
+            active.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            registry::pop_depth();
+            registry::record_span(active.name, active.ts_us, active.depth, active.fields);
+        }
+    }
+}
+
+/// Opens a span with optional structured fields:
+///
+/// ```
+/// let _sp = cpo_obs::span!("nsga3.generation", gen = 7u64);
+/// ```
+///
+/// Field values can be any type convertible to
+/// [`FieldValue`](crate::FieldValue) (integers, floats, `&str`, `bool`).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::span($name);
+        $(guard.field(stringify!($key), $value);)+
+        guard
+    }};
+}

@@ -1,0 +1,94 @@
+//! Property test: any trace event the registry can produce survives a
+//! JSONL write/read round trip bit-for-bit — including u64 timestamps
+//! too large for f64, negative and float fields, and names/strings
+//! containing every escape class the writer knows about.
+
+use cpo_obs::{FieldValue, TraceEvent, TraceKind};
+use proptest::prelude::*;
+
+/// Characters that exercise the JSON escaping paths: quotes,
+/// backslashes, control characters, multi-byte UTF-8.
+const CHARS: &[char] = &[
+    'a', 'z', '0', '.', '_', '/', ' ', ':', '{', '}', '[', ']', ',', '"', '\\', '\n', '\t', '\r',
+    '\u{1}', '\u{1f}', '中', 'é', '😀',
+];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    collection::vec(0usize..CHARS.len(), 0..12).prop_map(|idxs| {
+        let mut s = String::from("n"); // names are non-empty in practice
+        s.extend(idxs.into_iter().map(|i| CHARS[i]));
+        s
+    })
+}
+
+fn arb_field_value() -> impl Strategy<Value = FieldValue> {
+    (
+        0u8..5,
+        0u64..u64::MAX,
+        i64::MIN..i64::MAX,
+        -1.0e12_f64..1.0e12,
+        arb_text(),
+    )
+        .prop_map(|(tag, u, i, f, s)| match tag {
+            0 => FieldValue::U64(u),
+            1 => FieldValue::from(i), // normalised: negative → I64
+            2 => FieldValue::F64(f),
+            3 => FieldValue::Str(s),
+            _ => FieldValue::Bool(u % 2 == 0),
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (0u8..3, arb_text(), 0u64..u64::MAX, 0u64..u64::MAX),
+        (
+            0u64..64,
+            0u32..8,
+            collection::vec((arb_text(), arb_field_value()), 0..4),
+            -1.0e12_f64..1.0e12,
+        ),
+    )
+        .prop_map(|((kind, name, ts_us, dur), (tid, depth, fields, value))| {
+            let kind = match kind {
+                0 => TraceKind::Span,
+                1 => TraceKind::Counter,
+                _ => TraceKind::Gauge,
+            };
+            TraceEvent {
+                kind,
+                name,
+                ts_us,
+                // The writer only emits dur_us for spans and value for
+                // counters/gauges — mirror what the registry produces.
+                dur_us: if kind == TraceKind::Span { dur } else { 0 },
+                value: if kind == TraceKind::Span {
+                    None
+                } else {
+                    Some(value)
+                },
+                tid,
+                depth,
+                fields,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jsonl_round_trip_is_lossless(events in collection::vec(arb_event(), 0..20)) {
+        let text = cpo_obs::events_to_json_lines(&events);
+        let back = cpo_obs::events_from_json_lines(&text)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn second_serialisation_is_identical(events in collection::vec(arb_event(), 0..10)) {
+        let text = cpo_obs::events_to_json_lines(&events);
+        let back = cpo_obs::events_from_json_lines(&text)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(cpo_obs::events_to_json_lines(&back), text);
+    }
+}

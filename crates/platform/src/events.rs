@@ -3,6 +3,12 @@
 use crate::tenant::TenantId;
 use cpo_model::prelude::ServerId;
 
+/// Version of the JSON-lines trace schema written by
+/// [`EventLog::to_json_lines`]. Bump when an [`Event`] variant changes
+/// shape; [`EventLog::from_json_lines`] refuses traces written under a
+/// different version instead of mis-parsing them.
+pub const EVENT_LOG_SCHEMA_VERSION: u32 = 1;
+
 /// One platform event, stamped with the window index it occurred in.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 #[serde(tag = "event", rename_all = "snake_case")]
@@ -142,10 +148,11 @@ impl EventLog {
             .count()
     }
 
-    /// Serialises the log as JSON lines (one event object per line) — the
-    /// trace format ops tooling and tests replay.
+    /// Serialises the log as JSON lines — a schema-version header line
+    /// followed by one event object per line — the trace format ops
+    /// tooling and tests replay.
     pub fn to_json_lines(&self) -> String {
-        let mut out = String::new();
+        let mut out = format!("{{\"schema_version\":{EVENT_LOG_SCHEMA_VERSION}}}\n");
         for e in &self.events {
             out.push_str(&serde_json::to_string(e).expect("events always serialise"));
             out.push('\n');
@@ -154,10 +161,35 @@ impl EventLog {
     }
 
     /// Parses a JSON-lines trace back into a log.
+    ///
+    /// A `{"schema_version":N}` header is checked against
+    /// [`EVENT_LOG_SCHEMA_VERSION`]: an unknown version is rejected with
+    /// a clear error rather than mis-parsed. Headerless traces (written
+    /// before versioning existed) are accepted as version 1.
     pub fn from_json_lines(trace: &str) -> Result<Self, String> {
         let mut log = Self::new();
         for (i, line) in trace.lines().enumerate() {
-            if line.trim().is_empty() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.contains("\"schema_version\"") {
+                let header: serde_json::Value = serde_json::from_str(line)
+                    .map_err(|e| format!("line {}: bad schema header: {e}", i + 1))?;
+                let version = match header.get("schema_version") {
+                    Some(serde_json::Value::UInt(u)) => *u,
+                    Some(serde_json::Value::Int(n)) if *n >= 0 => *n as u64,
+                    _ => {
+                        return Err(format!("line {}: schema_version is not a number", i + 1));
+                    }
+                };
+                if version != u64::from(EVENT_LOG_SCHEMA_VERSION) {
+                    return Err(format!(
+                        "line {}: unsupported event-log schema version {version} \
+                         (this build reads version {EVENT_LOG_SCHEMA_VERSION})",
+                        i + 1
+                    ));
+                }
                 continue;
             }
             let event: Event =
@@ -219,7 +251,8 @@ mod tests {
             active_servers: 3,
         });
         let trace = log.to_json_lines();
-        assert_eq!(trace.lines().count(), 3);
+        assert_eq!(trace.lines().count(), 4, "schema header + 3 events");
+        assert!(trace.starts_with("{\"schema_version\":1}\n"));
         assert!(trace.contains("\"event\":\"server_failed\""));
         let back = EventLog::from_json_lines(&trace).unwrap();
         assert_eq!(back.events(), log.events());
@@ -229,5 +262,39 @@ mod tests {
     fn bad_trace_lines_are_reported_with_position() {
         let err = EventLog::from_json_lines("{}\n").unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn headerless_legacy_trace_is_accepted() {
+        let mut log = EventLog::new();
+        log.push(Event::TenantAdmitted {
+            window: 0,
+            tenant: TenantId(1),
+        });
+        let trace = log.to_json_lines();
+        let body: String = trace.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let back = EventLog::from_json_lines(&body).unwrap();
+        assert_eq!(back.events(), log.events());
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let err = EventLog::from_json_lines("{\"schema_version\":42}\n").unwrap_err();
+        assert!(
+            err.contains("unsupported event-log schema version 42"),
+            "{err}"
+        );
+        assert!(err.contains("version 1"), "{err}");
+    }
+
+    #[test]
+    fn schema_version_header_roundtrips_through_replay() {
+        let log = EventLog::new();
+        let trace = log.to_json_lines();
+        assert_eq!(trace.lines().count(), 1);
+        assert!(EventLog::from_json_lines(&trace)
+            .unwrap()
+            .events()
+            .is_empty());
     }
 }

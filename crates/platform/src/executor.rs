@@ -381,6 +381,7 @@ impl WindowExecutor {
         lifetime: LifetimePolicy,
     ) -> (WindowReport, Vec<TenantId>) {
         let window = self.window;
+        let mut sp = cpo_obs::span!("platform.window", window = window);
         let (problem, running_requests) = self.build_window_problem(arrivals);
         let solve_start = Instant::now();
         let outcome = allocator.allocate(&problem);
@@ -530,6 +531,12 @@ impl WindowExecutor {
             running_tenants: self.tenants.len(),
             active_servers: tracker.active_servers(),
         });
+        sp.field("admitted", admitted)
+            .field("rejected", rejected)
+            .field("migrations", migrations);
+        cpo_obs::record_value("platform.solve_ns", solve_time.as_nanos() as u64);
+        cpo_obs::gauge_set("platform.running_tenants", self.tenants.len() as f64);
+        cpo_obs::gauge_set("platform.active_servers", tracker.active_servers() as f64);
         self.window += 1;
         (report, admitted_ids)
     }

@@ -47,7 +47,7 @@ pub mod tenant;
 /// The most-used simulator types.
 pub mod prelude {
     pub use crate::accounting::{SimReport, WindowReport};
-    pub use crate::events::{Event, EventLog};
+    pub use crate::events::{Event, EventLog, EVENT_LOG_SCHEMA_VERSION};
     pub use crate::executor::{LifetimePolicy, WindowExecutor};
     pub use crate::network::{FlowAdmission, NetworkModel};
     pub use crate::sim::{PlatformSim, SimConfig};

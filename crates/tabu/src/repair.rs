@@ -347,10 +347,10 @@ pub fn repair(
         }
     }
 
-    RepairOutcome {
-        moves,
-        feasible: problem.is_feasible(assignment),
-    }
+    let feasible = problem.is_feasible(assignment);
+    cpo_obs::counter_add("tabu.repair_calls", 1);
+    cpo_obs::counter_add("tabu.repair_moves", moves as u64);
+    RepairOutcome { moves, feasible }
 }
 
 #[cfg(test)]

@@ -72,6 +72,10 @@ pub struct TabuResult {
     pub iterations: usize,
     /// Moves accepted.
     pub accepted_moves: usize,
+    /// Tabu moves accepted via the aspiration criterion.
+    pub aspiration_hits: usize,
+    /// Candidate relocations scored across all iterations.
+    pub candidates_scanned: usize,
 }
 
 /// Runs tabu search from `start`, relocating one VM per iteration.
@@ -95,6 +99,10 @@ pub fn tabu_search(
     let mut best_score = current_score;
     let mut accepted = 0usize;
     let mut iterations = 0usize;
+    let mut aspiration_hits = 0usize;
+    let mut candidates_scanned = 0usize;
+
+    let mut sp = cpo_obs::span!("tabu.search", vms = n, servers = m);
 
     if n == 0 || m < 2 {
         return TabuResult {
@@ -102,6 +110,8 @@ pub fn tabu_search(
             best_score,
             iterations,
             accepted_moves: accepted,
+            aspiration_hits,
+            candidates_scanned,
         };
     }
 
@@ -115,6 +125,7 @@ pub fn tabu_search(
             if current.server_of(k) == Some(j) {
                 continue;
             }
+            candidates_scanned += 1;
             let is_tabu = tabu.is_tabu(k, j);
             let old = current.server_of(k);
             current.assign(k, j);
@@ -135,9 +146,12 @@ pub fn tabu_search(
                 best_cand = Some((k, j, s, aspirated));
             }
         }
-        let Some((k, j, s, _)) = best_cand else {
+        let Some((k, j, s, cand_aspirated)) = best_cand else {
             continue;
         };
+        if cand_aspirated {
+            aspiration_hits += 1;
+        }
         if let Some(from) = current.server_of(k) {
             tabu.push(TabuMove { vm: k, from });
         }
@@ -152,11 +166,20 @@ pub fn tabu_search(
         // a perfect zero-cost solution cannot exist (opex > 0), so run on.
     }
 
+    sp.field("iterations", iterations)
+        .field("accepted", accepted)
+        .field("aspiration_hits", aspiration_hits);
+    cpo_obs::counter_add("tabu.iterations", iterations as u64);
+    cpo_obs::counter_add("tabu.accepted_moves", accepted as u64);
+    cpo_obs::counter_add("tabu.aspiration_hits", aspiration_hits as u64);
+    cpo_obs::counter_add("tabu.candidates_scanned", candidates_scanned as u64);
     TabuResult {
         best,
         best_score,
         iterations,
         accepted_moves: accepted,
+        aspiration_hits,
+        candidates_scanned,
     }
 }
 

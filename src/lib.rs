@@ -22,6 +22,7 @@
 //! | platform | [`platform`] | cyclic time-window IaaS simulator |
 //! | des | [`des`] | continuous-time discrete-event kernel |
 //! | exper | [`exper`] | figure/table regeneration harness |
+//! | obs | [`obs`] | spans, counters, histograms, trace export |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use cpo_des as des;
 pub use cpo_exper as exper;
 pub use cpo_model as model;
 pub use cpo_moea as moea;
+pub use cpo_obs as obs;
 pub use cpo_platform as platform;
 pub use cpo_scenario as scenario;
 pub use cpo_tabu as tabu;
