@@ -1,6 +1,8 @@
 //! Micro-benchmarks of the CP solver: propagation fixpoints, first-fail
 //! solving and branch-and-bound on packing instances of growing size —
-//! the kernels whose growth drives the Fig. 8 cliff.
+//! the kernels whose growth drives the Fig. 8 cliff. Queued-vs-reference
+//! cells measure the event-driven engine against the retained
+//! full-fixpoint loop on the same instances.
 
 use cpo_cpsolve::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -8,11 +10,26 @@ use std::hint::black_box;
 
 fn packing_csp(items: usize, bins: usize) -> Csp {
     let mut csp = Csp::new(items, bins);
-    csp.add(Box::new(Pack {
-        vars: (0..items).map(VarId).collect(),
-        demand: (0..items).map(|i| vec![1.0 + (i % 4) as f64]).collect(),
-        capacity: vec![vec![(items as f64 / bins as f64) * 3.0]; bins],
+    csp.add(Box::new(Pack::new(
+        (0..items).map(VarId).collect(),
+        (0..items).map(|i| vec![1.0 + (i % 4) as f64]).collect(),
+        vec![vec![(items as f64 / bins as f64) * 3.0]; bins],
+    )));
+    csp
+}
+
+/// A mixed instance exercising all constraint shapes: packing plus
+/// affinity groups, as `build_request_csp` produces.
+fn mixed_csp(items: usize, bins: usize) -> Csp {
+    let mut csp = packing_csp(items, bins);
+    csp.add(Box::new(AllDifferent {
+        vars: (0..items.min(4)).map(VarId).collect(),
     }));
+    if items >= 8 {
+        csp.add(Box::new(AllEqual {
+            vars: vec![VarId(5), VarId(6)],
+        }));
+    }
     csp
 }
 
@@ -41,6 +58,29 @@ fn micro(c: &mut Criterion) {
                 })
             },
         );
+        // Engine comparison on identical mixed instances: the queued cell
+        // should beat the reference cell by a growing margin with size.
+        for engine in [Engine::Queued, Engine::Reference] {
+            let label = match engine {
+                Engine::Queued => "queued",
+                Engine::Reference => "reference",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("solve_{label}"), format!("{items}x{bins}")),
+                &(items, bins),
+                |b, &(i, n)| {
+                    b.iter(|| {
+                        let mut csp = mixed_csp(i, n);
+                        let config = SearchConfig {
+                            engine,
+                            ..Default::default()
+                        };
+                        let (outcome, stats) = solve(&mut csp, &config);
+                        black_box((outcome.solution().map(<[usize]>::len), stats.propagations))
+                    })
+                },
+            );
+        }
     }
 
     group.bench_function("alldifferent_solve_8x8", |b| {
@@ -57,11 +97,11 @@ fn micro(c: &mut Criterion) {
     group.bench_function("bnb_optimize_6x4", |b| {
         b.iter(|| {
             let mut csp = Csp::new(6, 4);
-            csp.add(Box::new(Pack {
-                vars: (0..6).map(VarId).collect(),
-                demand: (0..6).map(|i| vec![2.0 + i as f64]).collect(),
-                capacity: vec![vec![12.0]; 4],
-            }));
+            csp.add(Box::new(Pack::new(
+                (0..6).map(VarId).collect(),
+                (0..6).map(|i| vec![2.0 + i as f64]).collect(),
+                vec![vec![12.0]; 4],
+            )));
             let cost: Vec<Vec<f64>> = (0..6)
                 .map(|i| (0..4).map(|j| ((i + j) % 5) as f64).collect())
                 .collect();

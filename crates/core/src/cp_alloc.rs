@@ -32,6 +32,9 @@ pub struct CpAllocator {
     pub per_request_deadline: Duration,
     /// Per-request node budget (guards worst-case thrashing).
     pub max_nodes: Option<usize>,
+    /// Propagation engine (queued by default; `Engine::Reference` exists
+    /// for differential testing and regression guards).
+    pub engine: Engine,
 }
 
 impl Default for CpAllocator {
@@ -40,6 +43,7 @@ impl Default for CpAllocator {
             mode: CpMode::Optimize,
             per_request_deadline: Duration::from_millis(500),
             max_nodes: Some(200_000),
+            engine: Engine::default(),
         }
     }
 }
@@ -87,11 +91,7 @@ pub fn build_request_csp(problem: &AllocationProblem, req: &Request, tracker: &L
         .map(|&k| problem.batch().vm(k).demand.clone())
         .collect();
     let vars: Vec<VarId> = (0..req.vms.len()).map(VarId).collect();
-    csp.add(Box::new(Pack {
-        vars: vars.clone(),
-        demand,
-        capacity,
-    }));
+    csp.add(Box::new(Pack::new(vars.clone(), demand, capacity)));
 
     // Affinity rules → propagators over this request's variables.
     let dc_group: Vec<usize> = (0..m)
@@ -120,6 +120,68 @@ pub fn build_request_csp(problem: &AllocationProblem, req: &Request, tracker: &L
                 vars: rule_vars,
                 group: dc_group.clone(),
             })),
+        }
+    }
+    csp
+}
+
+/// Builds one CSP covering the *whole* batch: every VM of every request
+/// becomes a variable over the servers, a single [`Pack`] carries the
+/// full-platform capacities, and each request's affinity rules become
+/// propagators over that request's variables. This is the monolithic
+/// formulation of Eqs. 9–17 (admission decided for the batch at once,
+/// rather than request by request) — and the shape where event-driven
+/// propagation pays off most: a branching decision wakes only the packing
+/// constraint plus the few rules of the request it touches, while the
+/// full-fixpoint loop re-runs every rule of every request each round.
+pub fn build_batch_csp(problem: &AllocationProblem) -> Csp {
+    let m = problem.m();
+    let h = problem.h();
+    let n = problem.n();
+    let mut csp = Csp::new(n, m);
+
+    let capacity: Vec<Vec<f64>> = (0..m)
+        .map(|j| {
+            (0..h)
+                .map(|l| {
+                    problem
+                        .infra()
+                        .effective_capacity(ServerId(j), cpo_model::attr::AttrId(l))
+                })
+                .collect()
+        })
+        .collect();
+    let demand: Vec<Vec<f64>> = (0..n)
+        .map(|k| problem.batch().vm(VmId(k)).demand.clone())
+        .collect();
+    csp.add(Box::new(Pack::new(
+        (0..n).map(VarId).collect(),
+        demand,
+        capacity,
+    )));
+
+    let dc_group: Vec<usize> = (0..m)
+        .map(|j| problem.infra().datacenter_of(ServerId(j)).index())
+        .collect();
+    for req in problem.batch().requests() {
+        for rule in &req.rules {
+            let rule_vars: Vec<VarId> = rule.vms().iter().map(|&k| VarId(k.index())).collect();
+            match rule.linearize() {
+                LinearizedRule::AllEqualServer(_) => {
+                    csp.add(Box::new(AllEqual { vars: rule_vars }))
+                }
+                LinearizedRule::AllDifferentServer(_) => {
+                    csp.add(Box::new(AllDifferent { vars: rule_vars }))
+                }
+                LinearizedRule::AllEqualDatacenter(_) => csp.add(Box::new(GroupAllEqual {
+                    vars: rule_vars,
+                    group: dc_group.clone(),
+                })),
+                LinearizedRule::AllDifferentDatacenter(_) => csp.add(Box::new(GroupAllDifferent {
+                    vars: rule_vars,
+                    group: dc_group.clone(),
+                })),
+            }
         }
     }
     csp
@@ -170,6 +232,7 @@ impl Allocator for CpAllocator {
                 deadline: Some(self.per_request_deadline),
                 max_nodes: self.max_nodes,
                 value_order: ValueOrder::ByCost(cost.clone()),
+                engine: self.engine,
             };
             let solution: Option<Vec<usize>> = match self.mode {
                 CpMode::Feasible => {

@@ -21,6 +21,8 @@ pub struct CpRepair {
     pub deadline: Duration,
     /// Node budget per offending request.
     pub max_nodes: usize,
+    /// Propagation engine driving the per-request searches.
+    pub engine: Engine,
 }
 
 impl Default for CpRepair {
@@ -28,6 +30,7 @@ impl Default for CpRepair {
         Self {
             deadline: Duration::from_millis(20),
             max_nodes: 4_000,
+            engine: Engine::default(),
         }
     }
 }
@@ -60,6 +63,7 @@ impl CpRepair {
                 deadline: Some(self.deadline),
                 max_nodes: Some(self.max_nodes),
                 value_order: ValueOrder::Lex,
+                engine: self.engine,
             };
             let (outcome, _) = solve(&mut csp, &config);
             if let Some(values) = outcome.solution() {

@@ -6,11 +6,15 @@
 //! evaluation. This crate is the Choco substitute: a small but complete
 //! integer-domain CP solver with
 //!
-//! * trail-based backtracking [`store::Store`],
+//! * trail-based backtracking over packed `u64` bitset domains
+//!   [`store::Store`],
 //! * propagators for every constraint shape of the allocation model
 //!   ([`propagator`]): multi-dimensional vector packing (capacity,
 //!   Eq. 16), all-equal / group-all-equal (co-location, Eqs. 9–10),
 //!   all-different / group-all-different (separation, Eqs. 11–12),
+//! * an event-driven propagation engine — per-variable watcher lists and
+//!   a deduplicated wake queue — with the original full-fixpoint loop
+//!   retained as [`search::Engine::Reference`] for differential testing,
 //! * first-fail DFS with lexicographic or cost-ordered value selection,
 //!   branch-and-bound optimisation on separable costs, node and wall-clock
 //!   budgets ([`search`]).
@@ -20,11 +24,11 @@
 //!
 //! // Three VMs on two servers of capacity 10, demands 6/6/3:
 //! let mut csp = Csp::new(3, 2);
-//! csp.add(Box::new(Pack {
-//!     vars: vec![VarId(0), VarId(1), VarId(2)],
-//!     demand: vec![vec![6.0], vec![6.0], vec![3.0]],
-//!     capacity: vec![vec![10.0], vec![10.0]],
-//! }));
+//! csp.add(Box::new(Pack::new(
+//!     vec![VarId(0), VarId(1), VarId(2)],
+//!     vec![vec![6.0], vec![6.0], vec![3.0]],
+//!     vec![vec![10.0], vec![10.0]],
+//! )));
 //! let (outcome, _) = solve(&mut csp, &SearchConfig::default());
 //! let placement = outcome.solution().expect("fits");
 //! assert_ne!(placement[0], placement[1], "the two 6s cannot share a bin");
@@ -40,9 +44,11 @@ pub mod store;
 pub mod prelude {
     pub use crate::propagator::{
         AllDifferent, AllEqual, GroupAllDifferent, GroupAllEqual, Pack, Propagation, Propagator,
+        WakeOn,
     };
     pub use crate::search::{
-        optimize, solve, solve_with_restarts, Csp, Outcome, SearchConfig, SearchStats, ValueOrder,
+        optimize, solve, solve_with_restarts, Csp, Engine, Outcome, SearchConfig, SearchStats,
+        ValueOrder,
     };
     pub use crate::store::{Store, VarId};
 }

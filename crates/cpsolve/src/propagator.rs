@@ -1,10 +1,24 @@
 //! Propagators: the constraint-specific pruning rules.
 //!
 //! Each propagator inspects the [`Store`] and removes inconsistent values.
-//! The engine runs all propagators to fixpoint. All five constraint shapes
-//! of the paper's model are covered: vector packing (capacity, Eq. 16),
-//! all-equal over servers / datacenter groups (co-location, Eqs. 9–10) and
-//! all-different over servers / groups (separation, Eqs. 11–12).
+//! All five constraint shapes of the paper's model are covered: vector
+//! packing (capacity, Eq. 16), all-equal over servers / datacenter groups
+//! (co-location, Eqs. 9–10) and all-different over servers / groups
+//! (separation, Eqs. 11–12).
+//!
+//! Every propagator carries **two** pruning entry points:
+//!
+//! * [`Propagator::propagate`] — the production path. May keep
+//!   incremental state between calls (the [`Pack`] propagator maintains
+//!   running committed-load sums) and may use word-wise bitset operations
+//!   ([`AllEqual`] intersects whole domain words). Driven by the
+//!   event-driven engine in [`crate::search::Csp`], which only wakes a
+//!   propagator when one of its watched [`Propagator::vars`] changed.
+//! * [`Propagator::propagate_reference`] — the stateless from-scratch
+//!   rule, exactly the pre-event-engine implementation. The reference
+//!   engine ([`crate::search::Engine::Reference`]) runs *only* this path;
+//!   the differential test suite proves both reach bit-identical
+//!   fixpoints.
 
 use crate::store::{Store, VarId};
 
@@ -19,10 +33,48 @@ pub enum Propagation {
     Infeasible,
 }
 
+/// Which domain events on a watched variable require re-running a
+/// propagator. Sound filtering needs a simple property: re-running the
+/// propagator after an ignored event must be a no-op (no pruning, same
+/// verdict).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WakeOn {
+    /// Any value removal from a watched variable.
+    Removal,
+    /// Only when a watched variable becomes fixed (domain size 1).
+    /// Correct for propagators whose pruning and verdicts depend solely
+    /// on which variables are fixed to what — like capacity forward
+    /// checking, where plain removals never change committed loads.
+    Fix,
+}
+
 /// A constraint with a pruning rule.
 pub trait Propagator: Send + Sync {
-    /// Prunes the store; reports whether anything changed or failed.
-    fn propagate(&self, store: &mut Store) -> Propagation;
+    /// Stateless from-scratch pruning — the reference semantics every
+    /// production path must agree with.
+    fn propagate_reference(&self, store: &mut Store) -> Propagation;
+
+    /// Production pruning; may exploit incremental state. The engine
+    /// guarantees it is re-invoked whenever one of [`Propagator::vars`]
+    /// sees an event matching [`Propagator::wake_on`] (including changes
+    /// the propagator itself made, so a single call need not reach its
+    /// own fixpoint). Defaults to the reference rule for stateless
+    /// propagators.
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        self.propagate_reference(store)
+    }
+
+    /// The variables this propagator watches: the event-driven engine
+    /// wakes it exactly when one of these loses a value (filtered by
+    /// [`Propagator::wake_on`]).
+    fn vars(&self) -> &[VarId];
+
+    /// Event filter for wakeups. Defaults to [`WakeOn::Removal`] (always
+    /// sound); override with [`WakeOn::Fix`] only when ignored removals
+    /// provably make re-running a no-op.
+    fn wake_on(&self) -> WakeOn {
+        WakeOn::Removal
+    }
 
     /// Constraint name for debugging.
     fn name(&self) -> &str;
@@ -40,7 +92,7 @@ pub struct AllEqual {
 }
 
 impl Propagator for AllEqual {
-    fn propagate(&self, store: &mut Store) -> Propagation {
+    fn propagate_reference(&self, store: &mut Store) -> Propagation {
         let mut changed = false;
         // Intersect: remove from each var any value missing from another.
         for value in 0..store.n_values() {
@@ -62,6 +114,38 @@ impl Propagator for AllEqual {
         }
     }
 
+    /// Word-wise production path: AND all domains into an intersection
+    /// mask, then retain it in each domain — O(vars × words) instead of
+    /// O(vars × values).
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        let Some(&first) = self.vars.first() else {
+            return Propagation::Stable;
+        };
+        let mut inter: Vec<u64> = store.domain_words(first).to_vec();
+        for &v in &self.vars[1..] {
+            for (a, &b) in inter.iter_mut().zip(store.domain_words(v)) {
+                *a &= b;
+            }
+        }
+        let mut changed = false;
+        for &v in &self.vars {
+            if store.retain_words(v, &inter) {
+                changed = true;
+            }
+        }
+        if check_empty(store, &self.vars) {
+            Propagation::Infeasible
+        } else if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
     fn name(&self) -> &str {
         "all-equal"
     }
@@ -75,7 +159,7 @@ pub struct AllDifferent {
 }
 
 impl Propagator for AllDifferent {
-    fn propagate(&self, store: &mut Store) -> Propagation {
+    fn propagate_reference(&self, store: &mut Store) -> Propagation {
         let mut changed = false;
         for (i, &v) in self.vars.iter().enumerate() {
             if !store.is_fixed(v) {
@@ -109,6 +193,10 @@ impl Propagator for AllDifferent {
         }
     }
 
+    fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
     fn name(&self) -> &str {
         "all-different"
     }
@@ -124,7 +212,7 @@ pub struct GroupAllEqual {
 }
 
 impl Propagator for GroupAllEqual {
-    fn propagate(&self, store: &mut Store) -> Propagation {
+    fn propagate_reference(&self, store: &mut Store) -> Propagation {
         let n_groups = self.group.iter().copied().max().map_or(0, |g| g + 1);
         // Groups reachable by every variable.
         let mut allowed = vec![true; n_groups];
@@ -158,6 +246,10 @@ impl Propagator for GroupAllEqual {
         }
     }
 
+    fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
     fn name(&self) -> &str {
         "group-all-equal"
     }
@@ -173,7 +265,7 @@ pub struct GroupAllDifferent {
 }
 
 impl Propagator for GroupAllDifferent {
-    fn propagate(&self, store: &mut Store) -> Propagation {
+    fn propagate_reference(&self, store: &mut Store) -> Propagation {
         let n_groups = self.group.iter().copied().max().map_or(0, |g| g + 1);
         let mut changed = false;
         // A variable whose whole domain sits in one group fixes that group.
@@ -233,6 +325,10 @@ impl Propagator for GroupAllDifferent {
         }
     }
 
+    fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
     fn name(&self) -> &str {
         "group-all-different"
     }
@@ -244,18 +340,95 @@ impl Propagator for GroupAllDifferent {
 ///
 /// Forward checking: for each value, sum the demands of items fixed to it;
 /// prune the value from any unfixed item that would overflow a dimension.
+///
+/// The production path is **incremental**: committed-load sums are cached
+/// between calls and reconciled against the store each wake-up, so a call
+/// costs O(items) plus work proportional to what actually changed — not
+/// O(values × dims) from scratch. Reconciliation compares the cached
+/// commitment of every item with its current fixed value, which makes the
+/// cache self-healing across arbitrary push/pop backtracking without any
+/// trail hooks. Touched sums are recomputed by the same ascending-item
+/// summation the reference path uses, so cached and from-scratch loads are
+/// bit-identical (no floating-point drift).
 pub struct Pack {
+    vars: Vec<VarId>,
+    demand: Vec<Vec<f64>>,
+    capacity: Vec<Vec<f64>>,
+    h: usize,
+    /// `committed[i]` — value item `i` was last seen fixed to.
+    committed: Vec<Option<usize>>,
+    /// `used[value * h + l]` — cached committed load.
+    used: Vec<f64>,
+    /// Whether a successful full sweep established the fits-invariant.
+    primed: bool,
+    /// [`Store::pop_count`] at the last successful call. A pop since then
+    /// invalidates delta reasoning: the current branch may re-fix the same
+    /// items to the same values the stale cache already recorded, hiding
+    /// genuine load growth relative to this branch's last fixpoint.
+    synced_pops: u64,
+    /// Set when the previous call returned `Infeasible`: its early return
+    /// skipped pruning, so the next call must sweep fully even if no pop
+    /// intervened.
+    poisoned: bool,
+}
+
+impl Pack {
+    /// Creates the packing constraint: `demand[i]` is the demand vector of
+    /// `vars[i]`, `capacity[value]` the capacity vector of each value.
+    pub fn new(vars: Vec<VarId>, demand: Vec<Vec<f64>>, capacity: Vec<Vec<f64>>) -> Self {
+        let h = capacity.first().map_or(0, Vec::len);
+        assert_eq!(vars.len(), demand.len(), "one demand row per variable");
+        assert!(
+            demand.iter().all(|d| d.len() == h),
+            "demand rows must match capacity dimensionality"
+        );
+        let n_items = vars.len();
+        let n_values = capacity.len();
+        Self {
+            vars,
+            demand,
+            capacity,
+            h,
+            committed: vec![None; n_items],
+            used: vec![0.0; n_values * h],
+            primed: false,
+            synced_pops: 0,
+            poisoned: false,
+        }
+    }
+
     /// The item variables.
-    pub vars: Vec<VarId>,
-    /// `demand[i]` — demand vector of item `i` (position in `vars`).
-    pub demand: Vec<Vec<f64>>,
-    /// `capacity[value]` — capacity vector of each value.
-    pub capacity: Vec<Vec<f64>>,
+    pub fn item_vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Recomputes the cached load of `value` exactly as the reference path
+    /// would: ascending-item summation over committed items.
+    fn recompute_used(&mut self, value: usize) {
+        let h = self.h;
+        self.used[value * h..(value + 1) * h].fill(0.0);
+        for (i, committed) in self.committed.iter().enumerate() {
+            if *committed == Some(value) {
+                for l in 0..h {
+                    self.used[value * h + l] += self.demand[i][l];
+                }
+            }
+        }
+    }
+
+    /// Does `value` overflow on some dimension if item `i` is added on top
+    /// of the cached committed load?
+    #[inline]
+    fn overflows(&self, i: usize, value: usize) -> bool {
+        let h = self.h;
+        (0..h)
+            .any(|l| self.used[value * h + l] + self.demand[i][l] > self.capacity[value][l] + 1e-9)
+    }
 }
 
 impl Propagator for Pack {
-    fn propagate(&self, store: &mut Store) -> Propagation {
-        let h = self.capacity.first().map_or(0, Vec::len);
+    fn propagate_reference(&self, store: &mut Store) -> Propagation {
+        let h = self.h;
         let n_values = store.n_values();
         // Committed usage per value.
         let mut used = vec![vec![0.0_f64; h]; n_values];
@@ -305,6 +478,108 @@ impl Propagator for Pack {
         }
     }
 
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        // 1. Reconcile the cache with the store. Exact in both directions:
+        //    newly fixed items are added, unfixed (backtracked) or re-fixed
+        //    items are corrected.
+        let mut touched: Vec<usize> = Vec::new();
+        let mut grew: Vec<usize> = Vec::new();
+        for (i, &v) in self.vars.iter().enumerate() {
+            let now = store.is_fixed(v).then(|| store.value(v));
+            if now != self.committed[i] {
+                if let Some(old) = self.committed[i] {
+                    touched.push(old);
+                }
+                if let Some(new) = now {
+                    touched.push(new);
+                    grew.push(new);
+                }
+                self.committed[i] = now;
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &value in &touched {
+            self.recompute_used(value);
+        }
+        grew.sort_unstable();
+        grew.dedup();
+        // 2. Delta reasoning is only sound while the store has strictly
+        //    deepened since the last *successful* call: `grew` is computed
+        //    against the cached commitments, and after a rewind the
+        //    current branch can re-fix the same items to the same values,
+        //    hiding growth relative to this branch's last fixpoint.
+        let full = !self.primed || self.poisoned || store.pop_count() != self.synced_pops;
+        // 3. Committed overflow: everywhere on a full sweep, else only
+        //    where load grew since the (trustworthy) previous call.
+        let h = self.h;
+        let overflow_candidates: Box<dyn Iterator<Item = usize>> = if full {
+            Box::new(0..self.capacity.len())
+        } else {
+            Box::new(grew.iter().copied())
+        };
+        for value in overflow_candidates {
+            for l in 0..h {
+                if self.used[value * h + l] > self.capacity[value][l] + 1e-9 {
+                    self.poisoned = true;
+                    return Propagation::Infeasible;
+                }
+            }
+        }
+        // 4. Prune unfixed items: every domain value on a full sweep,
+        //    grown values only otherwise.
+        let mut changed = false;
+        for (i, &v) in self.vars.iter().enumerate() {
+            if store.is_fixed(v) {
+                continue;
+            }
+            if full {
+                let to_remove: Vec<usize> = store
+                    .iter_domain(v)
+                    .filter(|&value| self.overflows(i, value))
+                    .collect();
+                for value in to_remove {
+                    if store.remove(v, value) {
+                        changed = true;
+                    }
+                }
+            } else {
+                for &value in &grew {
+                    if store.contains(v, value) && self.overflows(i, value) {
+                        store.remove(v, value);
+                        changed = true;
+                    }
+                }
+            }
+            if store.is_empty(v) {
+                self.poisoned = true;
+                return Propagation::Infeasible;
+            }
+        }
+        // The fits-invariant now holds for this exact store state.
+        self.primed = true;
+        self.poisoned = false;
+        self.synced_pops = store.pop_count();
+        if changed {
+            Propagation::Changed
+        } else {
+            Propagation::Stable
+        }
+    }
+
+    fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Packing only reacts to fixedness: committed loads — the sole input
+    /// to both the overflow verdict and the prune rule — change exactly
+    /// when an item becomes fixed. After a non-fixing removal the
+    /// fits-invariant from the last run still covers the (smaller)
+    /// domains, so a re-run would prune nothing.
+    fn wake_on(&self) -> WakeOn {
+        WakeOn::Fix
+    }
+
     fn name(&self) -> &str {
         "pack"
     }
@@ -319,7 +594,7 @@ mod tests {
         let mut s = Store::new(2, 4);
         s.remove(VarId(0), 0);
         s.remove(VarId(1), 3);
-        let p = AllEqual {
+        let mut p = AllEqual {
             vars: vec![VarId(0), VarId(1)],
         };
         assert_eq!(p.propagate(&mut s), Propagation::Changed);
@@ -335,7 +610,7 @@ mod tests {
         let mut s = Store::new(2, 2);
         s.fix(VarId(0), 0);
         s.fix(VarId(1), 1);
-        let p = AllEqual {
+        let mut p = AllEqual {
             vars: vec![VarId(0), VarId(1)],
         };
         assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
@@ -345,7 +620,7 @@ mod tests {
     fn all_different_forward_checks() {
         let mut s = Store::new(3, 3);
         s.fix(VarId(0), 1);
-        let p = AllDifferent {
+        let mut p = AllDifferent {
             vars: vec![VarId(0), VarId(1), VarId(2)],
         };
         assert_eq!(p.propagate(&mut s), Propagation::Changed);
@@ -356,7 +631,7 @@ mod tests {
     #[test]
     fn all_different_pigeonhole() {
         let mut s = Store::new(3, 2); // 3 vars, 2 values: impossible
-        let p = AllDifferent {
+        let mut p = AllDifferent {
             vars: vec![VarId(0), VarId(1), VarId(2)],
         };
         assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
@@ -370,7 +645,7 @@ mod tests {
         // Var 0 can only reach group 0.
         s.remove(VarId(0), 2);
         s.remove(VarId(0), 3);
-        let p = GroupAllEqual {
+        let mut p = GroupAllEqual {
             vars: vec![VarId(0), VarId(1)],
             group,
         };
@@ -384,7 +659,7 @@ mod tests {
         let group = vec![0, 0, 1, 1];
         let mut s = Store::new(2, 4);
         s.fix(VarId(0), 1); // group 0
-        let p = GroupAllDifferent {
+        let mut p = GroupAllDifferent {
             vars: vec![VarId(0), VarId(1)],
             group,
         };
@@ -397,7 +672,7 @@ mod tests {
     fn group_all_different_pigeonhole_on_groups() {
         let group = vec![0, 0, 0, 0]; // one group only
         let mut s = Store::new(2, 4);
-        let p = GroupAllDifferent {
+        let mut p = GroupAllDifferent {
             vars: vec![VarId(0), VarId(1)],
             group,
         };
@@ -410,11 +685,11 @@ mod tests {
         // demand [8]; item1 demand [5] no longer fits server0.
         let mut s = Store::new(2, 2);
         s.fix(VarId(0), 0);
-        let p = Pack {
-            vars: vec![VarId(0), VarId(1)],
-            demand: vec![vec![8.0], vec![5.0]],
-            capacity: vec![vec![10.0], vec![10.0]],
-        };
+        let mut p = Pack::new(
+            vec![VarId(0), VarId(1)],
+            vec![vec![8.0], vec![5.0]],
+            vec![vec![10.0], vec![10.0]],
+        );
         assert_eq!(p.propagate(&mut s), Propagation::Changed);
         let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
         assert_eq!(vals, vec![1]);
@@ -425,11 +700,11 @@ mod tests {
         let mut s = Store::new(2, 1);
         s.fix(VarId(0), 0);
         s.fix(VarId(1), 0);
-        let p = Pack {
-            vars: vec![VarId(0), VarId(1)],
-            demand: vec![vec![8.0], vec![5.0]],
-            capacity: vec![vec![10.0]],
-        };
+        let mut p = Pack::new(
+            vec![VarId(0), VarId(1)],
+            vec![vec![8.0], vec![5.0]],
+            vec![vec![10.0]],
+        );
         assert_eq!(p.propagate(&mut s), Propagation::Infeasible);
     }
 
@@ -438,13 +713,94 @@ mod tests {
         // Item fits on CPU but not RAM → pruned.
         let mut s = Store::new(2, 2);
         s.fix(VarId(0), 0);
-        let p = Pack {
-            vars: vec![VarId(0), VarId(1)],
-            demand: vec![vec![1.0, 9.0], vec![1.0, 2.0]],
-            capacity: vec![vec![10.0, 10.0], vec![10.0, 10.0]],
-        };
+        let mut p = Pack::new(
+            vec![VarId(0), VarId(1)],
+            vec![vec![1.0, 9.0], vec![1.0, 2.0]],
+            vec![vec![10.0, 10.0], vec![10.0, 10.0]],
+        );
         assert_eq!(p.propagate(&mut s), Propagation::Changed);
         let vals: Vec<_> = s.iter_domain(VarId(1)).collect();
         assert_eq!(vals, vec![1]);
+    }
+
+    #[test]
+    fn pack_incremental_cache_survives_backtracking() {
+        // Fix, propagate, pop, re-fix elsewhere: the reconciled cache must
+        // agree with the reference path at every step.
+        let mk = || {
+            Pack::new(
+                vec![VarId(0), VarId(1), VarId(2)],
+                vec![vec![6.0], vec![6.0], vec![3.0]],
+                vec![vec![10.0], vec![10.0], vec![10.0]],
+            )
+        };
+        let mut inc = mk();
+        let mut s = Store::new(3, 3);
+        assert_eq!(inc.propagate(&mut s), Propagation::Stable); // primes at root
+
+        s.push();
+        s.fix(VarId(0), 0);
+        assert_eq!(inc.propagate(&mut s), Propagation::Changed);
+        assert!(!s.contains(VarId(1), 0), "6+6 > 10 must prune");
+        s.pop();
+        assert!(s.contains(VarId(1), 0), "pop restores the pruned value");
+
+        s.push();
+        s.fix(VarId(0), 1);
+        assert_eq!(inc.propagate(&mut s), Propagation::Changed);
+        assert!(!s.contains(VarId(1), 1));
+        assert!(s.contains(VarId(1), 0), "server 0 is free again");
+
+        // Cross-check the final domains against a fresh reference run.
+        let reference = mk();
+        let mut s2 = Store::new(3, 3);
+        s2.fix(VarId(0), 1);
+        while reference.propagate_reference(&mut s2) == Propagation::Changed {}
+        for v in 0..3 {
+            let a: Vec<_> = s.iter_domain(VarId(v)).collect();
+            let b: Vec<_> = s2.iter_domain(VarId(v)).collect();
+            assert_eq!(a, b, "var {v} diverged from reference");
+        }
+    }
+
+    #[test]
+    fn production_paths_match_reference_fixpoints() {
+        // Run each stateless propagator's production and reference paths
+        // on identical stores; domains must match exactly.
+        let scenarios: Vec<(Box<dyn Propagator>, Box<dyn Propagator>)> = vec![
+            (
+                Box::new(AllEqual {
+                    vars: vec![VarId(0), VarId(1)],
+                }),
+                Box::new(AllEqual {
+                    vars: vec![VarId(0), VarId(1)],
+                }),
+            ),
+            (
+                Box::new(GroupAllEqual {
+                    vars: vec![VarId(0), VarId(1)],
+                    group: vec![0, 0, 1, 1, 1],
+                }),
+                Box::new(GroupAllEqual {
+                    vars: vec![VarId(0), VarId(1)],
+                    group: vec![0, 0, 1, 1, 1],
+                }),
+            ),
+        ];
+        for (mut prod, reference) in scenarios {
+            let mut a = Store::new(2, 5);
+            let mut b = Store::new(2, 5);
+            for s in [&mut a, &mut b] {
+                s.remove(VarId(0), 0);
+                s.remove(VarId(1), 4);
+            }
+            while prod.propagate(&mut a) == Propagation::Changed {}
+            while reference.propagate_reference(&mut b) == Propagation::Changed {}
+            for v in 0..2 {
+                let da: Vec<_> = a.iter_domain(VarId(v)).collect();
+                let db: Vec<_> = b.iter_domain(VarId(v)).collect();
+                assert_eq!(da, db, "{} var {v}", prod.name());
+            }
+        }
     }
 }

@@ -1,9 +1,26 @@
-//! Depth-first search with propagation: first-fail variable order,
-//! configurable value order, optional branch-and-bound optimisation and a
-//! wall-clock deadline (the paper aborts CP past its response-time budget).
+//! Depth-first search with event-driven constraint propagation: per-variable
+//! watcher lists, a deduplicated propagation queue drained to fixpoint,
+//! first-fail variable order, configurable value order, optional
+//! branch-and-bound optimisation and a wall-clock deadline (the paper
+//! aborts CP past its response-time budget).
+//!
+//! Two interchangeable engines drive propagation:
+//!
+//! * [`Engine::Queued`] (default) — only propagators watching a variable
+//!   that actually changed are (re-)queued, with an in-queue bitmask
+//!   deduplicating wakeups and per-propagator event filters
+//!   ([`crate::propagator::WakeOn`]) skipping wakeups that provably
+//!   cannot prune. After a branching decision, the queue is seeded from
+//!   the trail delta, so a node costs work proportional to what the
+//!   decision disturbed.
+//! * [`Engine::Reference`] — the original full-fixpoint loop: every
+//!   propagator re-runs in every round until a whole round changes
+//!   nothing. Kept verbatim so the differential test suite can prove the
+//!   queued engine reaches bit-identical fixpoints and solve outcomes.
 
-use crate::propagator::{Propagation, Propagator};
+use crate::propagator::{Propagation, Propagator, WakeOn};
 use crate::store::{Store, VarId};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Value-ordering heuristic for branching.
@@ -21,6 +38,17 @@ pub enum ValueOrder {
     },
 }
 
+/// Which propagation engine drives the search.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Event-driven: watcher lists + deduplicated propagation queue.
+    #[default]
+    Queued,
+    /// The pre-event full-fixpoint loop (every propagator, every round).
+    /// Exists for the differential test layer; not for production use.
+    Reference,
+}
+
 /// Search configuration.
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
@@ -30,6 +58,8 @@ pub struct SearchConfig {
     pub value_order: ValueOrder,
     /// Node expansion budget; `None` = unlimited.
     pub max_nodes: Option<usize>,
+    /// Propagation engine.
+    pub engine: Engine,
 }
 
 impl Default for SearchConfig {
@@ -38,6 +68,7 @@ impl Default for SearchConfig {
             deadline: None,
             value_order: ValueOrder::Lex,
             max_nodes: None,
+            engine: Engine::Queued,
         }
     }
 }
@@ -63,14 +94,31 @@ impl Outcome {
     }
 }
 
-/// A CSP: a store plus its propagators.
+/// A CSP: a store, its propagators and the event-driven propagation state
+/// (watcher lists, wake queue, trail cursor).
 pub struct Csp {
     /// The variable store.
     pub store: Store,
     /// The constraint propagators.
-    pub propagators: Vec<Box<dyn Propagator>>,
+    propagators: Vec<Box<dyn Propagator>>,
+    /// `watchers[var]` — indices of propagators watching `var`.
+    watchers: Vec<Vec<u32>>,
+    /// `wake_on[p]` — cached event filter of propagator `p`: propagators
+    /// subscribed to [`WakeOn::Fix`] are only woken by a trail entry whose
+    /// variable is (now) fixed.
+    wake_on: Vec<WakeOn>,
+    /// Pending wakeups (propagator indices), deduplicated by `in_queue`.
+    queue: VecDeque<u32>,
+    /// In-queue bitmask: `in_queue[p]` ⇔ `p` is already enqueued.
+    in_queue: Vec<bool>,
+    /// Trail cursor: everything in `store.trail[seen..]` is dirty.
+    seen: usize,
     /// Individual propagator invocations performed so far.
     propagations: u64,
+    /// Propagator enqueue events (queued engine).
+    wakeups: u64,
+    /// Fixpoint computations started (queue drains / reference rounds).
+    rounds: u64,
 }
 
 impl Csp {
@@ -79,13 +127,32 @@ impl Csp {
         Self {
             store: Store::new(n_vars, n_values),
             propagators: Vec::new(),
+            watchers: vec![Vec::new(); n_vars],
+            wake_on: Vec::new(),
+            queue: VecDeque::new(),
+            in_queue: Vec::new(),
+            seen: 0,
             propagations: 0,
+            wakeups: 0,
+            rounds: 0,
         }
     }
 
-    /// Adds a propagator.
+    /// Adds a propagator and registers it on the watcher list of every
+    /// variable it constrains.
     pub fn add(&mut self, p: Box<dyn Propagator>) {
+        let idx = self.propagators.len() as u32;
+        for &v in p.vars() {
+            self.watchers[v.index()].push(idx);
+        }
+        self.wake_on.push(p.wake_on());
         self.propagators.push(p);
+        self.in_queue.push(false);
+    }
+
+    /// Number of registered propagators.
+    pub fn n_propagators(&self) -> usize {
+        self.propagators.len()
     }
 
     /// Total propagator invocations performed on this CSP so far (across
@@ -94,21 +161,150 @@ impl Csp {
         self.propagations
     }
 
-    /// Runs all propagators to fixpoint. Returns `false` on failure.
+    /// Total propagator enqueue events (queued engine only).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Total fixpoint computations started (queue drains and reference
+    /// rounds both count once per `propagate*` call).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Pushes a backtracking checkpoint (store checkpoint + engine sync).
+    pub fn push(&mut self) {
+        self.store.push();
+    }
+
+    /// Pops to the last checkpoint: restores the store and resets the
+    /// engine's queue and trail cursor (undone changes need no wakeups).
+    pub fn pop(&mut self) {
+        self.store.pop();
+        self.clear_queue();
+        self.seen = self.store.trail_len();
+    }
+
+    fn clear_queue(&mut self) {
+        for idx in self.queue.drain(..) {
+            self.in_queue[idx as usize] = false;
+        }
+    }
+
+    fn enqueue(&mut self, idx: u32) {
+        if !self.in_queue[idx as usize] {
+            self.in_queue[idx as usize] = true;
+            self.queue.push_back(idx);
+            self.wakeups += 1;
+        }
+    }
+
+    /// Wakes every propagator watching a variable touched on the trail
+    /// since the cursor.
+    fn seed_from_trail(&mut self) {
+        let from = self.seen.min(self.store.trail_len());
+        self.seed_from_trail_from(from);
+    }
+
+    /// Drains the wake queue to fixpoint. Returns `false` on failure.
+    fn drain(&mut self) -> bool {
+        self.rounds += 1;
+        while let Some(idx) = self.queue.pop_front() {
+            self.in_queue[idx as usize] = false;
+            self.propagations += 1;
+            let before = self.store.trail_len();
+            let result = self.propagators[idx as usize].propagate(&mut self.store);
+            match result {
+                Propagation::Infeasible => {
+                    self.clear_queue();
+                    self.seen = self.store.trail_len();
+                    return false;
+                }
+                Propagation::Changed | Propagation::Stable => {
+                    // Wake watchers of everything that changed — including
+                    // this propagator itself, so a single call need not
+                    // reach its own fixpoint.
+                    if self.store.trail_len() > before {
+                        self.seed_from_trail_from(before);
+                    }
+                }
+            }
+        }
+        self.seen = self.store.trail_len();
+        true
+    }
+
+    fn seed_from_trail_from(&mut self, from: usize) {
+        let len = self.store.trail_len();
+        for t in from..len {
+            let var = self.store.trail_var(t);
+            // Domains only shrink between checkpoints, so "fixed now" is
+            // exactly "became fixed by (or before) this entry's removal" —
+            // the fix event [`WakeOn::Fix`] subscribers wait for.
+            let fixed = self.store.is_fixed(VarId(var));
+            for w in 0..self.watchers[var].len() {
+                let idx = self.watchers[var][w];
+                if self.wake_on[idx as usize] == WakeOn::Fix && !fixed {
+                    continue;
+                }
+                self.enqueue(idx);
+            }
+        }
+        self.seen = len;
+    }
+
+    /// Runs propagation to fixpoint with a full wake of every propagator
+    /// (correct regardless of how the store was manipulated). Returns
+    /// `false` on failure.
     pub fn propagate(&mut self) -> bool {
+        for idx in 0..self.propagators.len() as u32 {
+            self.enqueue(idx);
+        }
+        self.seen = self.store.trail_len();
+        self.drain()
+    }
+
+    /// Runs propagation to fixpoint waking only propagators whose watched
+    /// variables changed since the last propagation (the per-node hot
+    /// path after a branching decision). Returns `false` on failure.
+    pub fn propagate_dirty(&mut self) -> bool {
+        self.seed_from_trail();
+        self.drain()
+    }
+
+    /// The original full-fixpoint loop: every propagator re-runs in every
+    /// round until a whole round changes nothing. Reference semantics for
+    /// the differential tests. Returns `false` on failure.
+    pub fn propagate_reference(&mut self) -> bool {
+        self.rounds += 1;
         loop {
             let mut any_change = false;
             for p in &self.propagators {
                 self.propagations += 1;
-                match p.propagate(&mut self.store) {
-                    Propagation::Infeasible => return false,
+                match p.propagate_reference(&mut self.store) {
+                    Propagation::Infeasible => {
+                        self.seen = self.store.trail_len();
+                        return false;
+                    }
                     Propagation::Changed => any_change = true,
                     Propagation::Stable => {}
                 }
             }
             if !any_change {
+                self.seen = self.store.trail_len();
                 return true;
             }
+        }
+    }
+
+    /// Fixpoint propagation under the given engine, seeding from the
+    /// trail delta when `dirty` (only meaningful for the queued engine —
+    /// the reference engine always re-runs everything).
+    fn propagate_with(&mut self, engine: Engine, dirty: bool) -> bool {
+        match engine {
+            Engine::Queued if dirty => self.propagate_dirty(),
+            Engine::Queued => self.propagate(),
+            Engine::Reference => self.propagate_reference(),
         }
     }
 }
@@ -124,6 +320,8 @@ pub struct SearchStats {
     pub solutions: usize,
     /// Propagator invocations during this search.
     pub propagations: u64,
+    /// Propagator enqueue events during this search (queued engine).
+    pub wakeups: u64,
 }
 
 fn ordered_values(store: &Store, var: VarId, order: &ValueOrder) -> Vec<usize> {
@@ -182,12 +380,14 @@ pub fn solve_with_restarts(
             value_order: ValueOrder::Shuffled {
                 seed: base_seed.wrapping_add(attempt as u64),
             },
+            ..Default::default()
         };
         let (outcome, stats) = solve(csp, &config);
         total.nodes += stats.nodes;
         total.backtracks += stats.backtracks;
         total.solutions += stats.solutions;
         total.propagations += stats.propagations;
+        total.wakeups += stats.wakeups;
         match outcome {
             Outcome::Timeout => {
                 nodes = nodes.saturating_mul(2);
@@ -205,12 +405,14 @@ pub fn solve(csp: &mut Csp, config: &SearchConfig) -> (Outcome, SearchStats) {
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let before = csp.propagations;
-    let outcome = if !csp.propagate() {
+    let before_wake = csp.wakeups;
+    let outcome = if !csp.propagate_with(config.engine, false) {
         Outcome::Infeasible
     } else {
         dfs_first(csp, config, start, &mut stats)
     };
     stats.propagations = csp.propagations - before;
+    stats.wakeups = csp.wakeups - before_wake;
     report_search(&mut sp, outcome_label(&outcome), &stats);
     (outcome, stats)
 }
@@ -227,8 +429,10 @@ fn report_search(sp: &mut cpo_obs::SpanGuard, outcome: &str, stats: &SearchStats
     sp.field("outcome", outcome)
         .field("nodes", stats.nodes)
         .field("backtracks", stats.backtracks)
-        .field("propagations", stats.propagations);
+        .field("propagations", stats.propagations)
+        .field("wakeups", stats.wakeups);
     cpo_obs::counter_add("cp.propagations", stats.propagations);
+    cpo_obs::counter_add("cp.wakeups", stats.wakeups);
     cpo_obs::counter_add("cp.backtracks", stats.backtracks as u64);
     cpo_obs::counter_add("cp.decisions", stats.nodes as u64);
 }
@@ -264,19 +468,19 @@ fn dfs_first(
     let values = ordered_values(&csp.store, var, &config.value_order);
     let mut timed_out = false;
     for value in values {
-        csp.store.push();
+        csp.push();
         csp.store.fix(var, value);
-        if csp.propagate() {
+        if csp.propagate_with(config.engine, true) {
             match dfs_first(csp, config, start, stats) {
                 Outcome::Solution(s) => {
-                    csp.store.pop();
+                    csp.pop();
                     return Outcome::Solution(s);
                 }
                 Outcome::Timeout => timed_out = true,
                 Outcome::Infeasible => {}
             }
         }
-        csp.store.pop();
+        csp.pop();
         stats.backtracks += 1;
         if timed_out || budget_exceeded(config, start, stats) {
             return Outcome::Timeout;
@@ -300,14 +504,17 @@ pub fn optimize(
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let before = csp.propagations;
-    if !csp.propagate() {
+    let before_wake = csp.wakeups;
+    if !csp.propagate_with(config.engine, false) {
         stats.propagations = csp.propagations - before;
+        stats.wakeups = csp.wakeups - before_wake;
         report_search(&mut sp, "infeasible", &stats);
         return (None, true, stats); // proven infeasible
     }
     let mut best: Option<(Vec<usize>, f64)> = None;
     let complete = bnb(csp, cost, config, start, &mut stats, &mut best);
     stats.propagations = csp.propagations - before;
+    stats.wakeups = csp.wakeups - before_wake;
     let label = match (&best, complete) {
         (Some(_), true) => "optimal",
         (Some(_), false) => "feasible",
@@ -364,12 +571,12 @@ fn bnb(
     let values = ordered_values(&csp.store, var, &config.value_order);
     let mut complete = true;
     for value in values {
-        csp.store.push();
+        csp.push();
         csp.store.fix(var, value);
-        if csp.propagate() {
+        if csp.propagate_with(config.engine, true) {
             complete &= bnb(csp, cost, config, start, stats, best);
         }
-        csp.store.pop();
+        csp.pop();
         stats.backtracks += 1;
         if budget_exceeded(config, start, stats) {
             return false;
@@ -437,20 +644,20 @@ mod tests {
         // one item, the other two → but 12 > 10, so actually infeasible?
         // 6+6=12 > 10 → at most one item per bin → 3 items need 3 bins.
         let mut csp = Csp::new(3, 2);
-        csp.add(Box::new(Pack {
-            vars: vec![VarId(0), VarId(1), VarId(2)],
-            demand: vec![vec![6.0]; 3],
-            capacity: vec![vec![10.0]; 2],
-        }));
+        csp.add(Box::new(Pack::new(
+            vec![VarId(0), VarId(1), VarId(2)],
+            vec![vec![6.0]; 3],
+            vec![vec![10.0]; 2],
+        )));
         let (outcome, _) = solve(&mut csp, &SearchConfig::default());
         assert_eq!(outcome, Outcome::Infeasible);
         // With capacity 12, two fit in one bin.
         let mut csp = Csp::new(3, 2);
-        csp.add(Box::new(Pack {
-            vars: vec![VarId(0), VarId(1), VarId(2)],
-            demand: vec![vec![6.0]; 3],
-            capacity: vec![vec![12.0]; 2],
-        }));
+        csp.add(Box::new(Pack::new(
+            vec![VarId(0), VarId(1), VarId(2)],
+            vec![vec![6.0]; 3],
+            vec![vec![12.0]; 2],
+        )));
         let (outcome, _) = solve(&mut csp, &SearchConfig::default());
         assert!(outcome.solution().is_some());
     }
@@ -587,5 +794,66 @@ mod tests {
         let mut csp = Csp::new(2, 3);
         let (outcome, _) = solve(&mut csp, &SearchConfig::default());
         assert_eq!(outcome.solution().unwrap(), &[0, 0]);
+    }
+
+    #[test]
+    fn reference_engine_agrees_on_every_small_outcome() {
+        // Same problems as above under Engine::Reference: identical
+        // solutions, node counts and backtracks (only propagation effort
+        // may differ).
+        let build = || {
+            let mut csp = Csp::new(4, 4);
+            csp.add(Box::new(AllDifferent {
+                vars: (0..3).map(VarId).collect(),
+            }));
+            csp.add(Box::new(Pack::new(
+                (0..4).map(VarId).collect(),
+                vec![vec![2.0]; 4],
+                vec![vec![5.0]; 4],
+            )));
+            csp
+        };
+        let queued_cfg = SearchConfig::default();
+        let reference_cfg = SearchConfig {
+            engine: Engine::Reference,
+            ..Default::default()
+        };
+        let (oq, sq) = solve(&mut build(), &queued_cfg);
+        let (orf, sr) = solve(&mut build(), &reference_cfg);
+        assert_eq!(oq, orf);
+        assert_eq!(sq.nodes, sr.nodes);
+        assert_eq!(sq.backtracks, sr.backtracks);
+        assert!(
+            sq.propagations <= sr.propagations,
+            "queued ({}) must not exceed reference ({})",
+            sq.propagations,
+            sr.propagations
+        );
+    }
+
+    #[test]
+    fn queued_engine_skips_unrelated_propagators() {
+        // Two disjoint constraints: branching on vars of one must not wake
+        // the other after the root fixpoint.
+        let mut csp = Csp::new(6, 6);
+        csp.add(Box::new(AllDifferent {
+            vars: (0..3).map(VarId).collect(),
+        }));
+        csp.add(Box::new(AllDifferent {
+            vars: (3..6).map(VarId).collect(),
+        }));
+        assert!(csp.propagate());
+        let after_root = csp.propagations();
+        csp.push();
+        csp.store.fix(VarId(0), 0);
+        assert!(csp.propagate_dirty());
+        // Only the first all-different (+ its self-wakes) may run: the
+        // second watches none of the dirty vars.
+        let per_node = csp.propagations() - after_root;
+        assert!(
+            per_node <= 3,
+            "disjoint propagator was woken: {per_node} invocations"
+        );
+        csp.pop();
     }
 }

@@ -1,10 +1,16 @@
 //! Variable store: finite integer domains with trail-based backtracking.
 //!
 //! Every variable ranges over `0..n_values` (for the allocation problem:
-//! server indices). Removals are recorded on a trail so the DFS can undo
-//! them in O(#removals) instead of copying domains — the standard CP
-//! design, and the reason the solver can explore deep trees over
-//! 800-server domains without blowing memory.
+//! server indices). Domains are packed `u64` bitset words — `contains` /
+//! `remove` are O(1) bit operations and iteration walks whole words with
+//! `trailing_zeros`, so an 800-server domain is 13 words, not 800 bools.
+//! Removals are recorded on a trail so the DFS can undo them in
+//! O(#trail entries) instead of copying domains — the standard CP design.
+//! The trail is word-granular: one entry records *all* bits cleared in one
+//! word by one operation, which makes `fix` on a wide domain O(words)
+//! instead of O(values). The trail doubles as the propagation engine's
+//! change log: everything after a cursor position is "dirty since last
+//! seen" (see [`crate::search::Csp`]).
 
 /// Index of a decision variable.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -18,17 +24,33 @@ impl VarId {
     }
 }
 
+/// One trail record: the bits of one word of one variable's domain that a
+/// single operation cleared. `pop` ORs them back.
+#[derive(Clone, Copy, Debug)]
+struct TrailEntry {
+    var: u32,
+    word: u32,
+    cleared: u64,
+}
+
 /// The store of all variable domains plus the backtracking trail.
 #[derive(Clone, Debug)]
 pub struct Store {
-    /// `mask[var][value]` — is `value` still in `var`'s domain?
-    mask: Vec<Vec<bool>>,
+    /// Packed domains: `words[var * wpv + w]` holds values
+    /// `64w..64(w+1)` of `var`'s domain.
+    words: Vec<u64>,
+    /// Words per variable.
+    wpv: usize,
     /// Domain cardinalities.
     size: Vec<usize>,
-    /// Trail of performed removals `(var, value)`.
-    trail: Vec<(usize, usize)>,
+    /// Trail of performed removals, word-granular.
+    trail: Vec<TrailEntry>,
     /// Checkpoint stack: trail lengths.
     marks: Vec<usize>,
+    /// Monotone count of pops ever performed — lets incremental
+    /// propagators detect that the store rewound since their last call
+    /// (a regrown trail can mask a pop from length comparisons alone).
+    pops: u64,
     n_values: usize,
 }
 
@@ -36,18 +58,30 @@ impl Store {
     /// Creates `n_vars` variables each with full domain `0..n_values`.
     pub fn new(n_vars: usize, n_values: usize) -> Self {
         assert!(n_values > 0, "domains must be non-empty");
+        let wpv = n_values.div_ceil(64);
+        let mut full = vec![u64::MAX; wpv];
+        let tail = n_values % 64;
+        if tail != 0 {
+            full[wpv - 1] = (1u64 << tail) - 1;
+        }
+        let mut words = Vec::with_capacity(n_vars * wpv);
+        for _ in 0..n_vars {
+            words.extend_from_slice(&full);
+        }
         Self {
-            mask: vec![vec![true; n_values]; n_vars],
+            words,
+            wpv,
             size: vec![n_values; n_vars],
             trail: Vec::new(),
             marks: Vec::new(),
+            pops: 0,
             n_values,
         }
     }
 
     /// Number of variables.
     pub fn n_vars(&self) -> usize {
-        self.mask.len()
+        self.size.len()
     }
 
     /// Number of potential values per variable.
@@ -58,7 +92,9 @@ impl Store {
     /// Is `value` still in `var`'s domain?
     #[inline]
     pub fn contains(&self, var: VarId, value: usize) -> bool {
-        self.mask[var.index()][value]
+        debug_assert!(value < self.n_values);
+        let w = self.words[var.index() * self.wpv + (value >> 6)];
+        (w >> (value & 63)) & 1 == 1
     }
 
     /// Domain cardinality of `var`.
@@ -85,33 +121,58 @@ impl Store {
     /// Panics if the variable is not fixed.
     pub fn value(&self, var: VarId) -> usize {
         assert!(self.is_fixed(var), "variable {var:?} is not fixed");
-        self.iter_domain(var)
-            .next()
-            .expect("fixed domain has one value")
+        let base = var.index() * self.wpv;
+        for w in 0..self.wpv {
+            let word = self.words[base + w];
+            if word != 0 {
+                return (w << 6) + word.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("fixed domain has one value")
     }
 
     /// Iterator over the remaining values of `var`, ascending.
-    pub fn iter_domain(&self, var: VarId) -> impl Iterator<Item = usize> + '_ {
-        self.mask[var.index()]
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &in_dom)| in_dom.then_some(v))
+    pub fn iter_domain(&self, var: VarId) -> DomainIter<'_> {
+        let base = var.index() * self.wpv;
+        let words = &self.words[base..base + self.wpv];
+        DomainIter {
+            words,
+            word_idx: 0,
+            current: words[0],
+        }
+    }
+
+    /// The raw bitset words of `var`'s domain — `value v` is bit `v % 64`
+    /// of word `v / 64`. Exposed for word-wise propagator loops and for
+    /// bit-identical domain comparisons in the differential tests.
+    #[inline]
+    pub fn domain_words(&self, var: VarId) -> &[u64] {
+        let base = var.index() * self.wpv;
+        &self.words[base..base + self.wpv]
     }
 
     /// Removes `value` from `var`'s domain (recorded on the trail).
     /// Returns `true` when the domain actually changed.
     pub fn remove(&mut self, var: VarId, value: usize) -> bool {
-        let m = &mut self.mask[var.index()];
-        if !m[value] {
+        debug_assert!(value < self.n_values);
+        let word = value >> 6;
+        let bit = 1u64 << (value & 63);
+        let w = &mut self.words[var.index() * self.wpv + word];
+        if *w & bit == 0 {
             return false;
         }
-        m[value] = false;
+        *w &= !bit;
         self.size[var.index()] -= 1;
-        self.trail.push((var.index(), value));
+        self.trail.push(TrailEntry {
+            var: var.index() as u32,
+            word: word as u32,
+            cleared: bit,
+        });
         true
     }
 
-    /// Fixes `var` to `value` by removing every other value.
+    /// Fixes `var` to `value` by removing every other value, word-wise:
+    /// one trail entry per touched word instead of one per removed value.
     /// Returns `true` when the domain changed.
     ///
     /// # Panics
@@ -121,10 +182,47 @@ impl Store {
             self.contains(var, value),
             "fixing {var:?} to removed value {value}"
         );
+        let base = var.index() * self.wpv;
+        let keep_word = value >> 6;
+        let keep_bit = 1u64 << (value & 63);
         let mut changed = false;
-        for v in 0..self.n_values {
-            if v != value && self.mask[var.index()][v] {
-                self.remove(var, v);
+        for w in 0..self.wpv {
+            let keep = if w == keep_word { keep_bit } else { 0 };
+            let old = self.words[base + w];
+            let cleared = old & !keep;
+            if cleared != 0 {
+                self.words[base + w] = old & keep;
+                self.size[var.index()] -= cleared.count_ones() as usize;
+                self.trail.push(TrailEntry {
+                    var: var.index() as u32,
+                    word: w as u32,
+                    cleared,
+                });
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Removes from `var` every value whose bit is *not* set in `allowed`
+    /// (a word mask shaped like [`Store::domain_words`]), word-wise: one
+    /// trail entry per touched word. Returns `true` when the domain
+    /// changed.
+    pub fn retain_words(&mut self, var: VarId, allowed: &[u64]) -> bool {
+        assert_eq!(allowed.len(), self.wpv, "mask must span the domain");
+        let base = var.index() * self.wpv;
+        let mut changed = false;
+        for (w, &keep) in allowed.iter().enumerate() {
+            let old = self.words[base + w];
+            let cleared = old & !keep;
+            if cleared != 0 {
+                self.words[base + w] = old & keep;
+                self.size[var.index()] -= cleared.count_ones() as usize;
+                self.trail.push(TrailEntry {
+                    var: var.index() as u32,
+                    word: w as u32,
+                    cleared,
+                });
                 changed = true;
             }
         }
@@ -143,10 +241,40 @@ impl Store {
     pub fn pop(&mut self) {
         let mark = self.marks.pop().expect("pop without matching push");
         while self.trail.len() > mark {
-            let (var, value) = self.trail.pop().expect("trail length checked");
-            self.mask[var][value] = true;
-            self.size[var] += 1;
+            let e = self.trail.pop().expect("trail length checked");
+            self.words[e.var as usize * self.wpv + e.word as usize] |= e.cleared;
+            self.size[e.var as usize] += e.cleared.count_ones() as usize;
         }
+        self.pops += 1;
+    }
+
+    /// Total pops ever performed (monotone). Incremental propagators
+    /// compare this against the value seen at their last call: unchanged
+    /// means the store only deepened since, so deltas are trustworthy.
+    #[inline]
+    pub fn pop_count(&self) -> u64 {
+        self.pops
+    }
+
+    /// Number of active checkpoints.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Current trail length — a monotone-within-a-level change cursor:
+    /// every domain change since a recorded position appears in
+    /// `trail[pos..]`. Shrinks only on [`Store::pop`].
+    #[inline]
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// The variable touched by trail entry `i` (used by the propagation
+    /// engine to wake watchers of dirty variables).
+    #[inline]
+    pub(crate) fn trail_var(&self, i: usize) -> usize {
+        self.trail[i].var as usize
     }
 
     /// Extracts a full solution when every variable is fixed.
@@ -165,6 +293,33 @@ impl Store {
             .filter(|&v| self.size[v] > 1)
             .min_by_key(|&v| self.size[v])
             .map(VarId)
+    }
+}
+
+/// Word-wise ascending iterator over a domain (see [`Store::iter_domain`]).
+pub struct DomainIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for DomainIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.word_idx << 6) + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
     }
 }
 
@@ -248,6 +403,50 @@ mod tests {
         s.remove(VarId(0), 3);
         let vals: Vec<_> = s.iter_domain(VarId(0)).collect();
         assert_eq!(vals, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn wide_domains_cross_word_boundaries() {
+        // 130 values = 3 words; exercise removal, fix and pop across all.
+        let mut s = Store::new(2, 130);
+        assert_eq!(s.domain_size(VarId(0)), 130);
+        assert!(s.contains(VarId(0), 129));
+        assert!(s.remove(VarId(0), 64));
+        assert!(s.remove(VarId(0), 128));
+        assert_eq!(s.domain_size(VarId(0)), 128);
+        let vals: Vec<_> = s.iter_domain(VarId(0)).collect();
+        assert_eq!(vals.len(), 128);
+        assert!(!vals.contains(&64) && !vals.contains(&128));
+
+        s.push();
+        s.fix(VarId(0), 100);
+        assert_eq!(s.value(VarId(0)), 100);
+        assert_eq!(s.domain_size(VarId(0)), 1);
+        s.pop();
+        assert_eq!(s.domain_size(VarId(0)), 128);
+        assert!(s.contains(VarId(0), 0) && s.contains(VarId(0), 129));
+        assert!(!s.contains(VarId(0), 64), "pre-checkpoint removal kept");
+    }
+
+    #[test]
+    fn exact_word_multiple_domain() {
+        let mut s = Store::new(1, 64);
+        assert_eq!(s.domain_size(VarId(0)), 64);
+        assert_eq!(s.iter_domain(VarId(0)).count(), 64);
+        s.fix(VarId(0), 63);
+        assert_eq!(s.value(VarId(0)), 63);
+    }
+
+    #[test]
+    fn trail_len_tracks_changes_word_wise() {
+        let mut s = Store::new(1, 100);
+        assert_eq!(s.trail_len(), 0);
+        s.remove(VarId(0), 3);
+        assert_eq!(s.trail_len(), 1);
+        // fix on a 2-word domain: at most one entry per word.
+        s.fix(VarId(0), 70);
+        assert!(s.trail_len() <= 3);
+        assert_eq!(s.trail_var(0), 0);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Per-propagator properties, checked on random stores for each of the
+//! five constraint shapes:
+//!
+//! * **monotone** — a call never re-adds a value (domains only shrink),
+//! * **idempotent** — once a call returns `Stable`, both the production
+//!   and the reference path return `Stable` again on the fixpoint,
+//! * **sound vs brute force** — every value removed has no support among
+//!   the pre-propagation domains, and an `Infeasible` verdict means the
+//!   brute-force filter finds no satisfying assignment at all.
+//!
+//! Completeness (GAC) is deliberately *not* asserted: the packing
+//! propagator forward-checks only fixed items, which is the semantics the
+//! differential suite pins down.
+
+use cpo_cpsolve::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Shape {
+    AllEq,
+    AllDiff,
+    GroupEq,
+    GroupDiff,
+    Pack,
+}
+
+/// A random single-propagator case: a store with some values pre-removed
+/// plus one constraint over all variables.
+#[derive(Clone, Debug)]
+struct Case {
+    shape: Shape,
+    n_vars: usize,
+    n_values: usize,
+    n_groups: usize,
+    removals: Vec<(usize, usize)>,
+    demand: Vec<f64>,
+    capacity: f64,
+}
+
+impl Case {
+    fn groups(&self) -> Vec<usize> {
+        (0..self.n_values).map(|j| j % self.n_groups).collect()
+    }
+
+    fn store(&self) -> Store {
+        let mut store = Store::new(self.n_vars, self.n_values);
+        for &(var, value) in &self.removals {
+            let (var, value) = (VarId(var % self.n_vars), value % self.n_values);
+            if store.domain_size(var) > 1 && store.contains(var, value) {
+                store.remove(var, value);
+            }
+        }
+        store
+    }
+
+    fn propagator(&self) -> Box<dyn Propagator> {
+        let vars: Vec<VarId> = (0..self.n_vars).map(VarId).collect();
+        match self.shape {
+            Shape::AllEq => Box::new(AllEqual { vars }),
+            Shape::AllDiff => Box::new(AllDifferent { vars }),
+            Shape::GroupEq => Box::new(GroupAllEqual {
+                vars,
+                group: self.groups(),
+            }),
+            Shape::GroupDiff => Box::new(GroupAllDifferent {
+                vars,
+                group: self.groups(),
+            }),
+            Shape::Pack => Box::new(Pack::new(
+                vars,
+                self.demand.iter().map(|&d| vec![d]).collect(),
+                vec![vec![self.capacity]; self.n_values],
+            )),
+        }
+    }
+
+    /// Does a complete assignment satisfy this constraint?
+    fn satisfied(&self, assignment: &[usize]) -> bool {
+        match self.shape {
+            Shape::AllEq => assignment.windows(2).all(|w| w[0] == w[1]),
+            Shape::AllDiff => {
+                let mut seen = vec![false; self.n_values];
+                assignment
+                    .iter()
+                    .all(|&v| !std::mem::replace(&mut seen[v], true))
+            }
+            Shape::GroupEq => {
+                let g = self.groups();
+                assignment.windows(2).all(|w| g[w[0]] == g[w[1]])
+            }
+            Shape::GroupDiff => {
+                let g = self.groups();
+                let mut seen = vec![false; self.n_groups];
+                assignment
+                    .iter()
+                    .all(|&v| !std::mem::replace(&mut seen[g[v]], true))
+            }
+            Shape::Pack => {
+                let mut load = vec![0.0_f64; self.n_values];
+                for (i, &v) in assignment.iter().enumerate() {
+                    load[v] += self.demand[i];
+                }
+                load.iter().all(|&l| l <= self.capacity + 1e-9)
+            }
+        }
+    }
+}
+
+fn domains(store: &Store, n_vars: usize) -> Vec<Vec<usize>> {
+    (0..n_vars)
+        .map(|v| store.iter_domain(VarId(v)).collect())
+        .collect()
+}
+
+/// All complete assignments drawn from the given domains.
+fn assignments(domains: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for d in domains {
+        let mut next = Vec::with_capacity(out.len() * d.len());
+        for prefix in &out {
+            for &v in d {
+                let mut a = prefix.clone();
+                a.push(v);
+                next.push(a);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn case_strategy(shape: Shape) -> impl Strategy<Value = Case> {
+    (2usize..5, 2usize..5, 2usize..3).prop_flat_map(move |(n_vars, n_values, n_groups)| {
+        (
+            proptest::collection::vec((0..n_vars, 0..n_values), 0..6),
+            proptest::collection::vec(1.0_f64..6.0, n_vars),
+            4.0_f64..14.0,
+        )
+            .prop_map(move |(removals, demand, capacity)| Case {
+                shape,
+                n_vars,
+                n_values,
+                n_groups,
+                removals,
+                demand,
+                capacity,
+            })
+    })
+}
+
+/// The shared property: monotone, idempotent (both paths) and sound
+/// against the brute-force filter over the initial domains.
+fn check(case: &Case) -> Result<(), String> {
+    let mut store = case.store();
+    let initial = domains(&store, case.n_vars);
+    let mut p = case.propagator();
+
+    // Run the production path to this propagator's local fixpoint,
+    // checking monotonicity at every call.
+    let mut verdict = Propagation::Changed;
+    for round in 0..(case.n_vars * case.n_values + 2) {
+        let before = domains(&store, case.n_vars);
+        verdict = p.propagate(&mut store);
+        let after = domains(&store, case.n_vars);
+        for (v, (b, a)) in before.iter().zip(&after).enumerate() {
+            if !a.iter().all(|x| b.contains(x)) {
+                return Err(format!(
+                    "round {round}: var {v} re-added a value: {b:?} -> {a:?}"
+                ));
+            }
+        }
+        match verdict {
+            Propagation::Changed => continue,
+            Propagation::Stable | Propagation::Infeasible => break,
+        }
+    }
+
+    match verdict {
+        Propagation::Changed => return Err("no fixpoint within the round budget".into()),
+        Propagation::Infeasible => {
+            // Soundness of failure: brute force must agree nothing satisfies.
+            if assignments(&initial).iter().any(|a| case.satisfied(a)) {
+                return Err("propagator reported Infeasible on a satisfiable store".into());
+            }
+            return Ok(());
+        }
+        Propagation::Stable => {}
+    }
+
+    // Idempotence on the fixpoint — production and reference path alike.
+    let at_fixpoint = domains(&store, case.n_vars);
+    if p.propagate(&mut store) != Propagation::Stable {
+        return Err("second production call on a fixpoint was not Stable".into());
+    }
+    if p.propagate_reference(&mut store) != Propagation::Stable {
+        return Err("reference call on a fixpoint was not Stable".into());
+    }
+    if domains(&store, case.n_vars) != at_fixpoint {
+        return Err("a Stable call still changed domains".into());
+    }
+
+    // Soundness of every removal: a removed value must have no support
+    // among the initial domains.
+    for (v, (init, fixp)) in initial.iter().zip(&at_fixpoint).enumerate() {
+        for &value in init.iter().filter(|x| !fixp.contains(x)) {
+            let supported = assignments(&initial)
+                .iter()
+                .any(|a| a[v] == value && case.satisfied(a));
+            if supported {
+                return Err(format!(
+                    "removed supported value {value} from var {v} (initial {init:?})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+macro_rules! shape_property {
+    ($name:ident, $shape:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn $name(case in case_strategy($shape)) {
+                if let Err(e) = check(&case) {
+                    prop_assert!(false, "{:?}: {}", case, e);
+                }
+            }
+        }
+    };
+}
+
+shape_property!(all_equal_is_monotone_idempotent_sound, Shape::AllEq);
+shape_property!(all_different_is_monotone_idempotent_sound, Shape::AllDiff);
+shape_property!(group_all_equal_is_monotone_idempotent_sound, Shape::GroupEq);
+shape_property!(
+    group_all_different_is_monotone_idempotent_sound,
+    Shape::GroupDiff
+);
+shape_property!(pack_is_monotone_idempotent_sound, Shape::Pack);

@@ -62,11 +62,11 @@ fn build_csp(inst: &Instance) -> Csp {
             vars: g.iter().map(|&v| VarId(v)).collect(),
         }));
     }
-    csp.add(Box::new(Pack {
-        vars: (0..inst.n_vars).map(VarId).collect(),
-        demand: inst.demand.iter().map(|&d| vec![d]).collect(),
-        capacity: vec![vec![inst.capacity]; inst.n_values],
-    }));
+    csp.add(Box::new(Pack::new(
+        (0..inst.n_vars).map(VarId).collect(),
+        inst.demand.iter().map(|&d| vec![d]).collect(),
+        vec![vec![inst.capacity]; inst.n_values],
+    )));
     csp
 }
 

@@ -62,6 +62,8 @@ pub struct RepairOutcome {
     pub moves: usize,
     /// Whether the assignment is feasible after repair.
     pub feasible: bool,
+    /// Full passes over the individual actually performed.
+    pub passes: usize,
 }
 
 /// Is placing `k` on `j` valid *right now*: capacity (with `k` added) and
@@ -289,11 +291,13 @@ pub fn repair(
         order => Some(scan_candidates(problem, None, order)),
     };
 
+    let mut passes = 0usize;
     for _pass in 0..config.max_passes {
         let faulty = faulty_vms(problem, assignment);
         if faulty.is_empty() {
             break;
         }
+        passes += 1;
         let mut progressed = false;
         for k in faulty {
             // Skip VMs whose situation got fixed by an earlier move in
@@ -350,7 +354,12 @@ pub fn repair(
     let feasible = problem.is_feasible(assignment);
     cpo_obs::counter_add("tabu.repair_calls", 1);
     cpo_obs::counter_add("tabu.repair_moves", moves as u64);
-    RepairOutcome { moves, feasible }
+    cpo_obs::counter_add("tabu.repair_passes", passes as u64);
+    RepairOutcome {
+        moves,
+        feasible,
+        passes,
+    }
 }
 
 #[cfg(test)]

@@ -119,11 +119,11 @@ fn csp_solver_enumeration_matches_brute_force() {
         csp.add(Box::new(AllDifferent {
             vars: vec![VarId(0), VarId(1)],
         }));
-        csp.add(Box::new(Pack {
-            vars: vec![VarId(0), VarId(1), VarId(2)],
-            demand: vec![vec![4.0], vec![5.0], vec![6.0]],
-            capacity: vec![vec![cap]; 3],
-        }));
+        csp.add(Box::new(Pack::new(
+            vec![VarId(0), VarId(1), VarId(2)],
+            vec![vec![4.0], vec![5.0], vec![6.0]],
+            vec![vec![cap]; 3],
+        )));
         let (outcome, _) = solve(&mut csp, &SearchConfig::default());
         // Brute force.
         let mut any = false;
@@ -148,6 +148,104 @@ fn csp_solver_enumeration_matches_brute_force() {
             any,
             "cap {cap}: solver and brute force disagree"
         );
+    }
+}
+
+/// Enumerate all m^n complete assignments and keep those the ILP
+/// formulation accepts, with their objective values.
+fn ilp_enumeration(problem: &AllocationProblem) -> Vec<(Vec<usize>, f64)> {
+    let ilp = cpo_iaas::model::ilp::IlpFormulation::from_problem(problem);
+    let (m, n) = (problem.m(), problem.n());
+    let mut out = Vec::new();
+    for code in 0..m.pow(n as u32) {
+        let mut genes = Vec::with_capacity(n);
+        let mut c = code;
+        for _ in 0..n {
+            genes.push(c % m);
+            c /= m;
+        }
+        let solution = ilp.solution_of(&Assignment::from_genes(&genes));
+        if ilp.is_feasible(&solution) {
+            let cost = ilp.objective_value(&solution);
+            out.push((genes, cost));
+        }
+    }
+    out
+}
+
+#[test]
+fn cp_allocator_matches_ilp_enumeration_under_both_engines() {
+    // Satellite check for the engine swap: on tiny scenarios the CP
+    // allocator's feasibility verdict must match exhaustive enumeration
+    // through the explicit ILP formulation, and any accepted assignment
+    // must itself be ILP-feasible — identically under the queued and the
+    // reference engine.
+    for engine in [Engine::Queued, Engine::Reference] {
+        for seed in 0..12u64 {
+            let problem = tiny_problem(seed);
+            let feasible = ilp_enumeration(&problem);
+            let allocator = CpAllocator {
+                engine,
+                ..CpAllocator::default()
+            };
+            let outcome = allocator.allocate(&problem);
+            if feasible.is_empty() {
+                assert!(
+                    !outcome.rejected.is_empty(),
+                    "seed {seed} ({engine:?}): ILP says infeasible, CP accepted everything"
+                );
+            } else {
+                assert!(
+                    outcome.rejected.is_empty(),
+                    "seed {seed} ({engine:?}): ILP-feasible but CP rejected {:?}",
+                    outcome.rejected
+                );
+                let ilp = cpo_iaas::model::ilp::IlpFormulation::from_problem(&problem);
+                let solution = ilp.solution_of(&outcome.assignment);
+                assert!(
+                    ilp.is_feasible(&solution),
+                    "seed {seed} ({engine:?}): CP answer violates the ILP rows"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cp_optimal_cost_matches_ilp_enumeration_under_both_engines() {
+    // Single-VM requests on identical servers: sequential CP admission can
+    // and must reach the global ILP optimum, engine-independently.
+    let profile = ServerProfile::commodity(3);
+    for engine in [Engine::Queued, Engine::Reference] {
+        for seed in 0..8u64 {
+            let infra = Infrastructure::new(
+                AttrSet::standard(),
+                vec![("dc".into(), profile.build_many(3))],
+            );
+            let mut batch = RequestBatch::new();
+            for i in 0..3 {
+                let cpu = 2.0 + ((seed + i) % 5) as f64 * 2.0;
+                batch.push_request(vec![vm_spec(cpu, 1024.0, 10.0)], vec![]);
+            }
+            let problem = AllocationProblem::new(infra, batch, None);
+            let feasible = ilp_enumeration(&problem);
+            let ilp_best = feasible
+                .iter()
+                .map(|(_, c)| *c)
+                .fold(f64::INFINITY, f64::min);
+            assert!(ilp_best.is_finite(), "seed {seed}: tiny instance must fit");
+            let allocator = CpAllocator {
+                engine,
+                ..CpAllocator::default()
+            };
+            let outcome = allocator.allocate(&problem);
+            let ilp = cpo_iaas::model::ilp::IlpFormulation::from_problem(&problem);
+            let cp_cost = ilp.objective_value(&ilp.solution_of(&outcome.assignment));
+            assert!(
+                cp_cost <= ilp_best + 1e-6,
+                "seed {seed} ({engine:?}): CP cost {cp_cost} vs ILP optimum {ilp_best}"
+            );
+        }
     }
 }
 
