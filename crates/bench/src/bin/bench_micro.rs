@@ -1,0 +1,130 @@
+//! Dependency-free micro-benchmark runner: times the hot kernels the
+//! criterion suite profiles, but as a plain binary CI can run on every
+//! push, and writes the results as machine-readable JSON.
+//!
+//! ```text
+//! cargo run --release -p cpo-bench --bin bench_micro [out.json]
+//! ```
+//!
+//! Cells:
+//! * `cpsolve.{queued,reference}` — the fig8 seed-42 batch CSP under both
+//!   propagation engines (wall time, propagator invocations, nodes);
+//! * `des.synthetic_churn` — raw event-queue throughput in events/s;
+//! * `alloc.<label>.flight_{off,on}` — one allocator sweep with the
+//!   flight recorder disabled vs enabled, plus the overhead ratio. The
+//!   recorder's acceptance bar is ≤5% overhead when enabled; the ratio
+//!   is reported, not asserted, because CI machines are noisy.
+
+use cpo_bench::{admissible_fig8_problem, bench_problem};
+use cpo_core::cp_alloc::build_batch_csp;
+use cpo_cpsolve::prelude::*;
+use cpo_des::queue::synthetic_churn;
+use cpo_exper::runner::{Algorithm, Effort};
+use cpo_obs::flight;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn solve_fig8(engine: Engine) -> SearchStats {
+    let problem = admissible_fig8_problem();
+    let mut csp = build_batch_csp(&problem);
+    let config = SearchConfig {
+        deadline: None,
+        max_nodes: Some(5_000),
+        value_order: ValueOrder::Lex,
+        engine,
+    };
+    let (outcome, stats) = solve(&mut csp, &config);
+    assert!(
+        outcome.solution().is_some(),
+        "fig8 cell must be satisfiable"
+    );
+    stats
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/bench/BENCH_micro.json".into());
+    let mut cells = String::new();
+
+    // --- cpsolve: queued vs reference propagation engine ------------
+    for (name, engine) in [
+        ("cpsolve.queued", Engine::Queued),
+        ("cpsolve.reference", Engine::Reference),
+    ] {
+        let mut stats = SearchStats::default();
+        let wall_ns = median_ns(3, || stats = solve_fig8(engine));
+        println!(
+            "{name}: {:.2} ms, {} propagations, {} nodes",
+            wall_ns as f64 / 1e6,
+            stats.propagations,
+            stats.nodes
+        );
+        let _ = writeln!(
+            cells,
+            "  {{\"name\":\"{name}\",\"wall_ns\":{wall_ns},\"propagations\":{},\"nodes\":{}}},",
+            stats.propagations, stats.nodes
+        );
+    }
+
+    // --- des: raw event-queue throughput ----------------------------
+    let events = 500_000usize;
+    let wall_ns = median_ns(3, || {
+        assert_eq!(synthetic_churn(events, 1024, 42), events as u64);
+    });
+    let events_per_sec = events as f64 / (wall_ns as f64 / 1e9);
+    println!("des.synthetic_churn: {events_per_sec:.0} events/s");
+    let _ = writeln!(
+        cells,
+        "  {{\"name\":\"des.synthetic_churn\",\"wall_ns\":{wall_ns},\"events\":{events},\"events_per_sec\":{events_per_sec:.0}}},"
+    );
+
+    // --- allocator sweep: flight recorder off vs on -----------------
+    let problem = bench_problem(15, false, 42);
+    for algorithm in [Algorithm::RoundRobin, Algorithm::ConstraintProgramming] {
+        let label = algorithm.label();
+        flight::disable();
+        let off_ns = median_ns(5, || {
+            let _ = algorithm.build(Effort::Quick, 42).allocate(&problem);
+        });
+        flight::enable();
+        flight::reset();
+        let on_ns = median_ns(5, || {
+            let _ = algorithm.build(Effort::Quick, 42).allocate(&problem);
+        });
+        flight::disable();
+        let ratio = on_ns as f64 / off_ns as f64;
+        println!("alloc.{label}: off {off_ns} ns, on {on_ns} ns, ratio {ratio:.3}");
+        let _ = writeln!(
+            cells,
+            "  {{\"name\":\"alloc.{label}.flight_off\",\"wall_ns\":{off_ns}}},"
+        );
+        let _ = writeln!(
+            cells,
+            "  {{\"name\":\"alloc.{label}.flight_on\",\"wall_ns\":{on_ns},\"overhead_ratio\":{ratio:.4}}},"
+        );
+    }
+
+    let cells = cells.trim_end().trim_end_matches(',');
+    let json = format!(
+        "{{\n\"schema\":\"cpo-bench-micro\",\"schema_version\":1,\"cells\":[\n{cells}\n]}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_micro.json");
+    println!("wrote {out_path}");
+}

@@ -48,6 +48,46 @@ pub fn timed_algorithms() -> [Algorithm; 6] {
     Algorithm::all()
 }
 
+/// The fig8 seed-42 cell restricted to admissible requests — the same
+/// batch-level CSP the propagation regression test pins. Requests whose
+/// rules are structurally unsatisfiable on this infrastructure (a
+/// different-datacenter rule spanning more VMs than there are
+/// datacenters) are dropped upfront, exactly as batch admission would.
+pub fn admissible_fig8_problem() -> AllocationProblem {
+    use cpo_model::prelude::*;
+    let raw = ScenarioSpec::for_size(&ScenarioSize::with_servers(100)).generate(42);
+    let g = raw.g();
+    let mut batch = RequestBatch::new();
+    for req in raw.batch().requests() {
+        let admissible = req
+            .rules
+            .iter()
+            .all(|r| r.kind() != AffinityKind::DifferentDatacenter || r.vms().len() <= g);
+        if !admissible {
+            continue;
+        }
+        let base = batch.vms().len();
+        let vms: Vec<VmSpec> = req.vms.iter().map(|&k| raw.batch().vm(k).clone()).collect();
+        let rules: Vec<AffinityRule> = req
+            .rules
+            .iter()
+            .map(|r| {
+                let remapped: Vec<VmId> = r
+                    .vms()
+                    .iter()
+                    .map(|k| {
+                        let pos = req.vms.iter().position(|v| v == k).expect("rule vm");
+                        VmId(base + pos)
+                    })
+                    .collect();
+                AffinityRule::new(r.kind(), remapped)
+            })
+            .collect();
+        batch.push_request(vms, rules);
+    }
+    AllocationProblem::new(raw.infra().clone(), batch, None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,7 +45,7 @@ impl AllocationOutcome {
         evaluations: usize,
     ) -> Self {
         let report = problem.check(&assignment);
-        let violated_constraints = report
+        let flagged: Vec<&Violation> = report
             .violations()
             .iter()
             .filter(|v| match v {
@@ -55,7 +55,13 @@ impl AllocationOutcome {
                 Violation::Affinity { request, .. } => !rejected.contains(request),
                 Violation::Capacity { .. } => true,
             })
-            .count();
+            .collect();
+        let violated_constraints = flagged.len();
+        if cpo_obs::flight::is_enabled() {
+            for v in &flagged {
+                crate::monitor::record_violation("allocator", v);
+            }
+        }
         let objectives = problem.evaluate(&assignment);
         let accepted_requests = problem.accepted_requests(&assignment).len();
         let gross_revenue = problem.gross_revenue(&assignment);

@@ -51,6 +51,7 @@ pub mod encoding;
 pub mod evolutionary;
 pub mod filtering;
 pub mod moea_problem;
+pub mod monitor;
 pub mod portfolio;
 pub mod round_robin;
 pub mod weighted_ga;

@@ -1,0 +1,56 @@
+//! Online invariant monitors over the model's hard constraints.
+//!
+//! Every allocation outcome ([`crate::allocator::AllocationOutcome`]) and
+//! every closed platform window can be checked against the paper's hard
+//! constraints — capacity (Eqs. 4/16), every-VM-placed-once (Eqs. 5/17)
+//! and the affinity family (Eqs. 9–14 / 18–21). This module is the
+//! reporting sink those checks share: each violation
+//!
+//! * increments a labelled counter `monitor.{scope}.{label}` in the
+//!   metrics registry (`label` ∈ {`capacity`, `placement`, `affinity`});
+//! * drops a [`FlightKind::Violation`] marker into the flight recorder so
+//!   the surrounding event context survives in post-mortem dumps;
+//! * panics when strict mode is armed ([`flight::set_strict`] or the
+//!   `CPO_STRICT_MONITORS` environment variable *while the recorder is
+//!   enabled*), turning a silent invariant break into a fail-fast crash
+//!   whose ring dump the panic hook preserves.
+//!
+//! The monitors themselves cost nothing when the flight recorder is
+//! disabled: callers gate the constraint re-check on
+//! [`flight::is_enabled`], and this sink is only reached with violations
+//! in hand.
+
+use cpo_model::constraints::Violation;
+use cpo_obs::flight::{self, FlightKind};
+
+/// Violation class codes carried in the flight event's `key` slot.
+pub const CODE_CAPACITY: u64 = 0;
+/// See [`CODE_CAPACITY`].
+pub const CODE_PLACEMENT: u64 = 1;
+/// See [`CODE_CAPACITY`].
+pub const CODE_AFFINITY: u64 = 2;
+
+/// Short label + class code + payload words of one violation.
+fn classify(v: &Violation) -> (&'static str, u64, u64, u64) {
+    match v {
+        Violation::Capacity { server, attr, .. } => {
+            ("capacity", CODE_CAPACITY, server.0 as u64, attr.0 as u64)
+        }
+        Violation::Unassigned { vm } => ("placement", CODE_PLACEMENT, vm.0 as u64, 0),
+        Violation::Affinity {
+            request, degree, ..
+        } => ("affinity", CODE_AFFINITY, request.0 as u64, *degree as u64),
+    }
+}
+
+/// Reports one monitored invariant violation observed in `scope`
+/// (`"allocator"` for solver outputs, `"platform"` for live window
+/// state): counter + flight marker + fail-fast panic under strict mode.
+pub fn record_violation(scope: &str, v: &Violation) {
+    let (label, code, a, b) = classify(v);
+    cpo_obs::counter_add(&format!("monitor.{scope}.{label}"), 1);
+    flight::record(FlightKind::Violation, code, flight::NONE, a, b);
+    if flight::strict_monitors() {
+        panic!("invariant monitor [{scope}/{label}]: {v}");
+    }
+}

@@ -57,6 +57,8 @@ pub mod prelude {
     pub use crate::scheduler::{
         DesConfig, DesReport, FailureSpec, LatencyModel, WaitingStats, WindowedScheduler,
     };
-    pub use crate::sources::{ArrivalSource, FailureProcess, PoissonArrivals, TraceArrivals};
+    pub use crate::sources::{
+        Arrival, ArrivalSource, FailureProcess, PoissonArrivals, TraceArrivals,
+    };
     pub use crate::time::SimTime;
 }

@@ -97,7 +97,11 @@ impl Default for DesConfig {
 /// Events on the kernel queue.
 enum DesEvent {
     /// A request arrived (payload drawn from the arrival source).
-    Arrival { batch: RequestBatch, holding: f64 },
+    Arrival {
+        batch: RequestBatch,
+        holding: f64,
+        key: u64,
+    },
     /// A tenant's holding time expired.
     Departure(TenantId),
     /// A server went down.
@@ -165,6 +169,8 @@ struct PendingArrival {
     at: SimTime,
     batch: RequestBatch,
     holding: f64,
+    /// Flight-recorder correlation key (the source's stream index).
+    key: u64,
 }
 
 /// The continuous-time window scheduler over a shared [`WindowExecutor`].
@@ -206,10 +212,16 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
 
     /// Pulls the next arrival from the source onto the queue.
     fn schedule_next_arrival(&mut self, horizon: f64) {
-        if let Some((at, batch, holding)) = self.source.next_arrival() {
-            if at.as_f64() <= horizon {
-                self.queue
-                    .schedule(at, DesEvent::Arrival { batch, holding });
+        if let Some(arr) = self.source.next_arrival() {
+            if arr.at.as_f64() <= horizon {
+                self.queue.schedule(
+                    arr.at,
+                    DesEvent::Arrival {
+                        batch: arr.batch,
+                        holding: arr.holding,
+                        key: arr.key,
+                    },
+                );
             }
         }
     }
@@ -244,11 +256,23 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
             }
             let (now, event) = self.queue.pop().expect("peeked");
             match event {
-                DesEvent::Arrival { batch, holding } => {
+                DesEvent::Arrival {
+                    batch,
+                    holding,
+                    key,
+                } => {
+                    cpo_obs::flight::record(
+                        cpo_obs::flight::FlightKind::Arrived,
+                        key,
+                        cpo_obs::flight::NONE,
+                        sim_us(now.as_f64()),
+                        batch.vm_count() as u64,
+                    );
                     self.pending.push(PendingArrival {
                         at: now,
                         batch,
                         holding,
+                        key,
                     });
                     self.schedule_next_arrival(horizon);
                 }
@@ -286,8 +310,13 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
         let mut sp = cpo_obs::span!("des.window", window = report.windows.len());
         cpo_obs::gauge_set("des.queue_depth", self.pending.len() as f64);
         let pending = std::mem::take(&mut self.pending);
-        let (batch, arrival_times, holdings) = merge_pending(&pending);
+        let (batch, arrival_times, holdings, keys) = merge_pending(&pending);
         let ids = self.exec.register_arrivals(&batch);
+        // Bind correlation keys before the solve so admission, placement
+        // and later per-tenant events carry the request uid.
+        if cpo_obs::flight::is_enabled() {
+            self.exec.bind_request_keys(&ids, &keys);
+        }
         let problem_requests = self.exec.tenants().len() + batch.request_count();
         let (window_report, admitted) =
             self.exec
@@ -325,15 +354,24 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
     }
 }
 
+/// Sim-time as integer micro-units, the flight-event payload encoding.
+fn sim_us(t: f64) -> u64 {
+    (t.max(0.0) * 1e6).round() as u64
+}
+
 /// Merges single-request pending batches into one window batch, keeping
-/// arrival order; returns the batch plus per-request arrival times and
-/// holding times (indexed like the batch's requests).
-fn merge_pending(pending: &[PendingArrival]) -> (RequestBatch, Vec<SimTime>, Vec<f64>) {
+/// arrival order; returns the batch plus per-request arrival times,
+/// holding times and correlation keys (indexed like the batch's
+/// requests). A multi-request pending batch shares its arrival's key
+/// across its requests only when it holds exactly one request (the
+/// sources' invariant); extra requests get [`cpo_obs::flight::NONE`].
+fn merge_pending(pending: &[PendingArrival]) -> (RequestBatch, Vec<SimTime>, Vec<f64>, Vec<u64>) {
     let mut batch = RequestBatch::new();
     let mut times = Vec::with_capacity(pending.len());
     let mut holdings = Vec::with_capacity(pending.len());
+    let mut keys = Vec::with_capacity(pending.len());
     for p in pending {
-        for req in p.batch.requests() {
+        for (r, req) in p.batch.requests().iter().enumerate() {
             let base = batch.vm_count();
             let vms: Vec<VmSpec> = req.vms.iter().map(|&k| p.batch.vm(k).clone()).collect();
             let rules = rebase_rules(req)
@@ -345,9 +383,10 @@ fn merge_pending(pending: &[PendingArrival]) -> (RequestBatch, Vec<SimTime>, Vec
             batch.push_request(vms, rules);
             times.push(p.at);
             holdings.push(p.holding);
+            keys.push(if r == 0 { p.key } else { cpo_obs::flight::NONE });
         }
     }
-    (batch, times, holdings)
+    (batch, times, holdings, keys)
 }
 
 #[cfg(test)]

@@ -29,12 +29,26 @@ fn exponential(rng: &mut SmallRng, mean: f64) -> f64 {
     -mean * (1.0 - u).ln()
 }
 
+/// One timestamped request emitted by an [`ArrivalSource`].
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Absolute arrival time.
+    pub at: SimTime,
+    /// The (single-request) batch.
+    pub batch: RequestBatch,
+    /// Tenant holding time in sim-time units.
+    pub holding: f64,
+    /// Flight-recorder correlation key: the request's uid, stable from
+    /// generation through admission to departure. Sources assign their
+    /// stream index, so the `i`-th arrival is always request `i`.
+    pub key: u64,
+}
+
 /// A stream of timestamped requests. Sources own their clock: every call
 /// yields the next arrival strictly after the previous one.
 pub trait ArrivalSource {
-    /// The next arrival — absolute time, the (single-request) batch and
-    /// its holding time — or `None` when the stream is exhausted.
-    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)>;
+    /// The next arrival, or `None` when the stream is exhausted.
+    fn next_arrival(&mut self) -> Option<Arrival>;
 }
 
 /// Open-loop Poisson arrivals over an [`ArrivalSpec`].
@@ -62,12 +76,20 @@ impl PoissonArrivals {
 }
 
 impl ArrivalSource for PoissonArrivals {
-    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)> {
+    fn next_arrival(&mut self) -> Option<Arrival> {
         self.clock += exponential(&mut self.rng, 1.0 / self.spec.rate);
+        // `request_at` records the `generated` flight event under key
+        // `index`, so the stream index is the lifecycle correlation key.
         let batch = self.spec.request_at(self.seed, self.index);
         let holding = self.spec.lifetime_at(self.seed, self.index);
+        let key = self.index;
         self.index += 1;
-        Some((SimTime::new(self.clock), batch, holding))
+        Some(Arrival {
+            at: SimTime::new(self.clock),
+            batch,
+            holding,
+            key,
+        })
     }
 }
 
@@ -132,7 +154,7 @@ impl TraceArrivals {
 }
 
 impl ArrivalSource for TraceArrivals {
-    fn next_arrival(&mut self) -> Option<(SimTime, RequestBatch, f64)> {
+    fn next_arrival(&mut self) -> Option<Arrival> {
         let (at, vms, holding) = self.entries.next()?;
         let shape = RequestSpec {
             request_size: (vms, vms),
@@ -142,8 +164,23 @@ impl ArrivalSource for TraceArrivals {
             &shape,
             self.seed ^ self.index.wrapping_mul(0x2545_f491_4f6c_dd1d),
         );
+        // Replayed requests bypass `ArrivalSpec::request_at`, so record
+        // their generation here to keep timelines gap-free.
+        cpo_obs::flight::record(
+            cpo_obs::flight::FlightKind::Generated,
+            self.index,
+            cpo_obs::flight::NONE,
+            batch.vm_count() as u64,
+            0,
+        );
+        let key = self.index;
         self.index += 1;
-        Some((SimTime::new(at), batch, holding))
+        Some(Arrival {
+            at: SimTime::new(at),
+            batch,
+            holding,
+            key,
+        })
     }
 }
 
@@ -190,13 +227,14 @@ mod tests {
         let mut src = PoissonArrivals::new(spec, 5);
         let mut last = 0.0;
         let mut times = Vec::new();
-        for _ in 0..2_000 {
-            let (t, batch, holding) = src.next_arrival().unwrap();
-            assert!(t.as_f64() > last);
-            assert_eq!(batch.request_count(), 1);
-            assert!(holding >= 0.0);
-            times.push(t.as_f64() - last);
-            last = t.as_f64();
+        for i in 0..2_000u64 {
+            let arr = src.next_arrival().unwrap();
+            assert!(arr.at.as_f64() > last);
+            assert_eq!(arr.batch.request_count(), 1);
+            assert!(arr.holding >= 0.0);
+            assert_eq!(arr.key, i, "keys are the stream index");
+            times.push(arr.at.as_f64() - last);
+            last = arr.at.as_f64();
         }
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         // λ = 2 ⇒ mean interarrival 0.5; allow generous sampling noise.
@@ -209,11 +247,12 @@ mod tests {
         let mut a = PoissonArrivals::new(spec.clone(), 9);
         let mut b = PoissonArrivals::new(spec, 9);
         for _ in 0..50 {
-            let (ta, ba, ha) = a.next_arrival().unwrap();
-            let (tb, bb, hb) = b.next_arrival().unwrap();
-            assert_eq!(ta, tb);
-            assert_eq!(ha, hb);
-            assert_eq!(ba.vm_count(), bb.vm_count());
+            let x = a.next_arrival().unwrap();
+            let y = b.next_arrival().unwrap();
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.holding, y.holding);
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.batch.vm_count(), y.batch.vm_count());
         }
     }
 

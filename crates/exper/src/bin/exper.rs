@@ -14,6 +14,14 @@
 //! telemetry section (per-solver p95 solve time, propagation totals) to
 //! the output; `--trace FILE` additionally writes a `chrome://tracing`
 //! compatible span trace.
+//!
+//! `exper des` runs the continuous-time simulator with the flight
+//! recorder on, dumps the ring to `<out-dir>/flight.jsonl`, reconstructs
+//! per-request lifecycle timelines into `<out-dir>/timelines.jsonl` and
+//! validates every one against the lifecycle state machine;
+//! `--timeline ID` prints one request's reconstructed history.
+//! `exper timeline <dump.jsonl>` reconstructs timelines offline from a
+//! previously written flight dump (e.g. a panic dump).
 
 use cpo_exper::chart::{render_chart, ChartOptions};
 use cpo_exper::figures::{self, Figure, Metric};
@@ -36,6 +44,22 @@ struct Options {
     chart: bool,
     telemetry: bool,
     trace: Option<String>,
+    /// Request uid whose reconstructed timeline `des`/`timeline` print.
+    timeline: Option<u64>,
+    /// Directory for flight dumps and timeline files.
+    out_dir: String,
+    /// `des`: allocator label (see [`Algorithm::label`]).
+    algo: Algorithm,
+    /// `des`: arrival rate λ.
+    rate: f64,
+    /// `des`: simulation horizon in sim-time units.
+    horizon: f64,
+    /// `des`: fleet size.
+    servers: usize,
+    /// `des`: optional MTBF,MTTR failure injection.
+    failures: Option<(f64, f64)>,
+    /// Arm fail-fast invariant monitors.
+    strict: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -49,6 +73,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chart: false,
         telemetry: false,
         trace: None,
+        timeline: None,
+        out_dir: "target/flight".into(),
+        algo: Algorithm::RoundRobin,
+        rate: 3.0,
+        horizon: 40.0,
+        servers: 12,
+        failures: None,
+        strict: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +104,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--csv" => opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
             "--csv-dir" => opts.csv_dir = Some(it.next().ok_or("--csv-dir needs a path")?.clone()),
+            "--timeline" => {
+                let v = it.next().ok_or("--timeline needs a request uid")?;
+                opts.timeline = Some(v.parse().map_err(|e| format!("--timeline: {e}"))?);
+            }
+            "--out-dir" => opts.out_dir = it.next().ok_or("--out-dir needs a path")?.clone(),
+            "--algo" => {
+                let v = it.next().ok_or("--algo needs a name")?;
+                opts.algo = Algorithm::extended()
+                    .into_iter()
+                    .find(|a| a.label() == v.as_str())
+                    .ok_or_else(|| format!("--algo: unknown allocator {v}"))?;
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                opts.rate = v.parse().map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--horizon" => {
+                let v = it.next().ok_or("--horizon needs a value")?;
+                opts.horizon = v.parse().map_err(|e| format!("--horizon: {e}"))?;
+            }
+            "--servers" => {
+                let v = it.next().ok_or("--servers needs a value")?;
+                opts.servers = v.parse().map_err(|e| format!("--servers: {e}"))?;
+            }
+            "--failures" => {
+                let v = it.next().ok_or("--failures needs MTBF,MTTR")?;
+                let (mtbf, mttr) = v
+                    .split_once(',')
+                    .ok_or("--failures needs the form MTBF,MTTR")?;
+                opts.failures = Some((
+                    mtbf.parse().map_err(|e| format!("--failures mtbf: {e}"))?,
+                    mttr.parse().map_err(|e| format!("--failures mttr: {e}"))?,
+                ));
+            }
+            "--strict" => opts.strict = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -79,11 +146,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 /// Prints the telemetry section and writes the chrome trace if requested.
-fn finish_telemetry(opts: &Options) -> Result<(), String> {
+/// When a baseline snapshot was taken at startup, only the *delta* since
+/// then is reported — run-scoped numbers even under ambient recording.
+fn finish_telemetry(opts: &Options, base: Option<&cpo_obs::Snapshot>) -> Result<(), String> {
     if !opts.telemetry {
         return Ok(());
     }
     let snap = cpo_obs::snapshot();
+    let snap = match base {
+        Some(b) => snap.delta(b),
+        None => snap,
+    };
     if opts.md {
         print!("{}", cpo_exper::markdown::telemetry_markdown(&snap));
     } else {
@@ -93,6 +166,148 @@ fn finish_telemetry(opts: &Options) -> Result<(), String> {
         fs::write(path, cpo_obs::chrome_trace(&snap))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+/// Renders one request's timeline from a reconstructed set.
+fn print_timeline(set: &cpo_obs::timeline::TimelineSet, uid: u64) -> Result<(), String> {
+    let t = set
+        .timeline(uid)
+        .ok_or_else(|| format!("no timeline for request {uid}"))?;
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `exper des` — a flight-recorded continuous-time run with per-request
+/// timeline reconstruction and lifecycle validation.
+fn run_des(opts: &Options) -> Result<(), String> {
+    use cpo_des::prelude::*;
+    use cpo_model::attr::AttrSet;
+    use cpo_model::prelude::{Infrastructure, ServerProfile};
+    use cpo_platform::prelude::SimConfig;
+    use cpo_scenario::prelude::ArrivalSpec;
+
+    let infra = Infrastructure::new(
+        AttrSet::standard(),
+        vec![(
+            "dc".into(),
+            ServerProfile::commodity(3).build_many(opts.servers),
+        )],
+    );
+    let spec = ArrivalSpec {
+        rate: opts.rate,
+        ..Default::default()
+    };
+    let des = DesConfig {
+        latency: LatencyModel::PerRequest {
+            base: 0.02,
+            per_request: 0.01,
+        },
+        failures: opts.failures.map(|(mtbf, mttr)| FailureSpec { mtbf, mttr }),
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let allocator = opts.algo.build(opts.effort, opts.seed);
+    let mut sched = WindowedScheduler::new(
+        infra,
+        SimConfig::default(),
+        des,
+        PoissonArrivals::new(spec, opts.seed),
+    );
+    let report = sched.run(allocator.as_ref(), opts.horizon);
+
+    let snap = cpo_obs::flight::snapshot();
+    fs::create_dir_all(&opts.out_dir).map_err(|e| format!("creating {}: {e}", opts.out_dir))?;
+    let dump_path = format!("{}/flight.jsonl", opts.out_dir);
+    fs::write(&dump_path, cpo_obs::flight::dump_json_lines(&snap))
+        .map_err(|e| format!("writing {dump_path}: {e}"))?;
+    let set = cpo_obs::timeline::reconstruct(&snap.events);
+    let tl_path = format!("{}/timelines.jsonl", opts.out_dir);
+    fs::write(&tl_path, cpo_obs::timeline::timelines_json_lines(&set))
+        .map_err(|e| format!("writing {tl_path}: {e}"))?;
+
+    println!(
+        "continuous-time run: {} servers, λ={}, horizon {} ({} windows), allocator {}",
+        opts.servers,
+        opts.rate,
+        opts.horizon,
+        report.windows.len(),
+        opts.algo.label(),
+    );
+    println!(
+        "  admitted {}  rejected {}  mean wait {:.3}  max wait {:.3}",
+        report.total_admitted(),
+        report.total_rejected(),
+        report.waiting.mean(),
+        report.waiting.max,
+    );
+    println!(
+        "  flight: {} events recorded ({} overwritten) -> {}",
+        snap.recorded, snap.overwritten, dump_path
+    );
+    println!(
+        "  timelines: {} requests, {} orphan events -> {}",
+        set.timelines.len(),
+        set.orphans.len(),
+        tl_path
+    );
+    let errors = set.all_errors();
+    if errors.is_empty() {
+        println!("  lifecycle check: every timeline complete and ordered");
+    } else {
+        println!("  lifecycle check: {} defects", errors.len());
+        for e in errors.iter().take(10) {
+            println!("    {e}");
+        }
+    }
+    if let Some(uid) = opts.timeline {
+        println!();
+        print_timeline(&set, uid)?;
+    }
+    Ok(())
+}
+
+/// `exper timeline <dump.jsonl>` — offline timeline reconstruction from
+/// a flight dump (a run's `flight.jsonl` or a panic hook's dump).
+fn run_timeline(path: &str, opts: &Options) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snap = cpo_obs::flight::dump_from_json_lines(&text)?;
+    let set = cpo_obs::timeline::reconstruct(&snap.events);
+    match opts.timeline {
+        Some(uid) => print_timeline(&set, uid)?,
+        None => {
+            println!(
+                "{}: {} events, {} request timelines, {} orphan events",
+                path,
+                snap.events.len(),
+                set.timelines.len(),
+                set.orphans.len()
+            );
+            for t in &set.timelines {
+                let state = if t.departed() {
+                    "departed"
+                } else if t.admitted() {
+                    "running"
+                } else if t.rejected() {
+                    "rejected"
+                } else {
+                    "undecided"
+                };
+                let defects = t.lifecycle_errors().len();
+                println!(
+                    "  request {:>4}  tenant {:>4}  {:>2} events  {state}{}",
+                    t.key,
+                    t.tenant.map_or("-".into(), |x| x.to_string()),
+                    t.events.len(),
+                    if defects == 0 {
+                        String::new()
+                    } else {
+                        format!("  [{defects} defects]")
+                    }
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -174,24 +389,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|all> \
+            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|timeline <dump>|all> \
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
-             [--telemetry] [--trace FILE]"
+             [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--algo NAME] [--rate R] \
+             [--horizon T] [--servers N] [--failures MTBF,MTTR] [--strict]"
         );
         return ExitCode::FAILURE;
     };
-    // `scenario` takes a positional file path before the options.
-    let (scenario_path, option_args): (Option<String>, &[String]) = if command == "scenario" {
-        match args.get(1) {
-            Some(path) if !path.starts_with("--") => (Some(path.clone()), &args[2..]),
-            _ => {
-                eprintln!("usage: exper scenario <file.json> [options]");
-                return ExitCode::FAILURE;
+    // `scenario` and `timeline` take a positional file path before the
+    // options.
+    let (positional_path, option_args): (Option<String>, &[String]) =
+        if command == "scenario" || command == "timeline" {
+            match args.get(1) {
+                Some(path) if !path.starts_with("--") => (Some(path.clone()), &args[2..]),
+                _ => {
+                    eprintln!("usage: exper {command} <file> [options]");
+                    return ExitCode::FAILURE;
+                }
             }
-        }
-    } else {
-        (None, &args[1..])
-    };
+        } else {
+            (None, &args[1..])
+        };
     let opts = match parse_options(option_args) {
         Ok(o) => o,
         Err(e) => {
@@ -202,6 +420,19 @@ fn main() -> ExitCode {
     let runs = opts.runs.unwrap_or_else(|| opts.effort.runs());
     if opts.telemetry {
         cpo_obs::enable();
+    }
+    // Telemetry reports are deltas from this point, so ambient counters
+    // (e.g. flight-recorder setup) don't pollute run-scoped numbers.
+    let telemetry_base = opts.telemetry.then(cpo_obs::snapshot);
+    if command == "des" {
+        // The flight recorder is always on for continuous-time runs; a
+        // panic anywhere below dumps the ring for post-mortem timelines.
+        cpo_obs::flight::enable();
+        let _ = fs::create_dir_all(&opts.out_dir);
+        cpo_obs::flight::install_panic_hook(std::path::Path::new(&opts.out_dir));
+        if opts.strict {
+            cpo_obs::flight::set_strict(true);
+        }
     }
 
     let result: Result<(), String> = match command.as_str() {
@@ -239,8 +470,13 @@ fn main() -> ExitCode {
         "scenario" => {
             // exper scenario <file.json>: run all algorithms (paper six +
             // the two extras) on the scenario described by the JSON file.
-            let path = scenario_path.expect("checked above");
+            let path = positional_path.expect("checked above");
             run_scenario_file(&path, &opts, runs)
+        }
+        "des" => run_des(&opts),
+        "timeline" => {
+            let path = positional_path.expect("checked above");
+            run_timeline(&path, &opts)
         }
         "all" => {
             print!("{}", render_table3(&figures::table3()));
@@ -257,10 +493,21 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other}")),
     };
-    let result = result.and_then(|()| finish_telemetry(&opts));
+    let result = result.and_then(|()| finish_telemetry(&opts, telemetry_base.as_ref()));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // Preserve the flight context of a failed run for post-mortem
+            // timeline reconstruction (`exper timeline <dump>`).
+            if cpo_obs::flight::is_enabled() {
+                let snap = cpo_obs::flight::snapshot();
+                let path = format!("{}/exper-failure.jsonl", opts.out_dir);
+                if fs::create_dir_all(&opts.out_dir).is_ok()
+                    && fs::write(&path, cpo_obs::flight::dump_json_lines(&snap)).is_ok()
+                {
+                    eprintln!("flight dump written to {path}");
+                }
+            }
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

@@ -39,10 +39,12 @@
 
 mod event;
 mod export;
+pub mod flight;
 mod histogram;
 pub mod json;
 mod registry;
 mod span;
+pub mod timeline;
 
 pub use event::{FieldValue, TraceEvent, TraceKind};
 pub use export::{

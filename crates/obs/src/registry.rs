@@ -223,6 +223,55 @@ pub struct Snapshot {
     pub dropped: u64,
 }
 
+impl Snapshot {
+    /// The change between an `earlier` snapshot and this one, for
+    /// per-phase / per-window rates without resetting the registry.
+    /// Both snapshots must come from the same registry epoch with
+    /// `earlier` taken first (its event list a prefix of this one's).
+    ///
+    /// * counters — pairwise differences; zero-change entries dropped;
+    /// * gauges — the later value (gauges are instantaneous);
+    /// * histograms — count and mean are exact differences (the sum is
+    ///   recovered as `mean × count`); `min`/`max`/percentiles are copied
+    ///   from the later summary, an approximation since bucket counts are
+    ///   not kept in summaries — unchanged histograms are dropped;
+    /// * events — the suffix recorded after `earlier`.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                let e = earlier.histograms.get(k).copied().unwrap_or_default();
+                let count = h.count.saturating_sub(e.count);
+                if count == 0 {
+                    return None;
+                }
+                let mean = (h.mean * h.count as f64 - e.mean * e.count as f64) / count as f64;
+                Some((k.clone(), HistogramSummary { count, mean, ..*h }))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            events: self
+                .events
+                .get(earlier.events.len().min(self.events.len())..)
+                .unwrap_or_default()
+                .to_vec(),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+}
+
 /// Copies out the current registry contents.
 pub fn snapshot() -> Snapshot {
     match REGISTRY.get() {
@@ -241,5 +290,79 @@ pub fn snapshot() -> Snapshot {
                 dropped: inner.dropped,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("runs".into(), 10);
+        earlier.counters.insert("steady".into(), 5);
+        earlier.histograms.insert(
+            "solve".into(),
+            HistogramSummary {
+                count: 2,
+                mean: 100.0,
+                min: 50,
+                max: 150,
+                p50: 100,
+                p95: 150,
+                p99: 150,
+            },
+        );
+        let mut later = earlier.clone();
+        later.counters.insert("runs".into(), 25);
+        later.counters.insert("fresh".into(), 3);
+        later.histograms.insert(
+            "solve".into(),
+            HistogramSummary {
+                count: 6,
+                mean: 200.0,
+                min: 50,
+                max: 500,
+                p50: 180,
+                p95: 490,
+                p99: 500,
+            },
+        );
+        later.gauges.insert("depth".into(), 4.0);
+        let d = later.delta(&earlier);
+        assert_eq!(d.counters.get("runs"), Some(&15));
+        assert_eq!(d.counters.get("fresh"), Some(&3));
+        assert!(!d.counters.contains_key("steady"), "zero deltas dropped");
+        let h = &d.histograms["solve"];
+        assert_eq!(h.count, 4);
+        // sum went 200 → 1200, so the 4 new samples average 250.
+        assert!((h.mean - 250.0).abs() < 1e-9, "{}", h.mean);
+        assert_eq!(h.max, 500, "extremes copied from the later summary");
+        assert_eq!(d.gauges.get("depth"), Some(&4.0));
+    }
+
+    #[test]
+    fn delta_keeps_only_the_event_suffix() {
+        let mk = |name: &str| TraceEvent {
+            kind: TraceKind::Counter,
+            name: name.into(),
+            ts_us: 0,
+            dur_us: 0,
+            value: Some(1.0),
+            tid: 0,
+            depth: 0,
+            fields: Vec::new(),
+        };
+        let mut earlier = Snapshot::default();
+        earlier.events.push(mk("a"));
+        let mut later = earlier.clone();
+        later.events.push(mk("b"));
+        later.events.push(mk("c"));
+        let d = later.delta(&earlier);
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].name, "b");
+        // Degenerate call order (earlier longer than later) stays safe.
+        assert!(earlier.delta(&later).events.is_empty());
     }
 }

@@ -1,0 +1,464 @@
+//! Per-request lifecycle reconstruction from flight-recorder events.
+//!
+//! Every request drawn from an arrival stream carries a correlation key
+//! (its uid) from generation onwards; admission binds the key to a
+//! tenant id, and from then on platform events (placement, migration,
+//! SLA breaches, departure) are attributed to the tenant. This module
+//! joins the two views back into one [`Timeline`] per request —
+//! `generated → arrived → admitted/rejected → placed → migrated* →
+//! departed` — and validates the sequence against that state machine so
+//! tests can demand gap-free, orphan-free coverage of a whole run.
+
+use crate::flight::{FlightEvent, FlightKind, NONE};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Timeline JSONL schema version.
+pub const TIMELINE_SCHEMA_VERSION: u64 = 1;
+
+/// The reconstructed lifecycle of one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeline {
+    /// The request's correlation key (generation-time uid).
+    pub key: u64,
+    /// The tenant id admission bound the request to, if admitted.
+    pub tenant: Option<u64>,
+    /// The request's events in ticket order.
+    pub events: Vec<FlightEvent>,
+}
+
+impl Timeline {
+    /// Whether the request was admitted.
+    pub fn admitted(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FlightKind::Admitted)
+    }
+
+    /// Whether the request was rejected.
+    pub fn rejected(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FlightKind::Rejected)
+    }
+
+    /// Whether the tenant departed (released its resources).
+    pub fn departed(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FlightKind::Departed)
+    }
+
+    /// Validates the event sequence against the lifecycle state machine.
+    /// Returns one message per defect; empty means the timeline is
+    /// complete and ordered: it starts with `generated`, proceeds through
+    /// at most one `arrived` and at most one admission decision, carries
+    /// placements only when admitted, and ends with at most one
+    /// `departed`. Requests cut short by the end of a run — still
+    /// running, still waiting for a window boundary, or generated but not
+    /// yet arrived — are complete; what is never legitimate is a *later*
+    /// stage without its earlier ones.
+    pub fn lifecycle_errors(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let count = |k: FlightKind| self.events.iter().filter(|e| e.kind == k).count();
+        let pos = |k: FlightKind| self.events.iter().position(|e| e.kind == k);
+
+        if self.events.first().map(|e| e.kind) != Some(FlightKind::Generated) {
+            errors.push(format!(
+                "request {}: does not start with generated",
+                self.key
+            ));
+        }
+        for (k, label) in [
+            (FlightKind::Generated, "generated"),
+            (FlightKind::Arrived, "arrived"),
+        ] {
+            if count(k) > 1 {
+                errors.push(format!(
+                    "request {}: expected at most one {label} event, got {}",
+                    self.key,
+                    count(k)
+                ));
+            }
+        }
+        let admissions = count(FlightKind::Admitted) + count(FlightKind::Rejected);
+        if admissions > 1 {
+            errors.push(format!(
+                "request {}: expected at most one admission decision, got {admissions}",
+                self.key
+            ));
+        }
+        // Stage skipping: each later stage requires the earlier ones.
+        if admissions == 1 && count(FlightKind::Arrived) == 0 {
+            errors.push(format!(
+                "request {}: decided without an arrived event",
+                self.key
+            ));
+        }
+        if count(FlightKind::Arrived) == 1 && count(FlightKind::Generated) == 0 {
+            errors.push(format!("request {}: arrived without generation", self.key));
+        }
+        if admissions == 0
+            && self
+                .events
+                .iter()
+                .any(|e| !matches!(e.kind, FlightKind::Generated | FlightKind::Arrived))
+        {
+            errors.push(format!(
+                "request {}: lifecycle events before an admission decision",
+                self.key
+            ));
+        }
+        if let (Some(g), Some(a)) = (pos(FlightKind::Generated), pos(FlightKind::Arrived)) {
+            if a < g {
+                errors.push(format!("request {}: arrived before generated", self.key));
+            }
+        }
+        if let Some(d) = pos(FlightKind::Arrived) {
+            if let Some(dec) = self
+                .events
+                .iter()
+                .position(|e| matches!(e.kind, FlightKind::Admitted | FlightKind::Rejected))
+            {
+                if dec < d {
+                    errors.push(format!("request {}: decided before it arrived", self.key));
+                }
+            }
+        }
+        if self.rejected() {
+            for k in [
+                FlightKind::Placed,
+                FlightKind::Migrated,
+                FlightKind::Departed,
+                FlightKind::SlaViolated,
+            ] {
+                if count(k) > 0 {
+                    errors.push(format!(
+                        "request {}: rejected yet has {} events",
+                        self.key,
+                        k.name()
+                    ));
+                }
+            }
+        }
+        if self.admitted() && count(FlightKind::Placed) == 0 {
+            errors.push(format!("request {}: admitted but never placed", self.key));
+        }
+        match count(FlightKind::Departed) {
+            0 | 1 => {}
+            n => errors.push(format!("request {}: departed {n} times", self.key)),
+        }
+        if let Some(d) = pos(FlightKind::Departed) {
+            if d + 1 != self.events.len() {
+                errors.push(format!(
+                    "request {}: events recorded after departure",
+                    self.key
+                ));
+            }
+        }
+        let mut last_ticket = 0u64;
+        for e in &self.events {
+            if e.ticket < last_ticket {
+                errors.push(format!("request {}: tickets out of order", self.key));
+                break;
+            }
+            last_ticket = e.ticket;
+        }
+        errors
+    }
+
+    /// Renders the timeline as a human-readable multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "request {} — {}{}\n",
+            self.key,
+            match (self.admitted(), self.rejected()) {
+                (true, _) => "admitted",
+                (_, true) => "rejected",
+                _ => "undecided",
+            },
+            self.tenant
+                .map(|t| format!(" (tenant {t})"))
+                .unwrap_or_default()
+        );
+        for e in &self.events {
+            let what = match e.kind {
+                FlightKind::Generated => format!("generated ({} vms)", e.a),
+                FlightKind::Arrived => format!("arrived at sim t={}µ ({} vms)", e.a, e.b),
+                FlightKind::Admitted => format!("admitted in window {} ({} vms)", e.a, e.b),
+                FlightKind::Rejected => format!("rejected in window {}", e.a),
+                FlightKind::Placed => format!("vm {} placed on server {}", e.b, e.a),
+                FlightKind::Migrated => format!("migrated from server {} to server {}", e.a, e.b),
+                FlightKind::Departed => format!("departed in window {}", e.a),
+                FlightKind::SlaViolated => {
+                    format!("SLA breach in window {} (credit {}µ)", e.a, e.b)
+                }
+                _ => format!("{} a={} b={}", e.kind.name(), e.a, e.b),
+            };
+            let _ = writeln!(out, "  [{:>8}] t={:>10}us  {}", e.ticket, e.ts_us, what);
+        }
+        out
+    }
+}
+
+/// The full reconstruction of one run.
+#[derive(Clone, Debug, Default)]
+pub struct TimelineSet {
+    /// One timeline per request key, sorted by key.
+    pub timelines: Vec<Timeline>,
+    /// Tenant-scoped events whose tenant was never bound to a request
+    /// key (e.g. fixed-step tenants admitted outside a traced stream).
+    pub orphans: Vec<FlightEvent>,
+}
+
+impl TimelineSet {
+    /// The timeline of one request, if present.
+    pub fn timeline(&self, key: u64) -> Option<&Timeline> {
+        self.timelines.iter().find(|t| t.key == key)
+    }
+
+    /// Every lifecycle defect across all timelines.
+    pub fn all_errors(&self) -> Vec<String> {
+        self.timelines
+            .iter()
+            .flat_map(Timeline::lifecycle_errors)
+            .collect()
+    }
+}
+
+/// Joins flight events into per-request timelines. Events carrying a
+/// key are attributed directly; events carrying only a tenant id are
+/// joined through the key↔tenant binding established by admission
+/// events. Infrastructure-scoped events (server failures/repairs,
+/// window markers, monitor violations) belong to no request and are
+/// ignored here.
+pub fn reconstruct(events: &[FlightEvent]) -> TimelineSet {
+    // Infrastructure-scoped kinds never belong to a request; `violation`
+    // and `marker` reuse the key slot for other payloads, so they must be
+    // excluded *before* key attribution.
+    let request_scoped = |e: &FlightEvent| {
+        !matches!(
+            e.kind,
+            FlightKind::ServerFailed
+                | FlightKind::ServerRepaired
+                | FlightKind::WindowClosed
+                | FlightKind::Violation
+                | FlightKind::Marker
+        )
+    };
+    // Pass 1: tenant → key bindings from any event carrying both.
+    let mut binding: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events.iter().filter(|e| request_scoped(e)) {
+        if e.key != NONE && e.tenant != NONE {
+            binding.insert(e.tenant, e.key);
+        }
+    }
+    // Pass 2: attribute every request-scoped event.
+    let mut by_key: BTreeMap<u64, Timeline> = BTreeMap::new();
+    let mut orphans = Vec::new();
+    for e in events.iter().filter(|e| request_scoped(e)) {
+        let key = if e.key != NONE {
+            Some(e.key)
+        } else if e.tenant != NONE {
+            binding.get(&e.tenant).copied()
+        } else {
+            None
+        };
+        match key {
+            Some(k) => {
+                let t = by_key.entry(k).or_insert_with(|| Timeline {
+                    key: k,
+                    tenant: None,
+                    events: Vec::new(),
+                });
+                if e.tenant != NONE {
+                    t.tenant = Some(e.tenant);
+                }
+                t.events.push(*e);
+            }
+            None if e.tenant != NONE => orphans.push(*e),
+            None => {} // infrastructure-scoped
+        }
+    }
+    let mut timelines: Vec<Timeline> = by_key.into_values().collect();
+    for t in &mut timelines {
+        t.events.sort_by_key(|e| e.ticket);
+    }
+    TimelineSet { timelines, orphans }
+}
+
+/// Serialises timelines as JSON lines: a meta header, then one object
+/// per request with its full event list.
+pub fn timelines_json_lines(set: &TimelineSet) -> String {
+    let mut out = format!(
+        "{{\"event\":\"meta\",\"schema\":\"cpo-timelines\",\"schema_version\":{},\"requests\":{},\"orphans\":{}}}\n",
+        TIMELINE_SCHEMA_VERSION,
+        set.timelines.len(),
+        set.orphans.len()
+    );
+    for t in &set.timelines {
+        let _ = write!(out, "{{\"request\":{},\"tenant\":", t.key);
+        match t.tenant {
+            Some(id) => {
+                let _ = write!(out, "{id}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"events\":[");
+        for (i, e) in t.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::flight::write_event_json(e, &mut out);
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Parses a [`timelines_json_lines`] document back. Orphans are not
+/// serialised, so the parsed set has none.
+pub fn timelines_from_json_lines(text: &str) -> Result<TimelineSet, String> {
+    let mut set = TimelineSet::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = crate::json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("event").and_then(crate::json::Value::as_str) == Some("meta") {
+            let version = v
+                .get("schema_version")
+                .and_then(crate::json::Value::as_u64)
+                .ok_or("meta line without schema_version")?;
+            if version != TIMELINE_SCHEMA_VERSION {
+                return Err(format!(
+                    "unsupported timeline schema version {version} (expected {TIMELINE_SCHEMA_VERSION})"
+                ));
+            }
+            continue;
+        }
+        let key = v
+            .get("request")
+            .and_then(crate::json::Value::as_u64)
+            .ok_or_else(|| format!("line {}: missing request", lineno + 1))?;
+        let tenant = match v.get("tenant") {
+            None | Some(crate::json::Value::Null) => None,
+            Some(x) => Some(
+                x.as_u64()
+                    .ok_or_else(|| format!("line {}: tenant not numeric", lineno + 1))?,
+            ),
+        };
+        let events = match v.get("events") {
+            Some(crate::json::Value::Arr(items)) => items
+                .iter()
+                .map(crate::flight::event_from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            _ => return Err(format!("line {}: missing events array", lineno + 1)),
+        };
+        set.timelines.push(Timeline {
+            key,
+            tenant,
+            events,
+        });
+    }
+    set.timelines.sort_by_key(|t| t.key);
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ticket: u64, kind: FlightKind, key: u64, tenant: u64, a: u64, b: u64) -> FlightEvent {
+        FlightEvent {
+            ticket,
+            ts_us: ticket * 10,
+            kind,
+            key,
+            tenant,
+            a,
+            b,
+        }
+    }
+
+    fn lifecycle() -> Vec<FlightEvent> {
+        vec![
+            ev(0, FlightKind::Generated, 7, NONE, 2, 0),
+            ev(1, FlightKind::Arrived, 7, NONE, 1500, 2),
+            ev(2, FlightKind::Admitted, 7, 3, 1, 2),
+            ev(3, FlightKind::Placed, 7, 3, 0, 0),
+            ev(4, FlightKind::Placed, 7, 3, 1, 1),
+            ev(5, FlightKind::Migrated, NONE, 3, 0, 4), // tenant-only: joined
+            ev(6, FlightKind::Departed, NONE, 3, 5, 0),
+        ]
+    }
+
+    #[test]
+    fn complete_lifecycle_reconstructs_without_errors() {
+        let set = reconstruct(&lifecycle());
+        assert_eq!(set.timelines.len(), 1);
+        assert!(set.orphans.is_empty());
+        let t = &set.timelines[0];
+        assert_eq!(t.key, 7);
+        assert_eq!(t.tenant, Some(3));
+        assert_eq!(t.events.len(), 7);
+        assert!(t.admitted() && !t.rejected() && t.departed());
+        assert_eq!(t.lifecycle_errors(), Vec::<String>::new());
+        let text = t.render();
+        assert!(text.contains("request 7"));
+        assert!(text.contains("migrated from server 0 to server 4"));
+    }
+
+    #[test]
+    fn unbound_tenant_events_are_orphans() {
+        let events = vec![ev(0, FlightKind::Placed, NONE, 99, 0, 0)];
+        let set = reconstruct(&events);
+        assert!(set.timelines.is_empty());
+        assert_eq!(set.orphans.len(), 1);
+    }
+
+    #[test]
+    fn infrastructure_events_are_ignored() {
+        let events = vec![
+            ev(0, FlightKind::ServerFailed, NONE, NONE, 4, 1),
+            ev(1, FlightKind::WindowClosed, NONE, NONE, 1, 0),
+        ];
+        let set = reconstruct(&events);
+        assert!(set.timelines.is_empty() && set.orphans.is_empty());
+    }
+
+    #[test]
+    fn missing_arrival_is_a_lifecycle_error() {
+        let events = vec![
+            ev(0, FlightKind::Generated, 1, NONE, 1, 0),
+            ev(1, FlightKind::Admitted, 1, 8, 0, 1),
+            ev(2, FlightKind::Placed, 1, 8, 0, 0),
+        ];
+        let set = reconstruct(&events);
+        let errors = set.all_errors();
+        assert!(errors.iter().any(|e| e.contains("arrived")), "{errors:?}");
+    }
+
+    #[test]
+    fn rejected_request_with_placement_is_flagged() {
+        let events = vec![
+            ev(0, FlightKind::Generated, 1, NONE, 1, 0),
+            ev(1, FlightKind::Arrived, 1, NONE, 10, 1),
+            ev(2, FlightKind::Rejected, 1, 8, 0, 0),
+            ev(3, FlightKind::Placed, 1, 8, 0, 0),
+        ];
+        let errors = reconstruct(&events).all_errors();
+        assert!(errors.iter().any(|e| e.contains("rejected yet has placed")));
+    }
+
+    #[test]
+    fn timelines_round_trip_through_json_lines() {
+        let set = reconstruct(&lifecycle());
+        let text = timelines_json_lines(&set);
+        assert!(text.starts_with("{\"event\":\"meta\""));
+        let back = timelines_from_json_lines(&text).unwrap();
+        assert_eq!(back.timelines, set.timelines);
+    }
+
+    #[test]
+    fn unknown_timeline_schema_is_rejected() {
+        let text = "{\"event\":\"meta\",\"schema\":\"cpo-timelines\",\"schema_version\":42}\n";
+        assert!(timelines_from_json_lines(text).is_err());
+    }
+}

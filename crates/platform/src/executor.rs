@@ -24,10 +24,12 @@ use crate::tenant::{rebase_rules, Tenant, TenantId};
 use cpo_core::prelude::Allocator;
 use cpo_model::cost;
 use cpo_model::prelude::*;
+use cpo_obs::flight::{self, FlightKind};
 use cpo_scenario::request_gen::{generate_requests, RequestSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Simulation configuration.
@@ -90,6 +92,11 @@ pub struct WindowExecutor {
     network: Option<NetworkModel>,
     /// Per-tenant SLA ledger (Eq. 23 accumulated over windows).
     sla: SlaLedger,
+    /// Tenant → flight-recorder correlation key (the request uid assigned
+    /// at generation). Populated by [`WindowExecutor::bind_request_keys`];
+    /// entries are dropped when the tenant departs or its request is
+    /// rejected.
+    flight_keys: HashMap<TenantId, u64>,
 }
 
 impl WindowExecutor {
@@ -108,7 +115,26 @@ impl WindowExecutor {
             offline_until: vec![0; m],
             network: None,
             sla: SlaLedger::new(),
+            flight_keys: HashMap::new(),
         }
+    }
+
+    /// Associates registered arrival tenant ids with their flight-recorder
+    /// correlation keys (request uids). `ids` and `keys` are parallel;
+    /// entries with the [`flight::NONE`] sentinel are skipped. Event-driven
+    /// drivers call this between [`WindowExecutor::register_arrivals`] and
+    /// [`WindowExecutor::execute`] so lifecycle events carry the uid.
+    pub fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        for (&id, &key) in ids.iter().zip(keys) {
+            if key != flight::NONE {
+                self.flight_keys.insert(id, key);
+            }
+        }
+    }
+
+    /// The correlation key bound to a tenant, or [`flight::NONE`].
+    fn flight_key(&self, id: TenantId) -> u64 {
+        self.flight_keys.get(&id).copied().unwrap_or(flight::NONE)
     }
 
     /// Attaches a network model (see [`crate::sim::PlatformSim::with_network`]).
@@ -212,6 +238,13 @@ impl WindowExecutor {
                     window,
                     server: ServerId(j),
                 });
+                flight::record(
+                    FlightKind::ServerFailed,
+                    flight::NONE,
+                    flight::NONE,
+                    j as u64,
+                    window,
+                );
             }
         }
 
@@ -221,6 +254,13 @@ impl WindowExecutor {
                     window,
                     server: ServerId(j),
                 });
+                flight::record(
+                    FlightKind::ServerRepaired,
+                    flight::NONE,
+                    flight::NONE,
+                    j as u64,
+                    window,
+                );
                 self.offline_until[j] = 0;
             }
         }
@@ -240,6 +280,13 @@ impl WindowExecutor {
             window: self.window,
             server,
         });
+        flight::record(
+            FlightKind::ServerFailed,
+            flight::NONE,
+            flight::NONE,
+            j as u64,
+            self.window,
+        );
         true
     }
 
@@ -255,6 +302,13 @@ impl WindowExecutor {
             window: self.window,
             server,
         });
+        flight::record(
+            FlightKind::ServerRepaired,
+            flight::NONE,
+            flight::NONE,
+            j as u64,
+            self.window,
+        );
         true
     }
 
@@ -274,6 +328,8 @@ impl WindowExecutor {
                 window,
                 tenant: *id,
             });
+            flight::record(FlightKind::Departed, self.flight_key(*id), id.0, window, 0);
+            self.flight_keys.remove(id);
             if let Some(net) = &mut self.network {
                 net.release_tenant(*id);
             }
@@ -293,6 +349,14 @@ impl WindowExecutor {
             window: self.window,
             tenant: id,
         });
+        flight::record(
+            FlightKind::Departed,
+            self.flight_key(id),
+            id.0,
+            self.window,
+            0,
+        );
+        self.flight_keys.remove(&id);
         if let Some(net) = &mut self.network {
             net.release_tenant(id);
         }
@@ -414,6 +478,13 @@ impl WindowExecutor {
                             from: old_server,
                             to: new_server,
                         });
+                        flight::record(
+                            FlightKind::Migrated,
+                            self.flight_keys.get(&t.id).copied().unwrap_or(flight::NONE),
+                            t.id.0,
+                            old_server.0 as u64,
+                            new_server.0 as u64,
+                        );
                         t.placement[local] = new_server;
                         moved = true;
                     }
@@ -477,6 +548,28 @@ impl WindowExecutor {
                     window,
                     tenant: tid,
                 });
+                // `admitted` binds key↔tenant in the timeline, so it must
+                // precede the per-VM `placed` events.
+                if flight::is_enabled() {
+                    let key = self.flight_key(tid);
+                    flight::record(
+                        FlightKind::Admitted,
+                        key,
+                        tid.0,
+                        window,
+                        req.vms.len() as u64,
+                    );
+                    let placed = self.tenants.last().expect("just pushed");
+                    for (local, &server) in placed.placement.iter().enumerate() {
+                        flight::record(
+                            FlightKind::Placed,
+                            key,
+                            tid.0,
+                            server.0 as u64,
+                            local as u64,
+                        );
+                    }
+                }
                 admitted += 1;
                 admitted_ids.push(tid);
             } else {
@@ -484,6 +577,8 @@ impl WindowExecutor {
                     window,
                     tenant: tid,
                 });
+                flight::record(FlightKind::Rejected, self.flight_key(tid), tid.0, window, 0);
+                self.flight_keys.remove(&tid);
                 rejected += 1;
             }
         }
@@ -492,8 +587,35 @@ impl WindowExecutor {
         let (state_batch, state_assignment) = self.snapshot();
         let tracker = LoadTracker::from_assignment(&state_assignment, &state_batch, &self.infra);
         if state_batch.vm_count() > 0 {
-            self.sla
-                .observe_window(&self.tenants, &state_batch, &tracker, &self.infra);
+            let breaches =
+                self.sla
+                    .observe_window(&self.tenants, &state_batch, &tracker, &self.infra);
+            if !breaches.is_empty() {
+                cpo_obs::counter_add("monitor.sla_breaches", breaches.len() as u64);
+                for (tid, credit) in &breaches {
+                    // Credit in integer micro-units: exact round trip
+                    // through the u64 event payload.
+                    flight::record(
+                        FlightKind::SlaViolated,
+                        self.flight_key(*tid),
+                        tid.0,
+                        window,
+                        (credit * 1e6).round() as u64,
+                    );
+                }
+            }
+            // Online invariant monitors (Eqs. 4/16 capacity, 5/17
+            // placement, 9–14 affinity) over the *live* platform state.
+            // Running tenants are never evicted and were feasible at
+            // admission, so any violation here is a platform bug or a
+            // failure-induced capacity loss worth flagging.
+            if flight::is_enabled() {
+                let report =
+                    cpo_model::constraints::check(&state_assignment, &state_batch, &self.infra);
+                for v in report.violations() {
+                    cpo_core::monitor::record_violation("platform", v);
+                }
+            }
         }
         let provider_cost = cost::usage_opex_cost(&tracker, &self.infra);
         let downtime_cost =
@@ -531,6 +653,13 @@ impl WindowExecutor {
             running_tenants: self.tenants.len(),
             active_servers: tracker.active_servers(),
         });
+        flight::record(
+            FlightKind::WindowClosed,
+            flight::NONE,
+            flight::NONE,
+            window,
+            self.tenants.len() as u64,
+        );
         sp.field("admitted", admitted)
             .field("rejected", rejected)
             .field("migrations", migrations);

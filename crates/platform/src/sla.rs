@@ -62,18 +62,23 @@ impl SlaLedger {
 
     /// Observes one window of the running platform: `batch`/`assignment`
     /// is the tenant snapshot ([`crate::sim::PlatformSim::snapshot`]
-    /// layout: tenants in order, VMs contiguous).
+    /// layout: tenants in order, VMs contiguous). Returns the tenants
+    /// whose guarantee was breached this window together with the credit
+    /// accrued, so the caller can attribute SLA/QoS breaches to requests
+    /// (flight-recorder `sla_violated` events).
     pub fn observe_window(
         &mut self,
         tenants: &[Tenant],
         batch: &RequestBatch,
         tracker: &LoadTracker,
         infra: &Infrastructure,
-    ) {
+    ) -> Vec<(TenantId, f64)> {
+        let mut breaches = Vec::new();
         let mut vm_base = 0usize;
         for t in tenants {
             let record = self.records.entry(t.id).or_default();
             record.observed_windows += 1;
+            let mut window_credit = 0.0;
             let mut degraded = false;
             for (local, &server) in t.placement.iter().enumerate() {
                 let q = worst_qos(tracker, server, infra);
@@ -81,14 +86,17 @@ impl SlaLedger {
                 let spec = batch.vm(VmId(vm_base + local));
                 if spec.qos_guarantee > 0.0 && q < spec.qos_guarantee {
                     degraded = true;
-                    record.credit_owed += spec.downtime_cost * (1.0 - q / spec.qos_guarantee);
+                    window_credit += spec.downtime_cost * (1.0 - q / spec.qos_guarantee);
                 }
             }
             if degraded {
                 record.degraded_windows += 1;
+                record.credit_owed += window_credit;
+                breaches.push((t.id, window_credit));
             }
             vm_base += t.vms.len();
         }
+        breaches
     }
 
     /// Record of one tenant, if observed.

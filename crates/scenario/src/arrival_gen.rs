@@ -41,9 +41,20 @@ impl Default for ArrivalSpec {
 
 impl ArrivalSpec {
     /// Draws the `i`-th request of stream `seed` — a single-request batch.
-    /// Deterministic in `(seed, i)`.
+    /// Deterministic in `(seed, i)`. The arrival index `i` doubles as the
+    /// request's flight-recorder correlation key: a `generated` event is
+    /// dropped into the recorder (no-op when it is disabled), the first
+    /// link of the per-request lifecycle timeline.
     pub fn request_at(&self, seed: u64, i: u64) -> RequestBatch {
-        generate_single_request(&self.request, arrival_seed(seed, i))
+        let batch = generate_single_request(&self.request, arrival_seed(seed, i));
+        cpo_obs::flight::record(
+            cpo_obs::flight::FlightKind::Generated,
+            i,
+            cpo_obs::flight::NONE,
+            batch.vm_count() as u64,
+            0,
+        );
+        batch
     }
 
     /// Draws the `i`-th holding time of stream `seed`.

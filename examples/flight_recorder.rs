@@ -1,0 +1,108 @@
+//! The flight recorder on a failure-injected continuous-time run: the
+//! always-on ring buffer captures every request's lifecycle plus server
+//! failures/repairs, the dump is written as JSONL, and per-request
+//! timelines are reconstructed and validated from it — the post-mortem
+//! workflow that `exper des` / `exper timeline` automate.
+//!
+//! ```text
+//! cargo run --release --example flight_recorder [horizon]
+//! ```
+
+use cpo_iaas::des::prelude::*;
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::obs::{flight, timeline};
+use cpo_iaas::prelude::*;
+use cpo_iaas::scenario::prelude::ArrivalSpec;
+
+fn main() {
+    let horizon: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+
+    // 1. Arm the recorder. From here every arrival, admission, placement,
+    //    migration, SLA breach, failure and repair drops one fixed-size
+    //    event into the lock-free ring — ~3.5 MB, overwrite-oldest.
+    flight::enable();
+
+    // 2. A hostile little platform: tight fleet, brisk arrivals, servers
+    //    failing every ~15 time units and staying down for ~3.
+    let infra = Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(10))],
+    );
+    let arrivals = PoissonArrivals::new(
+        ArrivalSpec {
+            rate: 3.0,
+            lifetime: (3.0, 8.0),
+            ..Default::default()
+        },
+        7,
+    );
+    let config = DesConfig {
+        window_length: 1.0,
+        latency: LatencyModel::Fixed(0.05),
+        failures: Some(FailureSpec {
+            mtbf: 15.0,
+            mttr: 3.0,
+        }),
+        seed: 7,
+    };
+    let mut sched = WindowedScheduler::new(infra, SimConfig::default(), config, arrivals);
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    println!(
+        "run: {} windows, {} admitted, {} rejected, {} platform failures",
+        report.windows.len(),
+        report.total_admitted(),
+        report.total_rejected(),
+        sched.executor().log().failure_count()
+    );
+
+    // 3. Dump the ring and read it back — the post-mortem path.
+    let snap = flight::snapshot();
+    println!(
+        "flight ring: {} events recorded, {} overwritten, {} retrievable",
+        snap.recorded,
+        snap.overwritten,
+        snap.events.len()
+    );
+    let dump = flight::dump_json_lines(&snap);
+    let parsed = flight::dump_from_json_lines(&dump).expect("own dump must parse");
+    assert_eq!(parsed.events, snap.events, "JSONL round trip must be exact");
+
+    // 4. Reconstruct per-request timelines and self-check the lifecycle
+    //    state machine on every one of them.
+    let set = timeline::reconstruct(&parsed.events);
+    let generated = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == flight::FlightKind::Generated)
+        .count();
+    println!(
+        "timelines: {} requests reconstructed from {} generated ({} orphan events)",
+        set.timelines.len(),
+        generated,
+        set.orphans.len()
+    );
+    assert_eq!(
+        set.timelines.len(),
+        generated,
+        "every generated request must have a timeline"
+    );
+    assert!(set.orphans.is_empty(), "no event may lose its request");
+    let errors = set.all_errors();
+    assert!(
+        errors.is_empty(),
+        "every timeline must be complete and ordered: {errors:?}"
+    );
+    println!("lifecycle check: every timeline complete, ordered, gap-free");
+
+    // 5. Show the most eventful request — a consumer's-eye view of the
+    //    failures it lived through.
+    let busiest = set
+        .timelines
+        .iter()
+        .max_by_key(|t| t.events.len())
+        .expect("at least one request");
+    println!("\nbusiest request:\n{}", busiest.render());
+}
