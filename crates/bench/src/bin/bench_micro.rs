@@ -10,6 +10,9 @@
 //! * `cpsolve.{queued,reference}` — the fig8 seed-42 batch CSP under both
 //!   propagation engines (wall time, propagator invocations, nodes);
 //! * `des.synthetic_churn` — raw event-queue throughput in events/s;
+//! * `tabu.move_scoring.{delta,full}` — the fig8 seed-42 tabu polish
+//!   under incremental vs full move scoring (wall time, `eval_work`
+//!   model-cell counter), plus the full/delta work ratio;
 //! * `alloc.<label>.flight_{off,on}` — one allocator sweep with the
 //!   flight recorder disabled vs enabled, plus the overhead ratio. The
 //!   recorder's acceptance bar is ≤5% overhead when enabled; the ratio
@@ -20,7 +23,9 @@ use cpo_core::cp_alloc::build_batch_csp;
 use cpo_cpsolve::prelude::*;
 use cpo_des::queue::synthetic_churn;
 use cpo_exper::runner::{Algorithm, Effort};
+use cpo_model::prelude::*;
 use cpo_obs::flight;
+use cpo_tabu::{tabu_search, Scoring, TabuConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -90,6 +95,59 @@ fn main() {
     let _ = writeln!(
         cells,
         "  {{\"name\":\"des.synthetic_churn\",\"wall_ns\":{wall_ns},\"events\":{events},\"events_per_sec\":{events_per_sec:.0}}},"
+    );
+
+    // --- tabu: delta vs full move scoring ---------------------------
+    let problem = bench_problem(100, false, 42);
+    let mut s = 7u64;
+    let genes: Vec<usize> = (0..problem.n())
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize % problem.m()
+        })
+        .collect();
+    let start = Assignment::from_genes(&genes);
+    let mut works = [0u64; 2];
+    for (slot, (name, scoring)) in [
+        ("tabu.move_scoring.delta", Scoring::Delta),
+        ("tabu.move_scoring.full", Scoring::Full),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let config = TabuConfig {
+            tenure: 24,
+            max_iterations: 200,
+            candidates: 48,
+            seed: 42,
+            scoring,
+            ..TabuConfig::default()
+        };
+        let mut result = None;
+        let wall_ns = median_ns(3, || {
+            result = Some(tabu_search(&problem, start.clone(), &config));
+        });
+        let result = result.expect("tabu ran");
+        works[slot] = result.eval_work;
+        println!(
+            "{name}: {:.2} ms, eval_work {}, {} evals",
+            wall_ns as f64 / 1e6,
+            result.eval_work,
+            result.delta_evals + result.full_evals
+        );
+        let _ = writeln!(
+            cells,
+            "  {{\"name\":\"{name}\",\"wall_ns\":{wall_ns},\"eval_work\":{},\"delta_evals\":{},\"full_evals\":{}}},",
+            result.eval_work, result.delta_evals, result.full_evals
+        );
+    }
+    let work_ratio = works[1] as f64 / works[0] as f64;
+    println!("tabu.move_scoring: full/delta eval-work ratio {work_ratio:.1}");
+    let _ = writeln!(
+        cells,
+        "  {{\"name\":\"tabu.move_scoring.ratio\",\"work_ratio\":{work_ratio:.2}}},"
     );
 
     // --- allocator sweep: flight recorder off vs on -----------------

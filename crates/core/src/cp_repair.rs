@@ -10,8 +10,8 @@
 
 use crate::cp_alloc::build_request_csp;
 use cpo_cpsolve::prelude::*;
+use cpo_model::delta::DeltaEvaluator;
 use cpo_model::prelude::*;
-use cpo_tabu::repair::faulty_vms;
 use std::time::Duration;
 
 /// CP-based repair configuration.
@@ -39,23 +39,27 @@ impl CpRepair {
     /// Attempts to repair the assignment in place, one offending request
     /// at a time. Returns `true` when the assignment was modified.
     pub fn repair(&self, problem: &AllocationProblem, assignment: &mut Assignment) -> bool {
-        let faulty = faulty_vms(problem, assignment);
-        if faulty.is_empty() {
+        // The evaluator's maintained state supplies the offending-request
+        // set and, per request, the residual capacity — built by removing
+        // the request's own VMs from the live tracker, O(|request|·h),
+        // instead of the old re-add of all n−|request| frozen VMs.
+        let owned = std::mem::replace(assignment, Assignment::unassigned(0));
+        let mut ev = DeltaEvaluator::new(problem, owned);
+        if ev.is_feasible() {
+            *assignment = ev.into_assignment();
             return false;
         }
         let batch = problem.batch();
-        let mut offending: Vec<RequestId> = faulty.iter().map(|&k| batch.request_of(k)).collect();
-        offending.sort_unstable();
-        offending.dedup();
+        let offending = ev.offending_requests();
 
         let mut changed = false;
         for r in offending {
             let req = batch.request(r);
             // Commit everything except this request.
-            let mut tracker = LoadTracker::new(problem.m(), problem.h());
-            for (k, j) in assignment.iter_assigned() {
-                if batch.request_of(k) != r {
-                    tracker.add(k, j, batch);
+            let mut tracker = ev.tracker().clone();
+            for &k in &req.vms {
+                if let Some(j) = ev.assignment().server_of(k) {
+                    tracker.remove(k, j, batch);
                 }
             }
             let mut csp = build_request_csp(problem, req, &tracker);
@@ -68,11 +72,13 @@ impl CpRepair {
             let (outcome, _) = solve(&mut csp, &config);
             if let Some(values) = outcome.solution() {
                 for (v, &j) in values.iter().enumerate() {
-                    assignment.assign(req.vms[v], ServerId(j));
+                    ev.apply(req.vms[v], ServerId(j));
                 }
+                ev.clear_history();
                 changed = true;
             }
         }
+        *assignment = ev.into_assignment();
         changed
     }
 }

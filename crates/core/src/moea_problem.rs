@@ -1,22 +1,39 @@
 //! Adapter exposing an [`AllocationProblem`] to the MOEA engine: genes are
 //! server ids (real-coded), objectives are the three Eq. 15 terms, and the
 //! constraint-violation degree feeds constraint-domination.
+//!
+//! Genome evaluation reuses pooled [`DeltaEvaluator`]s: each rayon worker
+//! pops one from the pool, `reset`s it onto the decoded assignment (every
+//! buffer — tracker matrix, per-server occupancy lists, penalty caches —
+//! is reused, no per-genome allocation of derived state), scores, and
+//! returns it. Scores are bit-identical to the old per-genome
+//! `check`/`evaluate` pair, pinned by `evaluation_matches_direct_model_calls`.
 
 use crate::encoding::GenomeCodec;
+use cpo_model::delta::DeltaEvaluator;
 use cpo_model::prelude::*;
 use cpo_moea::prelude::{Evaluation, MoeaProblem};
+use std::sync::Mutex;
 
 /// The allocation problem in MOEA clothing.
 pub struct AllocMoeaProblem<'a> {
     problem: &'a AllocationProblem,
     codec: GenomeCodec,
+    /// Reusable evaluators, popped per genome evaluation. A `Mutex` (not
+    /// a thread-local) because the evaluators borrow `problem` for `'a`;
+    /// the pool grows to at most the number of concurrent workers.
+    pool: Mutex<Vec<DeltaEvaluator<'a>>>,
 }
 
 impl<'a> AllocMoeaProblem<'a> {
     /// Wraps a problem.
     pub fn new(problem: &'a AllocationProblem) -> Self {
         let codec = GenomeCodec::new(problem.m(), problem.n());
-        Self { problem, codec }
+        Self {
+            problem,
+            codec,
+            pool: Mutex::new(Vec::new()),
+        }
     }
 
     /// The genome codec in use.
@@ -27,6 +44,21 @@ impl<'a> AllocMoeaProblem<'a> {
     /// The wrapped problem.
     pub fn problem(&self) -> &AllocationProblem {
         self.problem
+    }
+
+    /// Scores an assignment on a pooled evaluator.
+    fn pooled_score(&self, assignment: Assignment) -> cpo_model::delta::MoveScore {
+        let pooled = self.pool.lock().expect("evaluator pool poisoned").pop();
+        let ev = match pooled {
+            Some(mut ev) => {
+                ev.reset(assignment);
+                ev
+            }
+            None => DeltaEvaluator::new(self.problem, assignment),
+        };
+        let score = ev.score();
+        self.pool.lock().expect("evaluator pool poisoned").push(ev);
+        score
     }
 }
 
@@ -45,12 +77,10 @@ impl MoeaProblem for AllocMoeaProblem<'_> {
 
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let assignment = self.codec.decode(genes);
-        let tracker = self.problem.tracker(&assignment);
-        let objectives = self.problem.evaluate_with_tracker(&assignment, &tracker);
-        let report = self.problem.check_with_tracker(&assignment, &tracker);
+        let score = self.pooled_score(assignment);
         Evaluation {
-            objectives: objectives.as_array().to_vec(),
-            violation: report.degree(),
+            objectives: score.objectives.as_array().to_vec(),
+            violation: score.violation,
         }
     }
 

@@ -7,16 +7,21 @@
 
 use crate::allocator::{AllocationOutcome, Allocator};
 use crate::encoding::GenomeCodec;
+use cpo_model::delta::DeltaEvaluator;
 use cpo_model::prelude::*;
 use cpo_moea::prelude::{run, Evaluation, MoeaProblem, NsgaConfig, Repair, Variant};
 use cpo_tabu::repair::{repair as tabu_repair, RepairConfig, ScanOrder};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// The allocation problem scalarised to one objective.
+/// The allocation problem scalarised to one objective. Genome scoring
+/// reuses pooled [`DeltaEvaluator`]s, as in
+/// [`AllocMoeaProblem`](crate::moea_problem::AllocMoeaProblem).
 struct WeightedProblem<'a> {
     problem: &'a AllocationProblem,
     codec: GenomeCodec,
     weights: [f64; 3],
+    pool: Mutex<Vec<DeltaEvaluator<'a>>>,
 }
 
 impl MoeaProblem for WeightedProblem<'_> {
@@ -31,12 +36,19 @@ impl MoeaProblem for WeightedProblem<'_> {
     }
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let a = self.codec.decode(genes);
-        let tracker = self.problem.tracker(&a);
-        let z = self.problem.evaluate_with_tracker(&a, &tracker);
-        let report = self.problem.check_with_tracker(&a, &tracker);
+        let pooled = self.pool.lock().expect("evaluator pool poisoned").pop();
+        let ev = match pooled {
+            Some(mut ev) => {
+                ev.reset(a);
+                ev
+            }
+            None => DeltaEvaluator::new(self.problem, a),
+        };
+        let score = ev.score();
+        self.pool.lock().expect("evaluator pool poisoned").push(ev);
         Evaluation {
-            objectives: vec![z.weighted(self.weights)],
-            violation: report.degree(),
+            objectives: vec![score.objectives.weighted(self.weights)],
+            violation: score.violation,
         }
     }
     fn name(&self) -> &str {
@@ -93,6 +105,7 @@ impl Allocator for WeightedGaAllocator {
             problem,
             codec,
             weights: self.weights,
+            pool: Mutex::new(Vec::new()),
         };
 
         let repair_cfg = self.repair;

@@ -104,7 +104,7 @@ impl ViolationReport {
         self.violations
             .iter()
             .map(|v| match v {
-                Violation::Capacity { excess, .. } => 1.0 + excess.max(0.0),
+                Violation::Capacity { excess, .. } => capacity_degree_term(*excess),
                 Violation::Unassigned { .. } => 1.0,
                 Violation::Affinity { degree, .. } => *degree as f64,
             })
@@ -144,6 +144,18 @@ impl ViolationReport {
             .filter_map(|(r, &f)| f.then_some(RequestId(r)))
             .collect()
     }
+}
+
+/// The degree contributed by one capacity violation: a unit for the broken
+/// constraint instance plus the raw excess. Factored out so the full
+/// [`ViolationReport::degree`] and the incremental [`DeltaEvaluator`]
+/// compute the exact same expression and stay bit-identical by
+/// construction.
+///
+/// [`DeltaEvaluator`]: crate::delta::DeltaEvaluator
+#[inline]
+pub fn capacity_degree_term(excess: f64) -> f64 {
+    1.0 + excess.max(0.0)
 }
 
 /// Checks every hard constraint of the model (Eqs. 16–21) and returns the

@@ -84,6 +84,22 @@ pub fn usage_opex_cost(tracker: &LoadTracker, infra: &Infrastructure) -> f64 {
     cost
 }
 
+/// The Eq. 23 penalty one resource pays given the worst QoS `q` of its
+/// server — zero while the guarantee holds. Factored out so the full
+/// evaluation and the incremental [`DeltaEvaluator`] compute the exact
+/// same expression and stay bit-identical by construction.
+///
+/// [`DeltaEvaluator`]: crate::delta::DeltaEvaluator
+#[inline]
+pub fn downtime_penalty(spec: &crate::request::VmSpec, q: f64) -> f64 {
+    let guarantee = spec.qos_guarantee;
+    if guarantee > 0.0 && q < guarantee {
+        spec.downtime_cost * (1.0 - q / guarantee)
+    } else {
+        0.0
+    }
+}
+
 /// Downtime cost (Eq. 23, prose reading — see module docs).
 pub fn downtime_cost(
     assignment: &Assignment,
@@ -95,11 +111,7 @@ pub fn downtime_cost(
     let mut cost = 0.0;
     for (k, j) in assignment.iter_assigned() {
         let q = *per_server_qos[j.index()].get_or_insert_with(|| worst_qos(tracker, j, infra));
-        let spec = batch.vm(k);
-        let guarantee = spec.qos_guarantee;
-        if guarantee > 0.0 && q < guarantee {
-            cost += spec.downtime_cost * (1.0 - q / guarantee);
-        }
+        cost += downtime_penalty(batch.vm(k), q);
     }
     cost
 }

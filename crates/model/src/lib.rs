@@ -22,6 +22,7 @@
 //! * [`load`] — Eq. 25 loads with O(h) incremental updates
 //! * [`qos`] — the Eq. 24 piecewise QoS curve
 //! * [`cost`] — the Eq. 15 objective vector (Eqs. 22, 23, 26)
+//! * [`delta`] — incremental O(h) move scoring for local search
 //! * [`ilp`] — the explicit 0/1 integer program (Section III's LP view)
 //! * [`constraints`] — violation checking and reporting (Fig. 10 metric)
 //! * [`problem`] — [`problem::AllocationProblem`] bundling everything
@@ -62,6 +63,7 @@ pub mod assignment;
 pub mod attr;
 pub mod constraints;
 pub mod cost;
+pub mod delta;
 pub mod ilp;
 pub mod infrastructure;
 pub mod load;
@@ -77,6 +79,7 @@ pub mod prelude {
     pub use crate::attr::{AttrId, AttrKind, AttrSet};
     pub use crate::constraints::{Violation, ViolationReport};
     pub use crate::cost::ObjectiveVector;
+    pub use crate::delta::{DeltaEvaluator, MoveScore};
     pub use crate::infrastructure::{
         Datacenter, DatacenterId, Infrastructure, Server, ServerId, ServerProfile,
     };

@@ -124,14 +124,47 @@ impl LoadTracker {
     /// Attributes of server `j` whose usage exceeds effective capacity,
     /// with the excess amount. Empty when the server satisfies Eq. 4/16.
     pub fn overloads(&self, j: ServerId, infra: &Infrastructure) -> Vec<(AttrId, f64)> {
+        let mut out = Vec::new();
+        self.overloads_into(j, infra, &mut out);
+        out
+    }
+
+    /// As [`overloads`](Self::overloads) but writing into a caller-owned
+    /// buffer — the allocation-free form the delta evaluator refreshes
+    /// touched servers with.
+    pub fn overloads_into(
+        &self,
+        j: ServerId,
+        infra: &Infrastructure,
+        out: &mut Vec<(AttrId, f64)>,
+    ) {
+        out.clear();
         let used = self.used.row(j.index());
         let cap = infra.effective_row(j);
-        used.iter()
-            .zip(cap)
-            .enumerate()
-            .filter(|&(_, (u, c))| u - c > 1e-9)
-            .map(|(l, (u, c))| (AttrId(l), u - c))
-            .collect()
+        for (l, (u, c)) in used.iter().zip(cap).enumerate() {
+            if u - c > 1e-9 {
+                out.push((AttrId(l), u - c));
+            }
+        }
+    }
+
+    /// Recomputes server `j`'s usage row exactly from the VMs it hosts,
+    /// added in slice order. Feeding the hosted VMs in ascending [`VmId`]
+    /// order reproduces, bit for bit, the row [`from_assignment`] would
+    /// build — which is what lets the delta evaluator stay bit-identical
+    /// to a from-scratch rebuild after any apply/undo history.
+    ///
+    /// [`from_assignment`]: Self::from_assignment
+    pub fn recompute_server(&mut self, j: ServerId, vms: &[VmId], batch: &RequestBatch) {
+        let row = self.used.row_mut(j.index());
+        row.fill(0.0);
+        for &k in vms {
+            let demand = &batch.vm(k).demand;
+            for (u, d) in row.iter_mut().zip(demand) {
+                *u += d;
+            }
+        }
+        self.hosted[j.index()] = vms.len();
     }
 
     /// Servers violating the capacity constraint — the paper's

@@ -139,6 +139,14 @@ impl AllocationProblem {
         LoadTracker::from_assignment(assignment, &self.batch, &self.infra)
     }
 
+    /// Builds an incremental [`DeltaEvaluator`] owning `assignment` — the
+    /// O(h)-per-move scoring engine local search runs on.
+    ///
+    /// [`DeltaEvaluator`]: crate::delta::DeltaEvaluator
+    pub fn delta_evaluator(&self, assignment: Assignment) -> crate::delta::DeltaEvaluator<'_> {
+        crate::delta::DeltaEvaluator::new(self, assignment)
+    }
+
     /// Is placing VM `k` on server `j` consistent with the *rules* of its
     /// request given the partial `assignment`? (Capacity is the tracker's
     /// job; this checks affinity only.) Used by greedy and CP allocators.

@@ -41,4 +41,4 @@ pub mod search;
 
 pub use list::{TabuList, TabuMove};
 pub use repair::{faulty_vms, find_neighbour, repair, RepairConfig, RepairOutcome, ScanOrder};
-pub use search::{score, tabu_search, Score, TabuConfig, TabuResult};
+pub use search::{score, tabu_search, Neighborhood, Score, Scoring, TabuConfig, TabuResult};

@@ -20,6 +20,7 @@
 //! Fig. 6's caption.
 
 use crate::list::{TabuList, TabuMove};
+use cpo_model::delta::DeltaEvaluator;
 use cpo_model::prelude::*;
 
 /// Configuration of the repair pass.
@@ -208,25 +209,20 @@ pub fn same_server_group(problem: &AllocationProblem, k: VmId) -> Option<Vec<VmI
 }
 
 /// Attempts to move an entire same-server group to one server that can
-/// take it whole. Restores the original placement on failure.
+/// take it whole. Restores the original placement (via the evaluator's
+/// undo stack) on failure. Expects an empty undo history on entry.
 fn try_group_move(
     problem: &AllocationProblem,
-    assignment: &mut Assignment,
-    tracker: &mut LoadTracker,
+    ev: &mut DeltaEvaluator<'_>,
     group: &[VmId],
     order: ScanOrder,
 ) -> bool {
+    debug_assert_eq!(ev.history_len(), 0, "caller must clear history");
     let batch = problem.batch();
-    // Detach the group.
-    let old: Vec<(VmId, Option<ServerId>)> = group
-        .iter()
-        .map(|&k| (k, assignment.server_of(k)))
-        .collect();
-    for &(k, s) in &old {
-        if let Some(j) = s {
-            tracker.remove(k, j, batch);
-        }
-        assignment.unassign(k);
+    let anchor = group.first().and_then(|&k| ev.assignment().server_of(k));
+    // Detach the group (recorded on the undo stack).
+    for &k in group {
+        ev.unassign_vm(k);
     }
     // Total group demand per attribute.
     let h = problem.h();
@@ -236,10 +232,9 @@ fn try_group_move(
             *t += batch.vm(k).demand[l];
         }
     }
-    let anchor = old.first().and_then(|&(_, s)| s);
     for j in scan_candidates(problem, anchor, order) {
         // Whole-group capacity check.
-        let used = tracker.used_row(j);
+        let used = ev.tracker().used_row(j);
         let cap = problem.infra().effective_row(j);
         let fits = used
             .iter()
@@ -251,22 +246,20 @@ fn try_group_move(
         }
         // Rules vs VMs outside the group (intra-group same-server holds by
         // construction once all land on j).
-        if !group.iter().all(|&k| problem.rules_allow(assignment, k, j)) {
+        if !group
+            .iter()
+            .all(|&k| problem.rules_allow(ev.assignment(), k, j))
+        {
             continue;
         }
         for &k in group {
-            tracker.add(k, j, batch);
-            assignment.assign(k, j);
+            ev.apply(k, j);
         }
+        ev.clear_history();
         return true;
     }
-    // Restore.
-    for &(k, s) in &old {
-        if let Some(j) = s {
-            tracker.add(k, j, batch);
-            assignment.assign(k, j);
-        }
-    }
+    // Restore the original placement.
+    while ev.undo() {}
     false
 }
 
@@ -281,7 +274,12 @@ pub fn repair(
     config: &RepairConfig,
 ) -> RepairOutcome {
     let mut tabu = TabuList::new(config.tenure);
-    let mut tracker = problem.tracker(assignment);
+    // The evaluator takes over the caller's assignment for the duration of
+    // the repair: its maintained state answers "is this VM still faulty"
+    // and "is the result feasible" in O(1)/O(rules(k)) instead of the old
+    // per-pass tracker rebuilds.
+    let owned = std::mem::replace(assignment, Assignment::unassigned(0));
+    let mut ev = DeltaEvaluator::new(problem, owned);
     let mut moves = 0usize;
 
     // Position-independent scan orders are computed once; NearestFirst
@@ -293,7 +291,10 @@ pub fn repair(
 
     let mut passes = 0usize;
     for _pass in 0..config.max_passes {
-        let faulty = faulty_vms(problem, assignment);
+        if ev.is_feasible() {
+            break;
+        }
+        let faulty = ev.faulty_vms();
         if faulty.is_empty() {
             break;
         }
@@ -302,35 +303,37 @@ pub fn repair(
         for k in faulty {
             // Skip VMs whose situation got fixed by an earlier move in
             // this pass.
-            let still_faulty = match assignment.server_of(k) {
+            let still_faulty = match ev.assignment().server_of(k) {
                 None => true,
                 Some(j) => {
-                    !tracker.overloads(j, problem.infra()).is_empty()
-                        || !problem.rules_allow(assignment, k, j)
-                        || {
-                            // A rule of k's request may still be broken.
-                            let req = problem.batch().request(problem.batch().request_of(k));
-                            req.rules.iter().any(|r| {
-                                r.vms().contains(&k) && !r.is_satisfied(assignment, problem.infra())
-                            })
-                        }
+                    ev.server_overloaded(j)
+                        || !problem.rules_allow(ev.assignment(), k, j)
+                        || ev.vm_has_broken_rule(k)
                 }
             };
             if !still_faulty {
                 continue;
             }
             let found = match &cached_order {
-                Some(order) => find_neighbour_in(problem, assignment, &tracker, &tabu, k, order),
-                None => find_neighbour(problem, assignment, &tracker, &tabu, k, config.scan),
+                Some(order) => {
+                    find_neighbour_in(problem, ev.assignment(), ev.tracker(), &tabu, k, order)
+                }
+                None => find_neighbour(
+                    problem,
+                    ev.assignment(),
+                    ev.tracker(),
+                    &tabu,
+                    k,
+                    config.scan,
+                ),
             };
             match found {
                 Some(target) => {
-                    if let Some(from) = assignment.server_of(k) {
-                        tracker.remove(k, from, problem.batch());
+                    if let Some(from) = ev.assignment().server_of(k) {
                         tabu.push(TabuMove { vm: k, from });
                     }
-                    tracker.add(k, target, problem.batch());
-                    assignment.assign(k, target);
+                    ev.apply(k, target);
+                    ev.clear_history();
                     moves += 1;
                     progressed = true;
                 }
@@ -338,7 +341,7 @@ pub fn repair(
                     // A VM pinned by a same-server rule cannot move alone:
                     // relocate the whole co-location group.
                     if let Some(group) = same_server_group(problem, k) {
-                        if try_group_move(problem, assignment, &mut tracker, &group, config.scan) {
+                        if try_group_move(problem, &mut ev, &group, config.scan) {
                             moves += group.len();
                             progressed = true;
                         }
@@ -351,7 +354,8 @@ pub fn repair(
         }
     }
 
-    let feasible = problem.is_feasible(assignment);
+    let feasible = ev.is_feasible();
+    *assignment = ev.into_assignment();
     cpo_obs::counter_add("tabu.repair_calls", 1);
     cpo_obs::counter_add("tabu.repair_moves", moves as u64);
     cpo_obs::counter_add("tabu.repair_passes", passes as u64);

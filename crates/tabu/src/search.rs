@@ -3,11 +3,44 @@
 //! space beyond local optimality by moving virtual machines on different
 //! servers" the paper embeds in its hybrid; usable on its own for
 //! ablations and as a post-optimisation polish.
+//!
+//! Candidate relocations are scored through
+//! [`DeltaEvaluator`](cpo_model::delta::DeltaEvaluator) by default —
+//! O(occupancy·h + rules(vm)) per candidate instead of a from-scratch
+//! O(n·h + m·h + rules) recompute — with [`Scoring::Full`] kept as the
+//! differential oracle. Delta scores are bit-identical to full scores, so
+//! the two modes walk the exact same trajectory (pinned by
+//! `tests/delta_differential.rs`).
 
 use crate::list::{TabuList, TabuMove};
+use cpo_model::delta::{DeltaEvaluator, MoveScore};
 use cpo_model::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// How candidate relocations are scored.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scoring {
+    /// Incremental delta evaluation (the fast path and the default).
+    #[default]
+    Delta,
+    /// From-scratch check + evaluate per candidate, sharing one
+    /// [`LoadTracker`] between the two — the slow-path oracle the
+    /// differential tests compare against.
+    Full,
+}
+
+/// How the per-iteration candidate set is generated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Neighborhood {
+    /// `candidates` random `(vm, server)` draws per iteration (the
+    /// paper's sampling scheme).
+    #[default]
+    Sampled,
+    /// Deterministic scan of all `n·m` relocations per iteration — no
+    /// RNG involved; affordable now that scoring is incremental.
+    Exhaustive,
+}
 
 /// Tabu-search configuration.
 #[derive(Clone, Copy, Debug)]
@@ -16,10 +49,15 @@ pub struct TabuConfig {
     pub tenure: usize,
     /// Iteration budget (one move per iteration).
     pub max_iterations: usize,
-    /// Candidate moves sampled per iteration.
+    /// Candidate moves sampled per iteration (ignored by
+    /// [`Neighborhood::Exhaustive`]).
     pub candidates: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Candidate scoring mode.
+    pub scoring: Scoring,
+    /// Candidate generation mode.
+    pub neighborhood: Neighborhood,
 }
 
 impl Default for TabuConfig {
@@ -29,6 +67,8 @@ impl Default for TabuConfig {
             max_iterations: 500,
             candidates: 32,
             seed: 0,
+            scoring: Scoring::Delta,
+            neighborhood: Neighborhood::Sampled,
         }
     }
 }
@@ -52,12 +92,23 @@ impl Score {
     }
 }
 
-/// Scores an assignment.
+impl From<MoveScore> for Score {
+    fn from(ms: MoveScore) -> Self {
+        Score {
+            violation: ms.violation,
+            total_cost: ms.total_cost(),
+        }
+    }
+}
+
+/// Scores an assignment from scratch, building ONE tracker shared by the
+/// constraint check and the objective evaluation (each used to build its
+/// own — a silent 2× on the hot path).
 pub fn score(problem: &AllocationProblem, assignment: &Assignment) -> Score {
-    let report = problem.check(assignment);
+    let tracker = problem.tracker(assignment);
     Score {
-        violation: report.degree(),
-        total_cost: problem.evaluate(assignment).total(),
+        violation: problem.check_with_tracker(assignment, &tracker).degree(),
+        total_cost: problem.evaluate_with_tracker(assignment, &tracker).total(),
     }
 }
 
@@ -74,15 +125,210 @@ pub struct TabuResult {
     pub accepted_moves: usize,
     /// Tabu moves accepted via the aspiration criterion.
     pub aspiration_hits: usize,
-    /// Candidate relocations scored across all iterations.
+    /// Distinct candidate relocations scored across all iterations
+    /// (duplicate draws within an iteration are deduplicated).
     pub candidates_scanned: usize,
+    /// Candidates scored through the delta evaluator.
+    pub delta_evals: usize,
+    /// Candidates scored by full recompute.
+    pub full_evals: usize,
+    /// Heavy model-cell operations spent scoring (the unit
+    /// [`DeltaEvaluator::work`] defines) — the quantity the ≥5×
+    /// delta-vs-full regression test pins.
+    pub eval_work: u64,
+}
+
+/// The two scoring backends behind one interface. `Delta` owns the current
+/// assignment inside the evaluator; `Full` carries it alongside.
+enum ScoreEngine<'p> {
+    Delta {
+        ev: Box<DeltaEvaluator<'p>>,
+        /// Work already booked when the engine was built (the initial
+        /// state construction), excluded from `eval_work`.
+        base_work: u64,
+        evals: usize,
+    },
+    Full {
+        problem: &'p AllocationProblem,
+        current: Assignment,
+        /// Σ rule member counts, for the analytic per-eval work cost.
+        total_rule_vms: u64,
+        work: u64,
+        evals: usize,
+    },
+}
+
+impl<'p> ScoreEngine<'p> {
+    fn new(problem: &'p AllocationProblem, start: Assignment, scoring: Scoring) -> Self {
+        match scoring {
+            Scoring::Delta => {
+                let ev = Box::new(DeltaEvaluator::new(problem, start));
+                let base_work = ev.work();
+                ScoreEngine::Delta {
+                    ev,
+                    base_work,
+                    evals: 0,
+                }
+            }
+            Scoring::Full => {
+                let total_rule_vms = problem
+                    .batch()
+                    .requests()
+                    .iter()
+                    .flat_map(|r| r.rules.iter())
+                    .map(|rule| rule.vms().len() as u64)
+                    .sum();
+                ScoreEngine::Full {
+                    problem,
+                    current: start,
+                    total_rule_vms,
+                    work: 0,
+                    evals: 0,
+                }
+            }
+        }
+    }
+
+    fn server_of(&self, k: VmId) -> Option<ServerId> {
+        match self {
+            ScoreEngine::Delta { ev, .. } => ev.assignment().server_of(k),
+            ScoreEngine::Full { current, .. } => current.server_of(k),
+        }
+    }
+
+    fn current(&self) -> &Assignment {
+        match self {
+            ScoreEngine::Delta { ev, .. } => ev.assignment(),
+            ScoreEngine::Full { current, .. } => current,
+        }
+    }
+
+    /// Scores the current assignment (start-of-search baseline).
+    fn score_current(&mut self) -> Score {
+        match self {
+            ScoreEngine::Delta { ev, .. } => ev.score().into(),
+            ScoreEngine::Full {
+                problem,
+                current,
+                total_rule_vms,
+                work,
+                evals,
+            } => {
+                *evals += 1;
+                let (s, w) = full_score_with_work(problem, current, *total_rule_vms);
+                *work += w;
+                s
+            }
+        }
+    }
+
+    /// Scores "relocate `k` to `j`" without changing the current state.
+    fn peek(&mut self, k: VmId, j: ServerId) -> Score {
+        match self {
+            ScoreEngine::Delta { ev, evals, .. } => {
+                *evals += 1;
+                ev.peek_relocate(k, j).into()
+            }
+            ScoreEngine::Full {
+                problem,
+                current,
+                total_rule_vms,
+                work,
+                evals,
+            } => {
+                *evals += 1;
+                let old = current.server_of(k);
+                current.assign(k, j);
+                let (s, w) = full_score_with_work(problem, current, *total_rule_vms);
+                *work += w;
+                match old {
+                    Some(o) => current.assign(k, o),
+                    None => current.unassign(k),
+                }
+                s
+            }
+        }
+    }
+
+    /// Commits "relocate `k` to `j`".
+    fn commit(&mut self, k: VmId, j: ServerId) {
+        match self {
+            ScoreEngine::Delta { ev, .. } => {
+                ev.apply(k, j);
+                ev.clear_history(); // accepted moves are never undone
+            }
+            ScoreEngine::Full { current, .. } => current.assign(k, j),
+        }
+    }
+
+    /// `(delta_evals, full_evals, eval_work)` so far.
+    fn stats(&self) -> (usize, usize, u64) {
+        match self {
+            ScoreEngine::Delta {
+                ev,
+                base_work,
+                evals,
+            } => (*evals, 0, ev.work() - base_work),
+            ScoreEngine::Full { work, evals, .. } => (0, *evals, *work),
+        }
+    }
+}
+
+/// One full (tracker-rebuilding) score plus its analytic model-cell cost,
+/// in the unit `DeltaEvaluator::work` defines (see its `full_eval_work`).
+fn full_score_with_work(
+    problem: &AllocationProblem,
+    assignment: &Assignment,
+    total_rule_vms: u64,
+) -> (Score, u64) {
+    let tracker = problem.tracker(assignment);
+    let s = Score {
+        violation: problem.check_with_tracker(assignment, &tracker).degree(),
+        total_cost: problem.evaluate_with_tracker(assignment, &tracker).total(),
+    };
+    let (_, m, n, h) = problem.dims();
+    let assigned = assignment.assigned_count();
+    let active = tracker.active_servers();
+    let mut w = (assigned * h + m * h + n + m + active * h + assigned) as u64 + total_rule_vms;
+    if problem.previous().is_some() {
+        w += n as u64;
+    }
+    (s, w)
+}
+
+/// Scores `(k, j)` and folds it into the running best candidate, honouring
+/// the tabu list and the aspiration criterion.
+fn consider_candidate(
+    engine: &mut ScoreEngine<'_>,
+    tabu: &TabuList,
+    k: VmId,
+    j: ServerId,
+    best_score: &Score,
+    best_cand: &mut Option<(VmId, ServerId, Score, bool)>,
+    candidates_scanned: &mut usize,
+) {
+    *candidates_scanned += 1;
+    let is_tabu = tabu.is_tabu(k, j);
+    let s = engine.peek(k, j);
+    let aspirated = is_tabu && s.better_than(best_score);
+    if is_tabu && !aspirated {
+        return;
+    }
+    let better = match best_cand {
+        None => true,
+        Some((_, _, cs, _)) => s.better_than(cs),
+    };
+    if better {
+        *best_cand = Some((k, j, s, aspirated));
+    }
 }
 
 /// Runs tabu search from `start`, relocating one VM per iteration.
 ///
-/// Per iteration, `config.candidates` random (vm, server) relocations are
-/// scored; the best non-tabu candidate (or a tabu one that beats the best
-/// known — the aspiration criterion) is applied.
+/// Per iteration, the candidate set (random samples or the exhaustive
+/// `n·m` scan, per [`TabuConfig::neighborhood`]) is scored incrementally;
+/// the best non-tabu candidate (or a tabu one that beats the best known —
+/// the aspiration criterion) is applied.
 pub fn tabu_search(
     problem: &AllocationProblem,
     start: Assignment,
@@ -93,9 +339,9 @@ pub fn tabu_search(
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut tabu = TabuList::new(config.tenure);
 
-    let mut current = start;
-    let mut current_score = score(problem, &current);
-    let mut best = current.clone();
+    let mut engine = ScoreEngine::new(problem, start, config.scoring);
+    let mut current_score = engine.score_current();
+    let mut best = engine.current().clone();
     let mut best_score = current_score;
     let mut accepted = 0usize;
     let mut iterations = 0usize;
@@ -105,6 +351,7 @@ pub fn tabu_search(
     let mut sp = cpo_obs::span!("tabu.search", vms = n, servers = m);
 
     if n == 0 || m < 2 {
+        let (delta_evals, full_evals, eval_work) = engine.stats();
         return TabuResult {
             best,
             best_score,
@@ -112,38 +359,63 @@ pub fn tabu_search(
             accepted_moves: accepted,
             aspiration_hits,
             candidates_scanned,
+            delta_evals,
+            full_evals,
+            eval_work,
         };
     }
 
+    // Dedupe buffer for sampled candidates: the same (vm, server) pair can
+    // be drawn more than once per iteration; scoring it again cannot change
+    // the selection (better_than is strict), so only the first draw is
+    // scored. The RNG is still advanced per draw to keep trajectories
+    // comparable across configurations.
+    let mut seen: Vec<(VmId, ServerId)> = Vec::with_capacity(config.candidates);
+
     for _ in 0..config.max_iterations {
         iterations += 1;
-        // Sample candidate relocations.
         let mut best_cand: Option<(VmId, ServerId, Score, bool)> = None;
-        for _ in 0..config.candidates {
-            let k = VmId(rng.gen_range(0..n));
-            let j = ServerId(rng.gen_range(0..m));
-            if current.server_of(k) == Some(j) {
-                continue;
+        match config.neighborhood {
+            Neighborhood::Sampled => {
+                seen.clear();
+                for _ in 0..config.candidates {
+                    let k = VmId(rng.gen_range(0..n));
+                    let j = ServerId(rng.gen_range(0..m));
+                    if engine.server_of(k) == Some(j) {
+                        continue;
+                    }
+                    if seen.contains(&(k, j)) {
+                        continue;
+                    }
+                    seen.push((k, j));
+                    consider_candidate(
+                        &mut engine,
+                        &tabu,
+                        k,
+                        j,
+                        &best_score,
+                        &mut best_cand,
+                        &mut candidates_scanned,
+                    );
+                }
             }
-            candidates_scanned += 1;
-            let is_tabu = tabu.is_tabu(k, j);
-            let old = current.server_of(k);
-            current.assign(k, j);
-            let s = score(problem, &current);
-            match old {
-                Some(o) => current.assign(k, o),
-                None => current.unassign(k),
-            }
-            let aspirated = is_tabu && s.better_than(&best_score);
-            if is_tabu && !aspirated {
-                continue;
-            }
-            let better = match &best_cand {
-                None => true,
-                Some((_, _, cs, _)) => s.better_than(cs),
-            };
-            if better {
-                best_cand = Some((k, j, s, aspirated));
+            Neighborhood::Exhaustive => {
+                for k in (0..n).map(VmId) {
+                    for j in (0..m).map(ServerId) {
+                        if engine.server_of(k) == Some(j) {
+                            continue;
+                        }
+                        consider_candidate(
+                            &mut engine,
+                            &tabu,
+                            k,
+                            j,
+                            &best_score,
+                            &mut best_cand,
+                            &mut candidates_scanned,
+                        );
+                    }
+                }
             }
         }
         let Some((k, j, s, cand_aspirated)) = best_cand else {
@@ -152,20 +424,21 @@ pub fn tabu_search(
         if cand_aspirated {
             aspiration_hits += 1;
         }
-        if let Some(from) = current.server_of(k) {
+        if let Some(from) = engine.server_of(k) {
             tabu.push(TabuMove { vm: k, from });
         }
-        current.assign(k, j);
+        engine.commit(k, j);
         current_score = s;
         accepted += 1;
         if current_score.better_than(&best_score) {
-            best = current.clone();
+            best = engine.current().clone();
             best_score = current_score;
         }
         // Early exit once feasible and stagnating is handled by budget;
         // a perfect zero-cost solution cannot exist (opex > 0), so run on.
     }
 
+    let (delta_evals, full_evals, eval_work) = engine.stats();
     sp.field("iterations", iterations)
         .field("accepted", accepted)
         .field("aspiration_hits", aspiration_hits);
@@ -173,6 +446,8 @@ pub fn tabu_search(
     cpo_obs::counter_add("tabu.accepted_moves", accepted as u64);
     cpo_obs::counter_add("tabu.aspiration_hits", aspiration_hits as u64);
     cpo_obs::counter_add("tabu.candidates_scanned", candidates_scanned as u64);
+    cpo_obs::counter_add("tabu.delta_evals", delta_evals as u64);
+    cpo_obs::counter_add("tabu.full_evals", full_evals as u64);
     TabuResult {
         best,
         best_score,
@@ -180,6 +455,9 @@ pub fn tabu_search(
         accepted_moves: accepted,
         aspiration_hits,
         candidates_scanned,
+        delta_evals,
+        full_evals,
+        eval_work,
     }
 }
 
@@ -236,6 +514,8 @@ mod tests {
         );
         assert!(p.is_feasible(&result.best));
         assert!(result.accepted_moves > 0);
+        assert!(result.delta_evals > 0);
+        assert_eq!(result.full_evals, 0);
     }
 
     #[test]
@@ -272,6 +552,71 @@ mod tests {
         let r2 = tabu_search(&p, start, &TabuConfig::default());
         assert_eq!(r1.best, r2.best);
         assert_eq!(r1.accepted_moves, r2.accepted_moves);
+        assert_eq!(r1.candidates_scanned, r2.candidates_scanned);
+        assert_eq!(r1.eval_work, r2.eval_work);
+    }
+
+    #[test]
+    fn delta_and_full_scoring_walk_the_same_trajectory() {
+        // Delta scores are bit-identical to full scores, so every
+        // candidate comparison — and therefore the whole search — must
+        // agree between the two modes.
+        let p = problem(5, 12);
+        let mut start = Assignment::unassigned(12);
+        for k in 0..12 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        let mut runs = Vec::new();
+        for scoring in [Scoring::Delta, Scoring::Full] {
+            runs.push(tabu_search(
+                &p,
+                start.clone(),
+                &TabuConfig {
+                    max_iterations: 120,
+                    scoring,
+                    ..Default::default()
+                },
+            ));
+        }
+        let (d, f) = (&runs[0], &runs[1]);
+        assert_eq!(d.best, f.best);
+        assert_eq!(
+            d.best_score.violation.to_bits(),
+            f.best_score.violation.to_bits()
+        );
+        assert_eq!(
+            d.best_score.total_cost.to_bits(),
+            f.best_score.total_cost.to_bits()
+        );
+        assert_eq!(d.accepted_moves, f.accepted_moves);
+        assert_eq!(d.aspiration_hits, f.aspiration_hits);
+        assert_eq!(d.candidates_scanned, f.candidates_scanned);
+        assert!(d.full_evals == 0 && f.delta_evals == 0);
+        assert!(
+            d.eval_work < f.eval_work,
+            "delta work {} must undercut full work {}",
+            d.eval_work,
+            f.eval_work
+        );
+    }
+
+    #[test]
+    fn exhaustive_neighborhood_is_deterministic_and_ignores_the_seed() {
+        let p = problem(4, 8);
+        let start = Assignment::from_genes(&[0; 8]);
+        let cfg = |seed| TabuConfig {
+            max_iterations: 40,
+            neighborhood: Neighborhood::Exhaustive,
+            seed,
+            ..Default::default()
+        };
+        let r1 = tabu_search(&p, start.clone(), &cfg(0));
+        let r2 = tabu_search(&p, start.clone(), &cfg(12345));
+        assert_eq!(r1.best, r2.best);
+        assert_eq!(r1.candidates_scanned, r2.candidates_scanned);
+        // Full scan considers every non-noop pair each iteration.
+        assert!(r1.candidates_scanned >= 40 * (8 * 3));
+        assert_eq!(r1.best_score.violation, 0.0);
     }
 
     #[test]

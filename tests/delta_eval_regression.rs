@@ -1,0 +1,79 @@
+//! Regression guard for delta move scoring, pinned on the fig8
+//! (100-server) tabu run at the canonical seed 42.
+//!
+//! Scoring a relocation the full way costs O(n·h + m·h + rules) model
+//! cells; the delta evaluator touches only the two servers, the moved
+//! VM's rules, and its migration term, then resums cached per-unit
+//! values. The guard demands the delta engine reach the *identical*
+//! result with ≥ 5× less evaluation work (heavy model cells touched,
+//! the `eval_work` counter), and stay under a pinned absolute budget so
+//! a future change silently reverting to full rescoring fails CI here.
+
+use cpo_iaas::model::prelude::*;
+use cpo_iaas::scenario::prelude::{ScenarioSize, ScenarioSpec};
+use cpo_iaas::tabu::{tabu_search, Scoring, TabuConfig, TabuResult};
+
+/// The fig8 seed-42 cell under the paper-shaped tabu polish.
+fn run_cell(scoring: Scoring) -> TabuResult {
+    let problem = ScenarioSpec::for_size(&ScenarioSize::with_servers(100)).generate(42);
+    let mut s = 7u64;
+    let genes: Vec<usize> = (0..problem.n())
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize % problem.m()
+        })
+        .collect();
+    let start = Assignment::from_genes(&genes);
+    let config = TabuConfig {
+        tenure: 24,
+        max_iterations: 200,
+        candidates: 48,
+        seed: 42,
+        scoring,
+        ..TabuConfig::default()
+    };
+    tabu_search(&problem, start, &config)
+}
+
+#[test]
+fn delta_scoring_saves_5x_eval_work_on_fig8_tabu() {
+    let delta = run_cell(Scoring::Delta);
+    let full = run_cell(Scoring::Full);
+
+    // Same trajectory first — a "saving" that changes the answer is a bug.
+    assert_eq!(delta.best, full.best, "scoring modes diverged");
+    assert_eq!(
+        delta.best_score.total_cost.to_bits(),
+        full.best_score.total_cost.to_bits()
+    );
+    assert_eq!(delta.candidates_scanned, full.candidates_scanned);
+
+    assert!(
+        full.eval_work >= 5 * delta.eval_work,
+        "expected ≥5× saving: delta {} vs full {}",
+        delta.eval_work,
+        full.eval_work
+    );
+
+    // Absolute pin, well below the full-scoring count on this fixed seed:
+    // a silent revert to full rescoring lands at the full count and fails.
+    // Headroom over the measured value covers benign heuristic tweaks,
+    // not an engine regression.
+    const PINNED_MAX_DELTA_WORK: u64 = 1_200_000; // measured 818_116 on 2026-08-06
+    assert!(
+        delta.eval_work <= PINNED_MAX_DELTA_WORK,
+        "delta eval work regressed past the pin: {} > {}",
+        delta.eval_work,
+        PINNED_MAX_DELTA_WORK
+    );
+    println!(
+        "delta_work={} full_work={} ratio={:.1} delta_evals={} full_evals={}",
+        delta.eval_work,
+        full.eval_work,
+        full.eval_work as f64 / delta.eval_work as f64,
+        delta.delta_evals,
+        full.full_evals
+    );
+}
