@@ -18,6 +18,7 @@
 //!   recorder's acceptance bar is ≤5% overhead when enabled; the ratio
 //!   is reported, not asserted, because CI machines are noisy.
 
+use cpo_bench::report::{Cell, Report};
 use cpo_bench::{admissible_fig8_problem, bench_problem};
 use cpo_core::cp_alloc::build_batch_csp;
 use cpo_cpsolve::prelude::*;
@@ -26,7 +27,6 @@ use cpo_exper::runner::{Algorithm, Effort};
 use cpo_model::prelude::*;
 use cpo_obs::flight;
 use cpo_tabu::{tabu_search, Scoring, TabuConfig};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Median wall time of `reps` runs of `f`, in nanoseconds.
@@ -63,7 +63,7 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/bench/BENCH_micro.json".into());
-    let mut cells = String::new();
+    let mut report = Report::new("cpo-bench-micro", 1);
 
     // --- cpsolve: queued vs reference propagation engine ------------
     for (name, engine) in [
@@ -78,10 +78,11 @@ fn main() {
             stats.propagations,
             stats.nodes
         );
-        let _ = writeln!(
-            cells,
-            "  {{\"name\":\"{name}\",\"wall_ns\":{wall_ns},\"propagations\":{},\"nodes\":{}}},",
-            stats.propagations, stats.nodes
+        report.push(
+            Cell::new(name)
+                .int("wall_ns", wall_ns as i128)
+                .int("propagations", stats.propagations as i128)
+                .int("nodes", stats.nodes as i128),
         );
     }
 
@@ -92,9 +93,11 @@ fn main() {
     });
     let events_per_sec = events as f64 / (wall_ns as f64 / 1e9);
     println!("des.synthetic_churn: {events_per_sec:.0} events/s");
-    let _ = writeln!(
-        cells,
-        "  {{\"name\":\"des.synthetic_churn\",\"wall_ns\":{wall_ns},\"events\":{events},\"events_per_sec\":{events_per_sec:.0}}},"
+    report.push(
+        Cell::new("des.synthetic_churn")
+            .int("wall_ns", wall_ns as i128)
+            .int("events", events as i128)
+            .float("events_per_sec", events_per_sec),
     );
 
     // --- tabu: delta vs full move scoring ---------------------------
@@ -137,18 +140,17 @@ fn main() {
             result.eval_work,
             result.delta_evals + result.full_evals
         );
-        let _ = writeln!(
-            cells,
-            "  {{\"name\":\"{name}\",\"wall_ns\":{wall_ns},\"eval_work\":{},\"delta_evals\":{},\"full_evals\":{}}},",
-            result.eval_work, result.delta_evals, result.full_evals
+        report.push(
+            Cell::new(name)
+                .int("wall_ns", wall_ns as i128)
+                .int("eval_work", result.eval_work as i128)
+                .int("delta_evals", result.delta_evals as i128)
+                .int("full_evals", result.full_evals as i128),
         );
     }
     let work_ratio = works[1] as f64 / works[0] as f64;
     println!("tabu.move_scoring: full/delta eval-work ratio {work_ratio:.1}");
-    let _ = writeln!(
-        cells,
-        "  {{\"name\":\"tabu.move_scoring.ratio\",\"work_ratio\":{work_ratio:.2}}},"
-    );
+    report.push(Cell::new("tabu.move_scoring.ratio").float("work_ratio", work_ratio));
 
     // --- allocator sweep: flight recorder off vs on -----------------
     let problem = bench_problem(15, false, 42);
@@ -166,23 +168,14 @@ fn main() {
         flight::disable();
         let ratio = on_ns as f64 / off_ns as f64;
         println!("alloc.{label}: off {off_ns} ns, on {on_ns} ns, ratio {ratio:.3}");
-        let _ = writeln!(
-            cells,
-            "  {{\"name\":\"alloc.{label}.flight_off\",\"wall_ns\":{off_ns}}},"
-        );
-        let _ = writeln!(
-            cells,
-            "  {{\"name\":\"alloc.{label}.flight_on\",\"wall_ns\":{on_ns},\"overhead_ratio\":{ratio:.4}}},"
+        report.push(Cell::new(format!("alloc.{label}.flight_off")).int("wall_ns", off_ns as i128));
+        report.push(
+            Cell::new(format!("alloc.{label}.flight_on"))
+                .int("wall_ns", on_ns as i128)
+                .float("overhead_ratio", ratio),
         );
     }
 
-    let cells = cells.trim_end().trim_end_matches(',');
-    let json = format!(
-        "{{\n\"schema\":\"cpo-bench-micro\",\"schema_version\":1,\"cells\":[\n{cells}\n]}}\n"
-    );
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out_path, &json).expect("write BENCH_micro.json");
+    report.write(&out_path).expect("write BENCH_micro.json");
     println!("wrote {out_path}");
 }

@@ -1,0 +1,248 @@
+//! The standing macro-benchmark: replays an amplified production trace
+//! through the full continuous-time stack — `cpo-traces` streaming
+//! ingestion → amplifier → `TraceArrivalSource` → `WindowedScheduler`
+//! over the memory-lean `FleetExecutor` — and writes `BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run --release -p cpo-bench --bin bench_trace -- \
+//!     [--arrivals 1000000] [--servers 10000] [--window 60] \
+//!     [--seed 42] [--out target/bench/BENCH_trace.json]
+//! ```
+//!
+//! The run is executed **twice** with the same seed and the per-window
+//! outcome stream is fingerprinted: the benchmark aborts if the two
+//! replays diverge, so determinism is re-proven on every invocation.
+//! Reported cells: ingest throughput (events/s), end-to-end replay
+//! throughput, peak RSS, admitted/rejected totals, and p50/p95/p99
+//! per-window solve latency.
+
+use cpo_bench::report::{Cell, Report};
+use cpo_core::prelude::RoundRobinAllocator;
+use cpo_des::prelude::*;
+use cpo_model::attr::AttrSet;
+use cpo_model::prelude::*;
+use cpo_platform::prelude::{FleetExecutor, WindowReport};
+use cpo_scenario::prelude::ArrivalSpec;
+use cpo_traces::prelude::*;
+use std::io::Cursor;
+use std::time::Instant;
+
+/// The committed 64-row Azure-style seed trace (3600 s span).
+const SAMPLE: &str = include_str!("../../../../examples/data/azure_sample.csv");
+
+struct Args {
+    arrivals: usize,
+    servers: usize,
+    window: f64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        arrivals: 1_000_000,
+        servers: 10_000,
+        window: 60.0,
+        seed: 42,
+        out: "target/bench/BENCH_trace.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--arrivals" => args.arrivals = value().parse().expect("--arrivals"),
+            "--servers" => args.servers = value().parse().expect("--servers"),
+            "--window" => args.window = value().parse().expect("--window"),
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn fleet(servers: usize) -> Infrastructure {
+    Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+    )
+}
+
+fn amplifier(factor: usize, seed: u64) -> Amplifier {
+    let reader = AzureReader::new(Cursor::new(SAMPLE), MalformedPolicy::Fail)
+        .expect("embedded sample parses");
+    Amplifier::new(
+        reader,
+        AmplifyConfig {
+            factor,
+            time_jitter: 30.0,
+            demand_jitter: 0.2,
+            seed,
+        },
+    )
+    .expect("embedded sample amplifies")
+}
+
+/// FNV-1a over the per-window allocation outcomes.
+fn fingerprint(windows: &[WindowReport]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for w in windows {
+        mix(w.window as u64);
+        mix(w.arrivals as u64);
+        mix(w.admitted as u64);
+        mix(w.rejected as u64);
+        mix(w.active_servers as u64);
+        mix(w.running_vms as u64);
+    }
+    h
+}
+
+fn replay(args: &Args, factor: usize) -> (DesReport, usize, f64) {
+    let amp = amplifier(factor, args.seed);
+    let horizon = amp.horizon() + 2.0 * args.window;
+    let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), args.seed);
+    let config = DesConfig {
+        window_length: args.window,
+        latency: LatencyModel::Fixed(0.0),
+        failures: None,
+        seed: args.seed,
+    };
+    let backend = FleetExecutor::new(fleet(args.servers));
+    let mut sched = WindowedScheduler::with_backend(backend, config, source);
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    if let Some(err) = sched.source().error() {
+        panic!("trace stream failed: {err}");
+    }
+    let emitted = sched.source().emitted() as usize;
+    (report, emitted, horizon)
+}
+
+fn percentile_ms(sorted_ns: &[u128], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn main() {
+    let args = parse_args();
+    let base_len = SAMPLE.lines().count() - 1;
+    let factor = args.arrivals.div_ceil(base_len);
+    let total = base_len * factor;
+    println!(
+        "bench_trace: {total} arrivals ({base_len}-row seed × {factor}), \
+         {} servers, {}s windows, seed {}",
+        args.servers, args.window, args.seed
+    );
+
+    // --- ingest-only throughput (no simulation behind it) -----------
+    let ingest_start = Instant::now();
+    let mut amp = amplifier(factor, args.seed);
+    let mut ingested = 0usize;
+    while let Some(event) = amp.next_event() {
+        event.expect("amplified stream is clean");
+        ingested += 1;
+    }
+    let ingest_ns = ingest_start.elapsed().as_nanos();
+    assert_eq!(ingested, total);
+    let ingest_rate = ingested as f64 / (ingest_ns as f64 / 1e9);
+    println!("ingest: {ingest_rate:.0} events/s over {ingested} events");
+
+    // --- full replay, twice: measure and prove determinism ----------
+    let replay_start = Instant::now();
+    let (report, emitted, horizon) = replay(&args, factor);
+    let replay_ns = replay_start.elapsed().as_nanos();
+    let (second, _, _) = replay(&args, factor);
+    let fp = fingerprint(&report.windows);
+    let fp2 = fingerprint(&second.windows);
+    assert_eq!(
+        fp, fp2,
+        "replay is not deterministic: fingerprints {fp:#x} vs {fp2:#x}"
+    );
+
+    assert_eq!(emitted, total, "scheduler must drain the whole stream");
+    let replay_rate = emitted as f64 / (replay_ns as f64 / 1e9);
+    let admitted = report.total_admitted();
+    let rejected = report.total_rejected();
+    let peak_active = report
+        .windows
+        .iter()
+        .map(|w| w.active_servers)
+        .max()
+        .unwrap_or(0);
+    let peak_vms = report
+        .windows
+        .iter()
+        .map(|w| w.running_vms)
+        .max()
+        .unwrap_or(0);
+    let mut solve_ns: Vec<u128> = report
+        .windows
+        .iter()
+        .map(|w| w.solve_time.as_nanos())
+        .collect();
+    solve_ns.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_ms(&solve_ns, 0.50),
+        percentile_ms(&solve_ns, 0.95),
+        percentile_ms(&solve_ns, 0.99),
+    );
+    let rss = cpo_bench::report::peak_rss_bytes();
+
+    println!(
+        "replay: {replay_rate:.0} events/s, {} windows, {admitted} admitted, \
+         {rejected} rejected, peak {peak_active} active servers / {peak_vms} VMs",
+        report.windows.len()
+    );
+    println!("solve latency: p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms");
+    if let Some(rss) = rss {
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
+
+    let mut out = Report::new("cpo-bench-trace", 1);
+    out.push(
+        Cell::new("trace.config")
+            .int("arrivals", total as i128)
+            .int("servers", args.servers as i128)
+            .int("amplify_factor", factor as i128)
+            .float("window_length", args.window)
+            .float("horizon", horizon)
+            .int("seed", args.seed as i128),
+    );
+    out.push(
+        Cell::new("trace.ingest")
+            .int("events", ingested as i128)
+            .int("wall_ns", ingest_ns as i128)
+            .float("events_per_sec", ingest_rate),
+    );
+    let mut replay_cell = Cell::new("trace.replay")
+        .int("events", emitted as i128)
+        .int("wall_ns", replay_ns as i128)
+        .float("events_per_sec", replay_rate)
+        .int("windows", report.windows.len() as i128)
+        .int("admitted", admitted as i128)
+        .int("rejected", rejected as i128)
+        .int("peak_active_servers", peak_active as i128)
+        .int("peak_running_vms", peak_vms as i128)
+        .str("fingerprint", format!("{fp:#018x}"));
+    if let Some(rss) = rss {
+        replay_cell = replay_cell.int("peak_rss_bytes", rss as i128);
+    }
+    out.push(replay_cell);
+    out.push(
+        Cell::new("trace.solve_latency")
+            .float("p50_ms", p50)
+            .float("p95_ms", p95)
+            .float("p99_ms", p99),
+    );
+    out.write(&args.out).expect("write BENCH_trace.json");
+    println!("wrote {}", args.out);
+}

@@ -6,6 +6,8 @@
 //! `ablation_*` targets benchmark the design choices DESIGN.md calls out;
 //! the `micro_*` targets profile the hot kernels.
 
+pub mod report;
+
 use cpo_exper::runner::{Algorithm, Effort};
 use cpo_model::prelude::AllocationProblem;
 use cpo_scenario::prelude::{ScenarioSize, ScenarioSpec};

@@ -55,7 +55,8 @@ pub mod prelude {
     pub use crate::adapter::FixedWindowAdapter;
     pub use crate::queue::EventQueue;
     pub use crate::scheduler::{
-        DesConfig, DesReport, FailureSpec, LatencyModel, WaitingStats, WindowedScheduler,
+        DesConfig, DesReport, FailureSpec, LatencyModel, WaitingStats, WindowBackend,
+        WindowedScheduler,
     };
     pub use crate::sources::{
         Arrival, ArrivalSource, FailureProcess, PoissonArrivals, TraceArrivals,

@@ -24,7 +24,9 @@ use crate::sources::{ArrivalSource, FailureProcess};
 use crate::time::SimTime;
 use cpo_core::prelude::Allocator;
 use cpo_model::prelude::*;
-use cpo_platform::prelude::{LifetimePolicy, SimConfig, TenantId, WindowExecutor, WindowReport};
+use cpo_platform::prelude::{
+    FleetExecutor, LifetimePolicy, SimConfig, TenantId, WindowExecutor, WindowReport,
+};
 use cpo_platform::tenant::rebase_rules;
 
 /// How a window's solve time becomes simulation latency.
@@ -173,9 +175,119 @@ struct PendingArrival {
     key: u64,
 }
 
-/// The continuous-time window scheduler over a shared [`WindowExecutor`].
-pub struct WindowedScheduler<S: ArrivalSource> {
-    exec: WindowExecutor,
+/// The window-engine surface [`WindowedScheduler`] drives: everything the
+/// continuous-time loop needs from a platform, abstracted so the same
+/// scheduler runs over the full reconfiguration engine
+/// ([`WindowExecutor`]) or the streaming admission-only one
+/// ([`FleetExecutor`]).
+pub trait WindowBackend {
+    /// Assigns sequential tenant ids to an arrival batch.
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId>;
+    /// Binds tenant ids to flight-recorder correlation keys.
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]);
+    /// Solves one window over the registered arrivals; departures are
+    /// external (the scheduler owns holding times).
+    fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>);
+    /// Removes one resident tenant; `false` when not resident.
+    fn depart_tenant(&mut self, id: TenantId) -> bool;
+    /// Marks a server failed; `false` when already offline.
+    fn force_failure(&mut self, server: ServerId) -> bool;
+    /// Repairs a server; `false` when already healthy.
+    fn force_repair(&mut self, server: ServerId) -> bool;
+    /// Number of servers `m`.
+    fn server_count(&self) -> usize;
+    /// Requests currently resident (sizes the window problem for the
+    /// per-request latency model).
+    fn resident_requests(&self) -> usize;
+}
+
+impl WindowBackend for WindowExecutor {
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        WindowExecutor::register_arrivals(self, arrivals)
+    }
+
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        WindowExecutor::bind_request_keys(self, ids, keys)
+    }
+
+    fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        self.execute(allocator, arrivals, ids, LifetimePolicy::External)
+    }
+
+    fn depart_tenant(&mut self, id: TenantId) -> bool {
+        WindowExecutor::depart_tenant(self, id)
+    }
+
+    fn force_failure(&mut self, server: ServerId) -> bool {
+        WindowExecutor::force_failure(self, server)
+    }
+
+    fn force_repair(&mut self, server: ServerId) -> bool {
+        WindowExecutor::force_repair(self, server)
+    }
+
+    fn server_count(&self) -> usize {
+        self.infra().server_count()
+    }
+
+    fn resident_requests(&self) -> usize {
+        self.tenants().len()
+    }
+}
+
+impl WindowBackend for FleetExecutor {
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        FleetExecutor::register_arrivals(self, arrivals)
+    }
+
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        FleetExecutor::bind_request_keys(self, ids, keys)
+    }
+
+    fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        FleetExecutor::execute_window(self, allocator, arrivals, ids)
+    }
+
+    fn depart_tenant(&mut self, id: TenantId) -> bool {
+        FleetExecutor::depart_tenant(self, id)
+    }
+
+    fn force_failure(&mut self, server: ServerId) -> bool {
+        FleetExecutor::force_failure(self, server)
+    }
+
+    fn force_repair(&mut self, server: ServerId) -> bool {
+        FleetExecutor::force_repair(self, server)
+    }
+
+    fn server_count(&self) -> usize {
+        FleetExecutor::server_count(self)
+    }
+
+    fn resident_requests(&self) -> usize {
+        FleetExecutor::resident_requests(self)
+    }
+}
+
+/// The continuous-time window scheduler over any [`WindowBackend`]
+/// (defaulting to the full-reconfiguration [`WindowExecutor`]).
+pub struct WindowedScheduler<S: ArrivalSource, B: WindowBackend = WindowExecutor> {
+    exec: B,
     queue: EventQueue<DesEvent>,
     source: S,
     config: DesConfig,
@@ -183,15 +295,28 @@ pub struct WindowedScheduler<S: ArrivalSource> {
     failures: Option<FailureProcess>,
 }
 
-impl<S: ArrivalSource> WindowedScheduler<S> {
-    /// Builds the scheduler. `sim_config`'s arrival spec and lifetime
-    /// range are unused here (the arrival source owns both); its seed
-    /// drives the executor RNG, unused under external lifetimes, so any
-    /// value is fine.
+impl<S: ArrivalSource> WindowedScheduler<S, WindowExecutor> {
+    /// Builds the scheduler over a [`WindowExecutor`]. `sim_config`'s
+    /// arrival spec and lifetime range are unused here (the arrival
+    /// source owns both); its seed drives the executor RNG, unused under
+    /// external lifetimes, so any value is fine.
     pub fn new(infra: Infrastructure, sim_config: SimConfig, config: DesConfig, source: S) -> Self {
+        Self::with_backend(WindowExecutor::new(infra, sim_config), config, source)
+    }
+
+    /// The underlying executor (event log, tenants, SLA ledger).
+    pub fn executor(&self) -> &WindowExecutor {
+        &self.exec
+    }
+}
+
+impl<S: ArrivalSource, B: WindowBackend> WindowedScheduler<S, B> {
+    /// Builds the scheduler over an explicit backend — e.g. a
+    /// [`FleetExecutor`] for production-scale trace replay.
+    pub fn with_backend(backend: B, config: DesConfig, source: S) -> Self {
         assert!(config.window_length > 0.0, "window length must be positive");
         Self {
-            exec: WindowExecutor::new(infra, sim_config),
+            exec: backend,
             queue: EventQueue::new(),
             source,
             config,
@@ -200,9 +325,14 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
         }
     }
 
-    /// The underlying executor (event log, tenants, SLA ledger).
-    pub fn executor(&self) -> &WindowExecutor {
+    /// The backend.
+    pub fn backend(&self) -> &B {
         &self.exec
+    }
+
+    /// The arrival source.
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// Current simulation clock.
@@ -240,7 +370,7 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
         );
         if let Some(spec) = self.config.failures {
             let mut proc = FailureProcess::new(spec.mtbf, spec.mttr, self.config.seed);
-            for j in 0..self.exec.infra().server_count() {
+            for j in 0..self.exec.server_count() {
                 let up = proc.next_uptime();
                 if up <= horizon {
                     self.queue
@@ -317,10 +447,8 @@ impl<S: ArrivalSource> WindowedScheduler<S> {
         if cpo_obs::flight::is_enabled() {
             self.exec.bind_request_keys(&ids, &keys);
         }
-        let problem_requests = self.exec.tenants().len() + batch.request_count();
-        let (window_report, admitted) =
-            self.exec
-                .execute(allocator, &batch, &ids, LifetimePolicy::External);
+        let problem_requests = self.exec.resident_requests() + batch.request_count();
+        let (window_report, admitted) = self.exec.execute_window(allocator, &batch, &ids);
         let latency = self
             .config
             .latency
@@ -526,6 +654,37 @@ mod tests {
         assert!(repaired, "MTTR 2 must repair within horizon");
         assert!(report.windows.iter().any(|w| w.offline_servers > 0));
         assert!(s.executor().verify_state().is_feasible());
+    }
+
+    #[test]
+    fn fleet_backend_runs_the_same_loop() {
+        let spec = ArrivalSpec {
+            rate: 3.0,
+            lifetime: (2.0, 5.0),
+            ..Default::default()
+        };
+        let config = DesConfig {
+            window_length: 1.0,
+            latency: LatencyModel::Fixed(0.0),
+            failures: None,
+            seed: 7,
+        };
+        let mut s = WindowedScheduler::with_backend(
+            FleetExecutor::new(infra(10)),
+            config,
+            PoissonArrivals::new(spec, 7),
+        );
+        let report = s.run(&RoundRobinAllocator, 30.0);
+        assert!(!report.windows.is_empty());
+        assert!(report.total_admitted() > 0);
+        assert!(report.windows.iter().all(|w| w.migrations == 0));
+        assert!(s.backend().verify().is_ok());
+        // Holding times expire inside the horizon, so the fleet drains.
+        let resident = s.backend().resident_requests();
+        assert!(
+            resident < report.total_admitted(),
+            "some tenants must have departed"
+        );
     }
 
     #[test]

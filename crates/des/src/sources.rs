@@ -16,7 +16,7 @@
 use crate::time::SimTime;
 use cpo_model::prelude::RequestBatch;
 use cpo_platform::prelude::{Event, EventLog};
-use cpo_scenario::arrival_gen::{generate_single_request, ArrivalSpec};
+use cpo_scenario::arrival_gen::ArrivalSpec;
 use cpo_scenario::request_gen::RequestSpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +44,9 @@ pub struct Arrival {
     pub key: u64,
 }
 
-/// A stream of timestamped requests. Sources own their clock: every call
-/// yields the next arrival strictly after the previous one.
+/// A stream of timestamped requests. Sources own their clock: arrival
+/// times are non-decreasing (the event queue breaks simultaneous
+/// arrivals FIFO by insertion order).
 pub trait ArrivalSource {
     /// The next arrival, or `None` when the stream is exhausted.
     fn next_arrival(&mut self) -> Option<Arrival>;
@@ -97,7 +98,7 @@ impl ArrivalSource for PoissonArrivals {
 pub struct TraceArrivals {
     /// (time, vm count, holding time), in trace order.
     entries: std::vec::IntoIter<(f64, usize, f64)>,
-    template: RequestSpec,
+    spec: ArrivalSpec,
     seed: u64,
     index: u64,
 }
@@ -146,7 +147,10 @@ impl TraceArrivals {
             .collect();
         Self {
             entries: entries.into_iter(),
-            template,
+            spec: ArrivalSpec {
+                request: template,
+                ..ArrivalSpec::default()
+            },
             seed,
             index: 0,
         }
@@ -156,23 +160,10 @@ impl TraceArrivals {
 impl ArrivalSource for TraceArrivals {
     fn next_arrival(&mut self) -> Option<Arrival> {
         let (at, vms, holding) = self.entries.next()?;
-        let shape = RequestSpec {
-            request_size: (vms, vms),
-            ..self.template.clone()
-        };
-        let batch = generate_single_request(
-            &shape,
-            self.seed ^ self.index.wrapping_mul(0x2545_f491_4f6c_dd1d),
-        );
-        // Replayed requests bypass `ArrivalSpec::request_at`, so record
-        // their generation here to keep timelines gap-free.
-        cpo_obs::flight::record(
-            cpo_obs::flight::FlightKind::Generated,
-            self.index,
-            cpo_obs::flight::NONE,
-            batch.vm_count() as u64,
-            0,
-        );
+        // The same constructor the live path uses, with the size pinned
+        // to the logged VM count — identical sub-seed derivation and
+        // flight-recorder minting, so replayed timelines are gap-free.
+        let batch = self.spec.replayed_request_at(self.seed, self.index, vms);
         let key = self.index;
         self.index += 1;
         Some(Arrival {

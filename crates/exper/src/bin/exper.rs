@@ -60,6 +60,12 @@ struct Options {
     failures: Option<(f64, f64)>,
     /// Arm fail-fast invariant monitors.
     strict: bool,
+    /// `trace`: dataset spec (`azure:path` / `huawei:path`).
+    dataset: String,
+    /// `trace`: amplification factor (replicas of the seed trace).
+    amplify: usize,
+    /// `trace`: scheduling window length in sim-time units.
+    window: f64,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -81,6 +87,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         servers: 12,
         failures: None,
         strict: false,
+        dataset: "azure:examples/data/azure_sample.csv".into(),
+        amplify: 1,
+        window: 60.0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +148,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 ));
             }
             "--strict" => opts.strict = true,
+            "--dataset" => opts.dataset = it.next().ok_or("--dataset needs a spec")?.clone(),
+            "--amplify" => {
+                let v = it.next().ok_or("--amplify needs a factor")?;
+                opts.amplify = v.parse().map_err(|e| format!("--amplify: {e}"))?;
+                if opts.amplify < 1 {
+                    return Err("--amplify must be >= 1".into());
+                }
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs a length")?;
+                opts.window = v.parse().map_err(|e| format!("--window: {e}"))?;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -268,6 +289,102 @@ fn run_des(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `exper trace` — replay a (possibly amplified) production trace
+/// through the continuous-time scheduler over the memory-lean
+/// [`cpo_platform::prelude::FleetExecutor`].
+fn run_trace(opts: &Options) -> Result<(), String> {
+    use cpo_des::prelude::*;
+    use cpo_model::attr::AttrSet;
+    use cpo_model::prelude::{Infrastructure, ServerProfile};
+    use cpo_platform::prelude::FleetExecutor;
+    use cpo_scenario::prelude::ArrivalSpec;
+    use cpo_traces::prelude::*;
+
+    let reader = open_dataset(&opts.dataset, MalformedPolicy::Skip)
+        .map_err(|e| format!("{}: {e}", opts.dataset))?;
+    let amp = Amplifier::new(
+        reader,
+        AmplifyConfig {
+            factor: opts.amplify,
+            time_jitter: if opts.amplify > 1 { 30.0 } else { 0.0 },
+            demand_jitter: if opts.amplify > 1 { 0.2 } else { 0.0 },
+            seed: opts.seed,
+        },
+    )
+    .map_err(|e| format!("{}: {e}", opts.dataset))?;
+    let total = amp.len();
+    let horizon = amp.horizon() + 2.0 * opts.window;
+    println!(
+        "trace replay: {} ({} events = {}-row seed × {}), {} servers, {}s windows, allocator {}",
+        opts.dataset,
+        total,
+        amp.base_len(),
+        opts.amplify,
+        opts.servers,
+        opts.window,
+        opts.algo.label(),
+    );
+
+    let infra = Infrastructure::new(
+        AttrSet::standard(),
+        vec![(
+            "dc".into(),
+            ServerProfile::commodity(3).build_many(opts.servers),
+        )],
+    );
+    let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), opts.seed);
+    let des = DesConfig {
+        window_length: opts.window,
+        latency: LatencyModel::Fixed(0.0),
+        failures: opts.failures.map(|(mtbf, mttr)| FailureSpec { mtbf, mttr }),
+        seed: opts.seed,
+    };
+    let allocator = opts.algo.build(opts.effort, opts.seed);
+    let start = std::time::Instant::now();
+    let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), des, source);
+    let report = sched.run(allocator.as_ref(), horizon);
+    let wall = start.elapsed();
+    if let Some(err) = sched.source().error() {
+        return Err(format!("trace stream failed: {err}"));
+    }
+
+    let emitted = sched.source().emitted();
+    let skipped = sched.source().skipped_rows();
+    let peak_active = report
+        .windows
+        .iter()
+        .map(|w| w.active_servers)
+        .max()
+        .unwrap_or(0);
+    let peak_vms = report
+        .windows
+        .iter()
+        .map(|w| w.running_vms)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  replayed {emitted} arrivals in {} windows ({:.0} events/s wall){}",
+        report.windows.len(),
+        emitted as f64 / wall.as_secs_f64().max(1e-9),
+        if skipped > 0 {
+            format!(", {skipped} malformed rows skipped")
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  admitted {}  rejected {}  peak {} active servers / {} running VMs",
+        report.total_admitted(),
+        report.total_rejected(),
+        peak_active,
+        peak_vms,
+    );
+    if opts.strict {
+        println!("  strict monitors: clean (no invariant violation aborted the run)");
+    }
+    Ok(())
+}
+
 /// `exper timeline <dump.jsonl>` — offline timeline reconstruction from
 /// a flight dump (a run's `flight.jsonl` or a panic hook's dump).
 fn run_timeline(path: &str, opts: &Options) -> Result<(), String> {
@@ -389,10 +506,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|timeline <dump>|all> \
+            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|trace|timeline <dump>|all> \
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
              [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--algo NAME] [--rate R] \
-             [--horizon T] [--servers N] [--failures MTBF,MTTR] [--strict]"
+             [--horizon T] [--servers N] [--failures MTBF,MTTR] [--strict] \
+             [--dataset SPEC] [--amplify N] [--window W]"
         );
         return ExitCode::FAILURE;
     };
@@ -434,6 +552,12 @@ fn main() -> ExitCode {
             cpo_obs::flight::set_strict(true);
         }
     }
+    // Trace replay keeps the recorder off by default (throughput); under
+    // --strict it arms the full fail-fast monitor set.
+    if command == "trace" && opts.strict {
+        cpo_obs::flight::enable();
+        cpo_obs::flight::set_strict(true);
+    }
 
     let result: Result<(), String> = match command.as_str() {
         "table3" => {
@@ -474,6 +598,7 @@ fn main() -> ExitCode {
             run_scenario_file(&path, &opts, runs)
         }
         "des" => run_des(&opts),
+        "trace" => run_trace(&opts),
         "timeline" => {
             let path = positional_path.expect("checked above");
             run_timeline(&path, &opts)

@@ -1,0 +1,334 @@
+//! Packed fleet state for production-scale replay.
+//!
+//! The windowed executor keeps a boxed `VmSpec` (three `Vec`s plus five
+//! scalars) per resident VM inside per-tenant hash maps — fine at paper
+//! scale (hundreds of VMs), ruinous when a trace replay holds hundreds of
+//! thousands resident. This module flattens the hot state into
+//! struct-of-arrays tables:
+//!
+//! * [`VmTable`] — one slot per resident VM: a row in a flat `live × h`
+//!   demand matrix, a revenue, an owning server and tenant, and an
+//!   intrusive per-tenant chain link. Slots recycle through a free list,
+//!   so long-running replays do not grow the table past the peak
+//!   residency. ~48 bytes per VM at `h = 3` instead of several hundred.
+//! * [`ServerLoadTable`] — per-server used-capacity accumulators and
+//!   hosted-VM counts, maintained incrementally on admit/depart.
+//!
+//! Neither table owns policy: admission, residual bookkeeping and cost
+//! accounting live with the executor that drives them.
+
+/// Sentinel for "no slot" in [`VmTable`] chains and the free list.
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Flat slot-recycled table of resident VMs.
+#[derive(Clone, Debug)]
+pub struct VmTable {
+    h: usize,
+    /// `slot × h` demand matrix (flat, row-major).
+    demand: Vec<f64>,
+    revenue: Vec<f64>,
+    /// Owning server per slot (`NO_SLOT` marks a vacant slot).
+    server: Vec<u32>,
+    tenant: Vec<u64>,
+    /// Intrusive singly-linked chain of the owning tenant's VMs.
+    next: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl VmTable {
+    /// An empty table for `h` attributes.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 1, "need at least one attribute");
+        Self {
+            h,
+            demand: Vec::new(),
+            revenue: Vec::new(),
+            server: Vec::new(),
+            tenant: Vec::new(),
+            next: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Attribute count `h`.
+    #[inline]
+    pub fn attr_count(&self) -> usize {
+        self.h
+    }
+
+    /// Resident VMs.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Allocated slots (peak residency; never shrinks).
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.server.len()
+    }
+
+    /// Admits a VM, recycling a free slot when one exists. The new slot's
+    /// chain link is `next` (the caller threads it into the tenant's
+    /// chain). Returns the slot index.
+    ///
+    /// # Panics
+    /// Panics if `demand` does not have `h` attributes or `server` is the
+    /// [`NO_SLOT`] sentinel.
+    pub fn insert(
+        &mut self,
+        tenant: u64,
+        server: u32,
+        demand: &[f64],
+        revenue: f64,
+        next: u32,
+    ) -> u32 {
+        assert_eq!(
+            demand.len(),
+            self.h,
+            "demand must have {} attributes",
+            self.h
+        );
+        assert_ne!(server, NO_SLOT, "server id collides with the sentinel");
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let base = slot as usize * self.h;
+            self.demand[base..base + self.h].copy_from_slice(demand);
+            self.revenue[slot as usize] = revenue;
+            self.server[slot as usize] = server;
+            self.tenant[slot as usize] = tenant;
+            self.next[slot as usize] = next;
+            return slot;
+        }
+        let slot = self.server.len() as u32;
+        assert!(slot < NO_SLOT, "VM table overflow");
+        self.demand.extend_from_slice(demand);
+        self.revenue.push(revenue);
+        self.server.push(server);
+        self.tenant.push(tenant);
+        self.next.push(next);
+        slot
+    }
+
+    /// Releases `slot` back to the free list.
+    ///
+    /// # Panics
+    /// Panics if the slot is already vacant.
+    pub fn remove(&mut self, slot: u32) {
+        assert_ne!(self.server[slot as usize], NO_SLOT, "slot {slot} is vacant");
+        self.server[slot as usize] = NO_SLOT;
+        self.next[slot as usize] = NO_SLOT;
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
+    /// The demand row of `slot`.
+    #[inline]
+    pub fn demand(&self, slot: u32) -> &[f64] {
+        let base = slot as usize * self.h;
+        &self.demand[base..base + self.h]
+    }
+
+    /// Per-window revenue of `slot`.
+    #[inline]
+    pub fn revenue(&self, slot: u32) -> f64 {
+        self.revenue[slot as usize]
+    }
+
+    /// Owning server of `slot` ([`NO_SLOT`] when vacant).
+    #[inline]
+    pub fn server(&self, slot: u32) -> u32 {
+        self.server[slot as usize]
+    }
+
+    /// Owning tenant of `slot` (stale for vacant slots).
+    #[inline]
+    pub fn tenant(&self, slot: u32) -> u64 {
+        self.tenant[slot as usize]
+    }
+
+    /// Next slot in the owning tenant's chain ([`NO_SLOT`] at the end).
+    #[inline]
+    pub fn next(&self, slot: u32) -> u32 {
+        self.next[slot as usize]
+    }
+
+    /// `true` when the slot currently holds a VM.
+    #[inline]
+    pub fn is_live(&self, slot: u32) -> bool {
+        self.server[slot as usize] != NO_SLOT
+    }
+
+    /// Iterator over the chain starting at `head` (pass a tenant's head
+    /// slot; [`NO_SLOT`] yields an empty iterator).
+    pub fn chain(&self, head: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = head;
+        std::iter::from_fn(move || {
+            if cur == NO_SLOT {
+                return None;
+            }
+            let slot = cur;
+            cur = self.next[slot as usize];
+            Some(slot)
+        })
+    }
+}
+
+/// Incremental per-server load accumulators.
+#[derive(Clone, Debug)]
+pub struct ServerLoadTable {
+    h: usize,
+    /// `m × h` used capacity (flat, row-major).
+    used: Vec<f64>,
+    /// Hosted-VM count per server.
+    hosted: Vec<u32>,
+    /// Servers with at least one hosted VM.
+    active: usize,
+}
+
+impl ServerLoadTable {
+    /// Zeroed loads for `m` servers and `h` attributes.
+    pub fn new(m: usize, h: usize) -> Self {
+        assert!(h >= 1, "need at least one attribute");
+        Self {
+            h,
+            used: vec![0.0; m * h],
+            hosted: vec![0; m],
+            active: 0,
+        }
+    }
+
+    /// Number of servers `m`.
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.hosted.len()
+    }
+
+    /// Servers currently hosting at least one VM.
+    #[inline]
+    pub fn active_servers(&self) -> usize {
+        self.active
+    }
+
+    /// Hosted-VM count of server `j`.
+    #[inline]
+    pub fn hosted(&self, j: u32) -> u32 {
+        self.hosted[j as usize]
+    }
+
+    /// Used capacity row of server `j`.
+    #[inline]
+    pub fn used(&self, j: u32) -> &[f64] {
+        let base = j as usize * self.h;
+        &self.used[base..base + self.h]
+    }
+
+    /// Accounts one VM of `demand` onto server `j`. Returns `true` when
+    /// the server transitioned idle → active (the opex edge).
+    pub fn add(&mut self, j: u32, demand: &[f64]) -> bool {
+        debug_assert_eq!(demand.len(), self.h);
+        let base = j as usize * self.h;
+        for (u, d) in self.used[base..base + self.h].iter_mut().zip(demand) {
+            *u += d;
+        }
+        self.hosted[j as usize] += 1;
+        if self.hosted[j as usize] == 1 {
+            self.active += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Removes one VM of `demand` from server `j`, clamping rounding
+    /// residue at zero. Returns `true` when the server transitioned
+    /// active → idle.
+    pub fn remove(&mut self, j: u32, demand: &[f64]) -> bool {
+        debug_assert_eq!(demand.len(), self.h);
+        let base = j as usize * self.h;
+        for (u, d) in self.used[base..base + self.h].iter_mut().zip(demand) {
+            *u = (*u - d).max(0.0);
+        }
+        let count = &mut self.hosted[j as usize];
+        assert!(*count > 0, "server {j} hosts no VMs");
+        *count -= 1;
+        if *count == 0 {
+            // Snap accumulated float residue so an empty server reads
+            // exactly zero load.
+            self.used[base..base + self.h].fill(0.0);
+            self.active -= 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_recycle_through_the_free_list() {
+        let mut t = VmTable::new(3);
+        let a = t.insert(1, 0, &[1.0, 2.0, 3.0], 5.0, NO_SLOT);
+        let b = t.insert(1, 0, &[2.0, 4.0, 6.0], 7.0, a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.next(b), a);
+        t.remove(a);
+        assert_eq!(t.live(), 1);
+        assert!(!t.is_live(a));
+        let c = t.insert(2, 3, &[9.0, 9.0, 9.0], 1.0, NO_SLOT);
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(t.slots(), 2, "table does not grow past peak residency");
+        assert_eq!(t.demand(c), &[9.0, 9.0, 9.0]);
+        assert_eq!(t.tenant(c), 2);
+        assert_eq!(t.server(c), 3);
+    }
+
+    #[test]
+    fn chains_walk_a_tenant_front_to_back() {
+        let mut t = VmTable::new(2);
+        let mut head = NO_SLOT;
+        for i in 0..4 {
+            head = t.insert(7, i, &[1.0, 1.0], 2.0, head);
+        }
+        let slots: Vec<u32> = t.chain(head).collect();
+        assert_eq!(slots, vec![3, 2, 1, 0]);
+        assert_eq!(t.chain(NO_SLOT).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn double_remove_is_caught() {
+        let mut t = VmTable::new(1);
+        let s = t.insert(0, 0, &[1.0], 1.0, NO_SLOT);
+        t.remove(s);
+        t.remove(s);
+    }
+
+    #[test]
+    fn loads_accumulate_and_track_active_servers() {
+        let mut loads = ServerLoadTable::new(3, 2);
+        assert!(loads.add(1, &[2.0, 10.0]), "idle -> active");
+        assert!(!loads.add(1, &[1.0, 5.0]));
+        assert_eq!(loads.used(1), &[3.0, 15.0]);
+        assert_eq!(loads.hosted(1), 2);
+        assert_eq!(loads.active_servers(), 1);
+        assert!(!loads.remove(1, &[2.0, 10.0]));
+        assert!(loads.remove(1, &[1.0, 5.0]), "active -> idle");
+        assert_eq!(loads.used(1), &[0.0, 0.0], "empty server reads zero");
+        assert_eq!(loads.active_servers(), 0);
+    }
+
+    #[test]
+    fn float_residue_clamps_at_zero() {
+        let mut loads = ServerLoadTable::new(1, 1);
+        loads.add(0, &[0.1]);
+        loads.add(0, &[0.2]);
+        loads.remove(0, &[0.2]);
+        loads.remove(0, &[0.1000001]);
+        assert_eq!(loads.used(0), &[0.0]);
+    }
+}

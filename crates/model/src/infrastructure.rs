@@ -283,6 +283,45 @@ impl Infrastructure {
         })
     }
 
+    /// Adjusts server `j`'s raw capacity by `delta` per attribute
+    /// (clamped at zero) and refreshes the cached effective row. This is
+    /// the residual-capacity primitive of streaming fleet state: carving
+    /// a VM's demand out of (or returning it to) a headroom
+    /// infrastructure without rebuilding the whole substrate.
+    ///
+    /// # Panics
+    /// Panics if `delta` does not have `h` attributes.
+    pub fn adjust_capacity(&mut self, j: ServerId, delta: &[f64]) {
+        let h = self.attr_count();
+        assert_eq!(delta.len(), h, "delta must have {h} attributes");
+        let server = &mut self.servers[j.index()];
+        for (l, d) in delta.iter().enumerate() {
+            server.capacity[l] = (server.capacity[l] + d).max(0.0);
+        }
+        let row = self.effective.row_mut(j.index());
+        for (l, e) in row.iter_mut().enumerate() {
+            *e = server.capacity[l] * server.factor[l];
+        }
+    }
+
+    /// Overwrites server `j`'s raw capacity (clamped at zero per
+    /// attribute) and refreshes the cached effective row.
+    ///
+    /// # Panics
+    /// Panics if `capacity` does not have `h` attributes.
+    pub fn set_capacity(&mut self, j: ServerId, capacity: &[f64]) {
+        let h = self.attr_count();
+        assert_eq!(capacity.len(), h, "capacity must have {h} attributes");
+        let server = &mut self.servers[j.index()];
+        for (l, &c) in capacity.iter().enumerate() {
+            server.capacity[l] = c.max(0.0);
+        }
+        let row = self.effective.row_mut(j.index());
+        for (l, e) in row.iter_mut().enumerate() {
+            *e = server.capacity[l] * server.factor[l];
+        }
+    }
+
     /// Total effective capacity of the whole infrastructure per attribute —
     /// used by scenario generators to target utilisation levels.
     pub fn total_effective_capacity(&self) -> Vec<f64> {
@@ -414,6 +453,32 @@ mod tests {
         let infra = tiny_infra();
         let tot = infra.total_effective_capacity();
         assert!((tot[0] - 5.0 * 28.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjust_capacity_clamps_and_refreshes_effective() {
+        let mut infra = tiny_infra();
+        let j = ServerId(1);
+        infra.adjust_capacity(j, &[-2.0, -1024.0, 0.0]);
+        assert_eq!(infra.server(j).capacity[0], 30.0);
+        assert!((infra.effective_capacity(j, AttrId(0)) - 27.0).abs() < 1e-12);
+        // Over-subtracting clamps to zero instead of going negative.
+        infra.adjust_capacity(j, &[-1000.0, 0.0, 0.0]);
+        assert_eq!(infra.server(j).capacity[0], 0.0);
+        assert_eq!(infra.effective_capacity(j, AttrId(0)), 0.0);
+        // Returning capacity restores headroom.
+        infra.adjust_capacity(j, &[32.0, 1024.0, 0.0]);
+        assert_eq!(infra.server(j).capacity[0], 32.0);
+        assert!((infra.effective_capacity(j, AttrId(0)) - 28.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_capacity_overwrites_a_row() {
+        let mut infra = tiny_infra();
+        let j = ServerId(0);
+        infra.set_capacity(j, &[10.0, 1024.0, -5.0]);
+        assert_eq!(infra.server(j).capacity, vec![10.0, 1024.0, 0.0]);
+        assert!((infra.effective_capacity(j, AttrId(0)) - 9.0).abs() < 1e-12);
     }
 
     #[test]

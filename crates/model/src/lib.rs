@@ -23,6 +23,7 @@
 //! * [`qos`] — the Eq. 24 piecewise QoS curve
 //! * [`cost`] — the Eq. 15 objective vector (Eqs. 22, 23, 26)
 //! * [`delta`] — incremental O(h) move scoring for local search
+//! * [`fleet`] — packed VM/server-load tables for production-scale replay
 //! * [`ilp`] — the explicit 0/1 integer program (Section III's LP view)
 //! * [`constraints`] — violation checking and reporting (Fig. 10 metric)
 //! * [`problem`] — [`problem::AllocationProblem`] bundling everything
@@ -64,6 +65,7 @@ pub mod attr;
 pub mod constraints;
 pub mod cost;
 pub mod delta;
+pub mod fleet;
 pub mod ilp;
 pub mod infrastructure;
 pub mod load;
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::constraints::{Violation, ViolationReport};
     pub use crate::cost::ObjectiveVector;
     pub use crate::delta::{DeltaEvaluator, MoveScore};
+    pub use crate::fleet::{ServerLoadTable, VmTable, NO_SLOT};
     pub use crate::infrastructure::{
         Datacenter, DatacenterId, Infrastructure, Server, ServerId, ServerProfile,
     };

@@ -1,0 +1,584 @@
+//! Memory-lean fleet executor for production-scale trace replay.
+//!
+//! [`crate::executor::WindowExecutor`] re-materialises the *entire*
+//! resident platform into each window's problem (every running tenant
+//! becomes a movable request) and keeps a boxed `VmSpec` per VM plus an
+//! append-only event log. That is the right engine for paper-scale
+//! reconfiguration studies; at trace scale — tens of thousands of
+//! servers, hundreds of thousands of resident VMs, millions of arrivals
+//! — both the per-window problem and the per-VM footprint are ruinous.
+//!
+//! [`FleetExecutor`] is the streaming counterpart:
+//!
+//! * **admission-only** — each window's problem contains just the new
+//!   arrivals, packed against a *residual* infrastructure whose capacity
+//!   rows are the live headroom (effective capacity minus resident
+//!   load). Resident VMs are never re-placed, so `migrations`,
+//!   `migration_cost` and `downtime_cost` are structurally zero in its
+//!   reports;
+//! * **packed state** — resident VMs live in a
+//!   [`cpo_model::fleet::VmTable`] (flat slot-recycled rows, intrusive
+//!   per-tenant chains) and per-server loads in a
+//!   [`cpo_model::fleet::ServerLoadTable`], maintained incrementally in
+//!   O(h) per admit/depart;
+//! * **no event log** — the flight recorder (bounded ring) is the only
+//!   observability channel, with the same lifecycle events and ordering
+//!   as `WindowExecutor`: `admitted` (binding key↔tenant) precedes the
+//!   per-VM `placed` events.
+//!
+//! Provider cost is maintained incrementally: a server's opex enters the
+//! sum when it transitions idle→active and leaves at active→idle; each
+//! hosted VM contributes the server's usage cost.
+
+use crate::accounting::WindowReport;
+use crate::tenant::TenantId;
+use cpo_core::prelude::Allocator;
+use cpo_model::fleet::{ServerLoadTable, VmTable, NO_SLOT};
+use cpo_model::prelude::*;
+use cpo_obs::flight::{self, FlightKind};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Builds the residual-headroom view of `infra`: capacity rows start at
+/// the *effective* capacity (factors already applied, so residual factors
+/// are 1.0); admissions carve demand out, departures return it.
+fn residual_of(infra: &Infrastructure) -> Infrastructure {
+    let h = infra.attr_count();
+    let dcs = infra
+        .datacenters()
+        .iter()
+        .map(|dc| {
+            let servers = dc
+                .servers()
+                .map(|j| {
+                    let s = infra.server(j);
+                    Server {
+                        capacity: (0..h).map(|l| s.effective_capacity(AttrId(l))).collect(),
+                        factor: vec![1.0; h],
+                        opex: s.opex,
+                        usage_cost: s.usage_cost,
+                        max_load: s.max_load.clone(),
+                        max_qos: s.max_qos.clone(),
+                    }
+                })
+                .collect();
+            (dc.name.clone(), servers)
+        })
+        .collect();
+    Infrastructure::new(infra.attrs().clone(), dcs)
+}
+
+/// Streaming admission-only window executor over packed fleet tables.
+pub struct FleetExecutor {
+    infra: Infrastructure,
+    /// Live headroom: effective capacity minus resident load (zeroed for
+    /// offline servers).
+    residual: Infrastructure,
+    vms: VmTable,
+    loads: ServerLoadTable,
+    /// Tenant → head slot of its VM chain.
+    heads: HashMap<u64, u32>,
+    /// Tenant → flight-recorder correlation key.
+    flight_keys: HashMap<u64, u64>,
+    next_tenant: u64,
+    window: u64,
+    offline: Vec<bool>,
+    /// Incremental Σ_active (opex + usage_cost × hosted).
+    provider_cost: f64,
+}
+
+impl FleetExecutor {
+    /// An idle fleet over `infra`.
+    pub fn new(infra: Infrastructure) -> Self {
+        let m = infra.server_count();
+        let h = infra.attr_count();
+        let residual = residual_of(&infra);
+        Self {
+            infra,
+            residual,
+            vms: VmTable::new(h),
+            loads: ServerLoadTable::new(m, h),
+            heads: HashMap::new(),
+            flight_keys: HashMap::new(),
+            next_tenant: 0,
+            window: 0,
+            offline: vec![false; m],
+            provider_cost: 0.0,
+        }
+    }
+
+    /// The real substrate.
+    pub fn infra(&self) -> &Infrastructure {
+        &self.infra
+    }
+
+    /// The live residual-headroom view the allocator packs against.
+    pub fn residual(&self) -> &Infrastructure {
+        &self.residual
+    }
+
+    /// Resident VMs.
+    pub fn live_vms(&self) -> usize {
+        self.vms.live()
+    }
+
+    /// Resident tenants (requests).
+    pub fn resident_requests(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of servers `m`.
+    pub fn server_count(&self) -> usize {
+        self.infra.server_count()
+    }
+
+    /// Completed windows.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Assigns sequential tenant ids to an arrival batch (one per
+    /// request), mirroring `WindowExecutor::register_arrivals` minus the
+    /// event log.
+    pub fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        let ids: Vec<TenantId> = (0..arrivals.request_count())
+            .map(|i| TenantId(self.next_tenant + i as u64))
+            .collect();
+        self.next_tenant += arrivals.request_count() as u64;
+        ids
+    }
+
+    /// Associates registered tenant ids with flight correlation keys
+    /// (entries with the [`flight::NONE`] sentinel are skipped).
+    pub fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        for (&id, &key) in ids.iter().zip(keys) {
+            if key != flight::NONE {
+                self.flight_keys.insert(id.0, key);
+            }
+        }
+    }
+
+    fn flight_key(&self, tenant: u64) -> u64 {
+        self.flight_keys
+            .get(&tenant)
+            .copied()
+            .unwrap_or(flight::NONE)
+    }
+
+    /// Solves one admission-only window: packs `arrivals` against the
+    /// residual headroom, admits the accepted requests into the packed
+    /// tables and rejects the rest. Returns the report plus admitted
+    /// tenant ids in arrival order.
+    pub fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        arrival_tenant_ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        let window = self.window;
+        let mut sp = cpo_obs::span!("fleet.window", window = window);
+        let problem = AllocationProblem::new(self.residual.clone(), arrivals.clone(), None);
+        let solve_start = Instant::now();
+        let outcome = allocator.allocate(&problem);
+        let solve_time = solve_start.elapsed();
+        let accepted = problem.accepted_requests(&outcome.assignment);
+
+        let mut admitted = 0usize;
+        let mut rejected = 0usize;
+        let mut admitted_ids = Vec::new();
+        for (i, req) in arrivals.requests().iter().enumerate() {
+            let tid = arrival_tenant_ids[i];
+            if accepted.contains(&RequestId(i)) {
+                let key = self.flight_key(tid.0);
+                if flight::is_enabled() {
+                    // `admitted` binds key↔tenant before the per-VM
+                    // `placed` events, matching WindowExecutor's order.
+                    flight::record(
+                        FlightKind::Admitted,
+                        key,
+                        tid.0,
+                        window,
+                        req.vms.len() as u64,
+                    );
+                }
+                let mut head = NO_SLOT;
+                for (local, &k) in req.vms.iter().enumerate() {
+                    let server = outcome.assignment.server_of(k).expect("accepted ⇒ placed");
+                    let j = server.index() as u32;
+                    let vm = arrivals.vm(k);
+                    head = self.vms.insert(tid.0, j, &vm.demand, vm.revenue, head);
+                    self.admit_load(j, &vm.demand);
+                    if flight::is_enabled() {
+                        flight::record(FlightKind::Placed, key, tid.0, j as u64, local as u64);
+                    }
+                }
+                self.heads.insert(tid.0, head);
+                admitted += 1;
+                admitted_ids.push(tid);
+            } else {
+                flight::record(
+                    FlightKind::Rejected,
+                    self.flight_key(tid.0),
+                    tid.0,
+                    window,
+                    0,
+                );
+                self.flight_keys.remove(&tid.0);
+                rejected += 1;
+            }
+        }
+
+        // Online capacity monitor over the packed state (cheap: O(m·h)).
+        if flight::is_enabled() {
+            for v in self.capacity_violations() {
+                cpo_core::monitor::record_violation("fleet", &v);
+            }
+        }
+
+        let stranded_vms: usize = self
+            .offline
+            .iter()
+            .enumerate()
+            .filter(|&(_, &down)| down)
+            .map(|(j, _)| self.loads.hosted(j as u32) as usize)
+            .sum();
+        let report = WindowReport {
+            window,
+            arrivals: arrivals.request_count(),
+            admitted,
+            rejected,
+            migrations: 0,
+            migration_cost: 0.0,
+            provider_cost: self.provider_cost,
+            downtime_cost: 0.0,
+            running_tenants: self.heads.len(),
+            running_vms: self.vms.live(),
+            active_servers: self.loads.active_servers(),
+            offline_servers: self.offline.iter().filter(|&&d| d).count(),
+            stranded_vms,
+            fabric_peak_utilization: 0.0,
+            denied_flows: 0,
+            solve_time,
+        };
+        flight::record(
+            FlightKind::WindowClosed,
+            flight::NONE,
+            flight::NONE,
+            window,
+            self.heads.len() as u64,
+        );
+        sp.field("admitted", admitted).field("rejected", rejected);
+        cpo_obs::record_value("fleet.solve_ns", solve_time.as_nanos() as u64);
+        cpo_obs::gauge_set("fleet.running_vms", self.vms.live() as f64);
+        cpo_obs::gauge_set("fleet.active_servers", self.loads.active_servers() as f64);
+        self.window += 1;
+        (report, admitted_ids)
+    }
+
+    /// Accounts one admitted VM onto server `j`: load, residual headroom
+    /// and the incremental provider cost.
+    fn admit_load(&mut self, j: u32, demand: &[f64]) {
+        let server = &self.infra.servers()[j as usize];
+        if self.loads.add(j, demand) {
+            self.provider_cost += server.opex;
+        }
+        self.provider_cost += server.usage_cost;
+        if !self.offline[j as usize] {
+            let neg: Vec<f64> = demand.iter().map(|d| -d).collect();
+            self.residual.adjust_capacity(ServerId(j as usize), &neg);
+        }
+    }
+
+    /// Departs one tenant, walking its chain and returning every VM's
+    /// demand to the residual headroom (unless the hosting server is
+    /// offline — a failed server has no headroom to return to). Returns
+    /// `false` when the tenant is not resident (e.g. it was rejected).
+    pub fn depart_tenant(&mut self, id: TenantId) -> bool {
+        let Some(head) = self.heads.remove(&id.0) else {
+            return false;
+        };
+        let mut slot = head;
+        while slot != NO_SLOT {
+            let next = self.vms.next(slot);
+            let j = self.vms.server(slot);
+            let demand: Vec<f64> = self.vms.demand(slot).to_vec();
+            let server = &self.infra.servers()[j as usize];
+            if self.loads.remove(j, &demand) {
+                self.provider_cost -= server.opex;
+            }
+            self.provider_cost -= server.usage_cost;
+            if !self.offline[j as usize] {
+                self.residual.adjust_capacity(ServerId(j as usize), &demand);
+            }
+            self.vms.remove(slot);
+            slot = next;
+        }
+        flight::record(
+            FlightKind::Departed,
+            self.flight_key(id.0),
+            id.0,
+            self.window,
+            0,
+        );
+        self.flight_keys.remove(&id.0);
+        true
+    }
+
+    /// Fails one server: its residual headroom drops to zero so nothing
+    /// new lands there. Resident VMs stay (counted as stranded). No-op
+    /// returning `false` when already offline.
+    pub fn force_failure(&mut self, server: ServerId) -> bool {
+        let j = server.index();
+        if self.offline[j] {
+            return false;
+        }
+        self.offline[j] = true;
+        let h = self.infra.attr_count();
+        self.residual.set_capacity(server, &vec![0.0; h]);
+        flight::record(
+            FlightKind::ServerFailed,
+            flight::NONE,
+            flight::NONE,
+            j as u64,
+            self.window,
+        );
+        true
+    }
+
+    /// Repairs one server, restoring its residual headroom to effective
+    /// capacity minus the load still resident there. No-op returning
+    /// `false` when healthy.
+    pub fn force_repair(&mut self, server: ServerId) -> bool {
+        let j = server.index();
+        if !self.offline[j] {
+            return false;
+        }
+        self.offline[j] = false;
+        let used = self.loads.used(j as u32);
+        let restored: Vec<f64> = self
+            .infra
+            .effective_row(server)
+            .iter()
+            .zip(used)
+            .map(|(e, u)| (e - u).max(0.0))
+            .collect();
+        self.residual.set_capacity(server, &restored);
+        flight::record(
+            FlightKind::ServerRepaired,
+            flight::NONE,
+            flight::NONE,
+            j as u64,
+            self.window,
+        );
+        true
+    }
+
+    /// Capacity violations of the packed state: servers (offline ones
+    /// included — their load is stranded, not licensed) whose resident
+    /// load exceeds effective capacity.
+    pub fn capacity_violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let eps = 1e-9;
+        for j in 0..self.infra.server_count() {
+            if self.offline[j] {
+                // A failed server's VMs are stranded by design; the
+                // overload monitor only guards admission decisions.
+                continue;
+            }
+            let used = self.loads.used(j as u32);
+            let eff = self.infra.effective_row(ServerId(j));
+            for (l, (&u, &e)) in used.iter().zip(eff).enumerate() {
+                if u > e + eps {
+                    out.push(Violation::Capacity {
+                        server: ServerId(j),
+                        attr: AttrId(l),
+                        excess: u - e,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Internal-consistency check for tests: healthy servers' residual +
+    /// used must equal effective capacity, and no server may be
+    /// overloaded.
+    pub fn verify(&self) -> Result<(), String> {
+        let eps = 1e-6;
+        for j in 0..self.infra.server_count() {
+            if self.offline[j] {
+                continue;
+            }
+            let used = self.loads.used(j as u32);
+            let eff = self.infra.effective_row(ServerId(j));
+            let res = self.residual.effective_row(ServerId(j));
+            for l in 0..used.len() {
+                if used[l] > eff[l] + eps {
+                    return Err(format!(
+                        "server {j} attr {l}: used {} > effective {}",
+                        used[l], eff[l]
+                    ));
+                }
+                if (res[l] + used[l] - eff[l]).abs() > eps.max(eff[l] * 1e-9) {
+                    return Err(format!(
+                        "server {j} attr {l}: residual {} + used {} != effective {}",
+                        res[l], used[l], eff[l]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_core::prelude::RoundRobinAllocator;
+    use cpo_model::attr::AttrSet;
+
+    fn fleet(servers: usize) -> FleetExecutor {
+        FleetExecutor::new(Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+        ))
+    }
+
+    fn batch(requests: usize, vms_each: usize) -> RequestBatch {
+        let mut b = RequestBatch::new();
+        for _ in 0..requests {
+            b.push_request(vec![vm_spec(2.0, 4096.0, 40.0); vms_each], vec![]);
+        }
+        b
+    }
+
+    #[test]
+    fn admit_then_depart_returns_to_idle() {
+        let mut f = fleet(4);
+        let arrivals = batch(3, 2);
+        let ids = f.register_arrivals(&arrivals);
+        let (report, admitted) = f.execute_window(&RoundRobinAllocator, &arrivals, &ids);
+        assert_eq!(report.admitted, 3);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.running_vms, 6);
+        assert_eq!(report.migrations, 0, "admission-only engine");
+        assert!(report.provider_cost > 0.0);
+        assert!(f.verify().is_ok());
+        for id in &admitted {
+            assert!(f.depart_tenant(*id));
+            assert!(!f.depart_tenant(*id), "already departed");
+        }
+        assert_eq!(f.live_vms(), 0);
+        assert_eq!(f.resident_requests(), 0);
+        assert!(f.provider_cost.abs() < 1e-9, "cost returns to zero");
+        assert!(f.verify().is_ok());
+        // Headroom fully restored: the residual equals a fresh fleet's.
+        let fresh = fleet(4);
+        for j in 0..4 {
+            assert_eq!(
+                f.residual().effective_row(ServerId(j)),
+                fresh.residual().effective_row(ServerId(j))
+            );
+        }
+    }
+
+    #[test]
+    fn overload_is_rejected_not_overpacked() {
+        let mut f = fleet(1);
+        // One commodity server: 28.8 effective cores. 20 requests of one
+        // 4-core VM each can host at most 7.
+        let mut arrivals = RequestBatch::new();
+        for _ in 0..20 {
+            arrivals.push_request(vec![vm_spec(4.0, 8192.0, 80.0)], vec![]);
+        }
+        let ids = f.register_arrivals(&arrivals);
+        let (report, _) = f.execute_window(&RoundRobinAllocator, &arrivals, &ids);
+        assert_eq!(report.admitted + report.rejected, 20);
+        assert!(report.admitted <= 7);
+        assert!(report.rejected >= 13);
+        assert!(f.verify().is_ok());
+        assert!(f.capacity_violations().is_empty());
+    }
+
+    #[test]
+    fn residual_carries_across_windows() {
+        let mut f = fleet(1);
+        // Fill most of the single server in window 0...
+        let mut big = RequestBatch::new();
+        big.push_request(vec![vm_spec(24.0, 65536.0, 1000.0)], vec![]);
+        let ids = f.register_arrivals(&big);
+        let (r0, admitted) = f.execute_window(&RoundRobinAllocator, &big, &ids);
+        assert_eq!(r0.admitted, 1);
+        // ...so an 8-core request no longer fits in window 1 (4.8 left).
+        let mut small = RequestBatch::new();
+        small.push_request(vec![vm_spec(8.0, 8192.0, 80.0)], vec![]);
+        let ids1 = f.register_arrivals(&small);
+        let (r1, _) = f.execute_window(&RoundRobinAllocator, &small, &ids1);
+        assert_eq!(r1.rejected, 1, "residual headroom must gate admission");
+        // After departure it fits again.
+        assert!(f.depart_tenant(admitted[0]));
+        let ids2 = f.register_arrivals(&small);
+        let (r2, _) = f.execute_window(&RoundRobinAllocator, &small, &ids2);
+        assert_eq!(r2.admitted, 1);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn failure_blocks_admission_and_repair_restores_headroom() {
+        let mut f = fleet(2);
+        let one = batch(1, 1);
+        let ids = f.register_arrivals(&one);
+        let (r0, _) = f.execute_window(&RoundRobinAllocator, &one, &ids);
+        assert_eq!(r0.admitted, 1);
+        assert!(f.force_failure(ServerId(0)));
+        assert!(!f.force_failure(ServerId(0)));
+        assert!(f
+            .residual()
+            .effective_row(ServerId(0))
+            .iter()
+            .all(|&c| c == 0.0));
+        assert!(f.force_repair(ServerId(0)));
+        assert!(!f.force_repair(ServerId(0)));
+        // Headroom restored minus whatever is resident on server 0.
+        let res = f.residual().effective_row(ServerId(0));
+        let eff = f.infra().effective_row(ServerId(0));
+        let used = f.loads.used(0);
+        for l in 0..3 {
+            assert!((res[l] + used[l] - eff[l]).abs() < 1e-9);
+        }
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn departures_on_offline_servers_do_not_resurrect_headroom() {
+        let mut f = fleet(1);
+        let one = batch(1, 1);
+        let ids = f.register_arrivals(&one);
+        let (_, admitted) = f.execute_window(&RoundRobinAllocator, &one, &ids);
+        f.force_failure(ServerId(0));
+        assert!(f.depart_tenant(admitted[0]));
+        assert!(
+            f.residual()
+                .effective_row(ServerId(0))
+                .iter()
+                .all(|&c| c == 0.0),
+            "an offline server has no headroom to return to"
+        );
+        // Repair restores the full effective capacity (nothing resident).
+        f.force_repair(ServerId(0));
+        assert_eq!(
+            f.residual().effective_row(ServerId(0)),
+            f.infra().effective_row(ServerId(0))
+        );
+    }
+
+    #[test]
+    fn tenant_ids_are_sequential_across_windows() {
+        let mut f = fleet(4);
+        let a = batch(2, 1);
+        let ids0 = f.register_arrivals(&a);
+        let ids1 = f.register_arrivals(&a);
+        assert_eq!(ids0, vec![TenantId(0), TenantId(1)]);
+        assert_eq!(ids1, vec![TenantId(2), TenantId(3)]);
+    }
+}

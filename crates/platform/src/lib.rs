@@ -12,7 +12,10 @@
 //!   (migrations, Eq. 26) → admit/reject;
 //! * [`events`] — an append-only platform event log;
 //! * [`accounting`] — per-window and per-run metrics (provider cost,
-//!   downtime, migrations, rejection rate).
+//!   downtime, migrations, rejection rate);
+//! * [`fleet`] — [`fleet::FleetExecutor`], the memory-lean admission-only
+//!   engine for production-scale trace replay (packed tables, residual
+//!   headroom, no event log).
 //!
 //! Running tenants are never evicted: if the optimizer's plan drops one,
 //! the platform keeps its previous placement and pays only planned
@@ -39,6 +42,7 @@
 pub mod accounting;
 pub mod events;
 pub mod executor;
+pub mod fleet;
 pub mod network;
 pub mod sim;
 pub mod sla;
@@ -49,6 +53,7 @@ pub mod prelude {
     pub use crate::accounting::{SimReport, WindowReport};
     pub use crate::events::{Event, EventLog, EVENT_LOG_SCHEMA_VERSION};
     pub use crate::executor::{LifetimePolicy, WindowExecutor};
+    pub use crate::fleet::FleetExecutor;
     pub use crate::network::{FlowAdmission, NetworkModel};
     pub use crate::sim::{PlatformSim, SimConfig};
     pub use crate::sla::{SlaLedger, SlaRecord};

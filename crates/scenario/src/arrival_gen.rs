@@ -47,13 +47,70 @@ impl ArrivalSpec {
     /// link of the per-request lifecycle timeline.
     pub fn request_at(&self, seed: u64, i: u64) -> RequestBatch {
         let batch = generate_single_request(&self.request, arrival_seed(seed, i));
-        cpo_obs::flight::record(
-            cpo_obs::flight::FlightKind::Generated,
-            i,
-            cpo_obs::flight::NONE,
-            batch.vm_count() as u64,
-            0,
+        mint_generated(i, &batch);
+        batch
+    }
+
+    /// Draws the `i`-th request of stream `seed` with the size pinned to
+    /// `vm_count` — the replay path for logged arrivals whose size is
+    /// known but whose VM shapes must still come from the template.
+    /// Same sub-seed derivation and flight-recorder minting as
+    /// [`ArrivalSpec::request_at`], so a replayed stream is correlated
+    /// exactly like a live one.
+    pub fn replayed_request_at(&self, seed: u64, i: u64, vm_count: usize) -> RequestBatch {
+        assert!(vm_count >= 1, "a request needs at least one VM");
+        let pinned = RequestSpec {
+            total_vms: vm_count,
+            request_size: (vm_count, vm_count),
+            ..self.request.clone()
+        };
+        let batch = generate_single_request(&pinned, arrival_seed(seed, i));
+        mint_generated(i, &batch);
+        batch
+    }
+
+    /// Builds the `i`-th request of stream `seed` from an *exact* demand
+    /// vector — the production-trace path. The trace dictates shape
+    /// (`demand`, in the model's standard attribute order) and fan-out
+    /// (`vm_count` identical VMs, no affinity rules — per-VM traces carry
+    /// no placement constraints); the template's cost ranges supply the
+    /// QoS/cost parameters the trace does not record, and the price
+    /// follows the shape via [`crate::flavors::flavor_revenue`].
+    /// Deterministic in `(seed, i)` and minted into the flight recorder
+    /// exactly like [`ArrivalSpec::request_at`].
+    pub fn trace_request_at(
+        &self,
+        seed: u64,
+        i: u64,
+        demand: &[f64],
+        vm_count: usize,
+    ) -> RequestBatch {
+        assert!(vm_count >= 1, "a request needs at least one VM");
+        let mut rng = SmallRng::seed_from_u64(arrival_seed(seed, i));
+        let range = |(lo, hi): (f64, f64), rng: &mut SmallRng| {
+            if hi > lo {
+                lo + (hi - lo) * rng.gen::<f64>()
+            } else {
+                lo
+            }
+        };
+        let costs = &self.request.costs;
+        let revenue = crate::flavors::flavor_revenue(
+            demand.first().copied().unwrap_or(0.0),
+            demand.get(1).copied().unwrap_or(0.0),
         );
+        let vms: Vec<VmSpec> = (0..vm_count)
+            .map(|_| VmSpec {
+                demand: demand.to_vec(),
+                qos_guarantee: range(costs.qos_guarantee, &mut rng),
+                downtime_cost: range(costs.downtime_cost, &mut rng),
+                migration_cost: range(costs.migration_cost, &mut rng),
+                revenue,
+            })
+            .collect();
+        let mut batch = RequestBatch::new();
+        batch.push_request(vms, Vec::new());
+        mint_generated(i, &batch);
         batch
     }
 
@@ -69,6 +126,19 @@ impl ArrivalSpec {
 /// Per-arrival sub-seed: decorrelates consecutive arrivals of one stream.
 fn arrival_seed(seed: u64, i: u64) -> u64 {
     seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}
+
+/// Drops the `generated` lifecycle event for arrival `i` into the flight
+/// recorder (no-op when disabled) — the first link of the per-request
+/// timeline, shared by the live, replayed, and trace paths.
+fn mint_generated(i: u64, batch: &RequestBatch) {
+    cpo_obs::flight::record(
+        cpo_obs::flight::FlightKind::Generated,
+        i,
+        cpo_obs::flight::NONE,
+        batch.vm_count() as u64,
+        0,
+    );
 }
 
 /// Generates exactly one request from the template: the size is drawn
@@ -115,6 +185,39 @@ mod tests {
         assert_eq!(sizes, again);
         // Not all arrivals are identical (the stream actually varies).
         assert!(sizes.iter().any(|&s| s != sizes[0]));
+    }
+
+    #[test]
+    fn replayed_request_pins_size() {
+        let spec = ArrivalSpec::default();
+        for i in 0..16 {
+            let b = spec.replayed_request_at(11, i, 3);
+            assert_eq!(b.request_count(), 1);
+            assert_eq!(b.vm_count(), 3);
+        }
+    }
+
+    #[test]
+    fn trace_request_uses_exact_demand_and_template_costs() {
+        let spec = ArrivalSpec::default();
+        let demand = [3.0, 6144.0, 55.0];
+        let a = spec.trace_request_at(5, 9, &demand, 2);
+        assert_eq!(a.request_count(), 1);
+        assert_eq!(a.vm_count(), 2);
+        for vm in a.vms() {
+            assert_eq!(vm.demand, demand.to_vec());
+            let c = &spec.request.costs;
+            assert!((c.qos_guarantee.0..=c.qos_guarantee.1).contains(&vm.qos_guarantee));
+            assert!((c.downtime_cost.0..=c.downtime_cost.1).contains(&vm.downtime_cost));
+            assert_eq!(vm.revenue, crate::flavors::flavor_revenue(3.0, 6144.0));
+        }
+        assert!(a.requests()[0].rules.is_empty(), "traces carry no rules");
+        // Deterministic in (seed, i).
+        let b = spec.trace_request_at(5, 9, &demand, 2);
+        assert_eq!(a.vms(), b.vms());
+        // A different index draws different costs.
+        let c = spec.trace_request_at(5, 10, &demand, 2);
+        assert!(a.vms()[0].qos_guarantee != c.vms()[0].qos_guarantee);
     }
 
     #[test]

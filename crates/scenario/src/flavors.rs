@@ -113,6 +113,14 @@ impl Default for VmCostParams {
     }
 }
 
+/// The standard per-window price of a VM shape: cloud pricing is roughly
+/// linear in vCPU + memory. Shared by flavour sampling and trace replay,
+/// so a trace-fed VM of a given shape sells for the same price as a
+/// synthetic one.
+pub fn flavor_revenue(cpu: f64, ram_mib: f64) -> f64 {
+    2.0 + cpu * 1.5 + ram_mib / 4096.0
+}
+
 /// Materialises a [`VmSpec`] from a sampled flavour and cost parameters.
 pub fn vm_from_flavor(f: &Flavor, params: &VmCostParams, rng: &mut impl Rng) -> VmSpec {
     let range = |(lo, hi): (f64, f64), rng: &mut dyn rand::RngCore| {
@@ -123,9 +131,8 @@ pub fn vm_from_flavor(f: &Flavor, params: &VmCostParams, rng: &mut impl Rng) -> 
         }
     };
     let demand = vec![f.cpu, f.ram, f.disk];
-    // Price follows the flavour's size (cloud pricing is roughly linear
-    // in vCPU + memory), with the cost ranges jittered per VM.
-    let revenue = 2.0 + f.cpu * 1.5 + f.ram / 4096.0;
+    // Cost ranges are jittered per VM; the price follows the shape.
+    let revenue = flavor_revenue(f.cpu, f.ram);
     VmSpec {
         demand,
         qos_guarantee: range(params.qos_guarantee, rng),

@@ -5,6 +5,7 @@
 //! Only the generator parameters are serialised, never the expanded
 //! problem: a few hundred bytes of JSON regenerate any instance.
 
+use crate::arrival_gen::ArrivalSpec;
 use crate::flavors::VmCostParams;
 use crate::infra_gen::InfraSpec;
 use crate::presets::ScenarioSpec;
@@ -128,6 +129,51 @@ impl From<&RequestSpecDto> for RequestSpec {
     }
 }
 
+/// Serialisable mirror of [`ArrivalSpec`] — lets continuous-time and
+/// trace-replay experiments persist their arrival templates next to the
+/// scenario knobs.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ArrivalSpecDto {
+    /// Poisson intensity λ (ignored by trace replay).
+    pub rate: f64,
+    /// Holding-time range.
+    pub lifetime: (f64, f64),
+    /// Per-request template.
+    pub request: RequestSpecDto,
+}
+
+impl From<&ArrivalSpec> for ArrivalSpecDto {
+    fn from(s: &ArrivalSpec) -> Self {
+        Self {
+            rate: s.rate,
+            lifetime: s.lifetime,
+            request: (&s.request).into(),
+        }
+    }
+}
+
+impl From<&ArrivalSpecDto> for ArrivalSpec {
+    fn from(d: &ArrivalSpecDto) -> Self {
+        Self {
+            rate: d.rate,
+            request: (&d.request).into(),
+            lifetime: d.lifetime,
+        }
+    }
+}
+
+impl ArrivalSpecDto {
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("arrival specs always serialise")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid arrival spec: {e}"))
+    }
+}
+
 impl ScenarioFile {
     /// Captures a spec + seed under a name.
     pub fn capture(name: impl Into<String>, spec: &ScenarioSpec, seed: u64) -> Self {
@@ -195,6 +241,64 @@ mod tests {
     fn invalid_json_is_reported() {
         assert!(ScenarioFile::from_json("{nope").is_err());
         assert!(ScenarioFile::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn arrival_spec_roundtrips_through_dto() {
+        let spec = ArrivalSpec {
+            rate: 3.5,
+            lifetime: (2.0, 40.0),
+            ..Default::default()
+        };
+        let dto: ArrivalSpecDto = (&spec).into();
+        let back: ArrivalSpec = (&ArrivalSpecDto::from_json(&dto.to_json()).unwrap()).into();
+        let redto: ArrivalSpecDto = (&back).into();
+        assert_eq!(dto, redto);
+        assert!(ArrivalSpecDto::from_json("{broken").is_err());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_arrival_spec() -> impl Strategy<Value = ArrivalSpec> {
+            (
+                0.1f64..50.0,
+                (0.5f64..10.0, 10.0f64..500.0),
+                (1usize..200, 1usize..8),
+                (0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.2),
+                0.1f64..4.0,
+            )
+                .prop_map(|(rate, lifetime, (total, size_hi), (p1, p2, p3), scale)| {
+                    let mut request = RequestSpec {
+                        total_vms: total,
+                        request_size: (1, size_hi),
+                        demand_scale: scale,
+                        ..Default::default()
+                    };
+                    request.p_same_server = p1;
+                    request.p_same_datacenter = p2;
+                    request.p_different_server = p3;
+                    ArrivalSpec {
+                        rate,
+                        request,
+                        lifetime,
+                    }
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn json_roundtrip_preserves_every_field(spec in arb_arrival_spec()) {
+                let dto: ArrivalSpecDto = (&spec).into();
+                let parsed = ArrivalSpecDto::from_json(&dto.to_json()).unwrap();
+                prop_assert_eq!(&dto, &parsed);
+                // And a full there-and-back through the runtime type.
+                let back: ArrivalSpec = (&parsed).into();
+                let redto: ArrivalSpecDto = (&back).into();
+                prop_assert_eq!(dto, redto);
+            }
+        }
     }
 
     #[test]

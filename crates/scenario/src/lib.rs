@@ -40,7 +40,7 @@ pub mod request_gen;
 /// The most-used scenario types.
 pub mod prelude {
     pub use crate::arrival_gen::{generate_single_request, ArrivalSpec};
-    pub use crate::flavors::{default_catalog, Flavor, VmCostParams};
+    pub use crate::flavors::{default_catalog, flavor_revenue, Flavor, VmCostParams};
     pub use crate::infra_gen::{generate_infra, GeneratedInfra, HostClass, InfraSpec};
     pub use crate::io::ScenarioFile;
     pub use crate::presets::{

@@ -1,0 +1,164 @@
+//! The normalised trace-event stream all readers emit.
+
+use std::fmt;
+
+/// One normalised arrival parsed from a production trace: a request for
+/// `vm_count` identical VMs of the given shape, arriving `at` seconds
+/// after the trace epoch and holding the platform for `holding` seconds.
+///
+/// The struct is `Copy` and carries no heap data — a reader can stream
+/// millions of these without allocating per event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time in seconds from the trace epoch.
+    pub at: f64,
+    /// Stable per-stream id (row order for readers; replica-qualified for
+    /// the amplifier).
+    pub id: u64,
+    /// Number of identical VMs requested (1 for per-VM traces).
+    pub vm_count: usize,
+    /// vCPU cores per VM.
+    pub cpu: f64,
+    /// RAM per VM in MiB.
+    pub ram: f64,
+    /// Disk per VM in GiB.
+    pub disk: f64,
+    /// Holding time in seconds (zero-duration VMs are clamped to 0.0).
+    pub holding: f64,
+}
+
+impl TraceEvent {
+    /// The demand vector in the model's standard attribute order
+    /// (vCPU, RAM MiB, disk GiB).
+    #[inline]
+    pub fn demand(&self) -> [f64; 3] {
+        [self.cpu, self.ram, self.disk]
+    }
+
+    /// Checks the invariants every reader must uphold: finite
+    /// non-negative time, demand, and holding, and at least one VM.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("at", self.at),
+            ("cpu", self.cpu),
+            ("ram", self.ram),
+            ("disk", self.disk),
+            ("holding", self.holding),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        if self.vm_count == 0 {
+            return Err("vm_count must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by dataset readers and the amplifier.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// Underlying I/O failure (message form — keeps the error `Clone`).
+    Io(String),
+    /// The header lacks a required column.
+    MissingColumn {
+        /// The column the schema requires.
+        column: String,
+    },
+    /// A data row failed to parse (1-based line number).
+    MalformedRow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable parse failure.
+        reason: String,
+    },
+    /// A row's timestamp regressed behind the emitted watermark by more
+    /// than the reorder buffer can absorb.
+    OutOfOrder {
+        /// 1-based line number (0 when unknown, e.g. post-buffer).
+        line: usize,
+        /// The offending timestamp.
+        at: f64,
+        /// The watermark already emitted.
+        watermark: f64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(msg) => write!(f, "trace I/O error: {msg}"),
+            TraceError::MissingColumn { column } => {
+                write!(f, "trace header is missing required column {column:?}")
+            }
+            TraceError::MalformedRow { line, reason } => {
+                write!(f, "malformed trace row at line {line}: {reason}")
+            }
+            TraceError::OutOfOrder {
+                line,
+                at,
+                watermark,
+            } => write!(
+                f,
+                "out-of-order trace row (line {line}): t={at} behind watermark {watermark} \
+                 beyond the reorder buffer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_sane_events() {
+        let e = TraceEvent {
+            at: 1.0,
+            id: 0,
+            vm_count: 2,
+            cpu: 2.0,
+            ram: 4096.0,
+            disk: 40.0,
+            holding: 0.0,
+        };
+        assert!(e.validate().is_ok(), "zero holding is legal");
+        assert_eq!(e.demand(), [2.0, 4096.0, 40.0]);
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_empty_requests() {
+        let mut e = TraceEvent {
+            at: 0.0,
+            id: 0,
+            vm_count: 1,
+            cpu: 1.0,
+            ram: 1024.0,
+            disk: 10.0,
+            holding: 5.0,
+        };
+        e.cpu = f64::NAN;
+        assert!(e.validate().is_err());
+        e.cpu = 1.0;
+        e.vm_count = 0;
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = TraceError::MalformedRow {
+            line: 7,
+            reason: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let o = TraceError::OutOfOrder {
+            line: 3,
+            at: 1.0,
+            watermark: 9.0,
+        };
+        assert!(o.to_string().contains("watermark 9"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Huawei-style VM trace reader.
+//!
+//! Consumes the request-oriented schema of the Huawei cloud traces (one
+//! row per request, resources stated in the model's native units):
+//!
+//! ```csv
+//! id,cpu,memory_mb,disk_gb,start_time,duration
+//! 0,4,8192,80,0,1800
+//! ```
+//!
+//! * `start_time` — seconds from the trace epoch; `duration` — holding
+//!   time in seconds, clamped at zero;
+//! * an optional `count` column turns a row into a multi-VM request of
+//!   `count` identical VMs (absent, every request is a single VM).
+//!
+//! Rows stream in file order; wrap in [`crate::reader::Sorted`] when the
+//! file is not globally sorted by `start_time`.
+
+use crate::event::{TraceError, TraceEvent};
+use crate::reader::{
+    optional_column, parse_field, read_record, require_column, DatasetReader, MalformedPolicy,
+};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+struct Columns {
+    cpu: usize,
+    memory: usize,
+    disk: usize,
+    start: usize,
+    duration: usize,
+    count: Option<usize>,
+}
+
+/// Streaming reader for Huawei-style per-request CSV traces.
+pub struct HuaweiReader<R: BufRead> {
+    input: R,
+    buf: String,
+    line_no: usize,
+    policy: MalformedPolicy,
+    skipped: usize,
+    columns: Columns,
+    next_id: u64,
+}
+
+impl HuaweiReader<BufReader<File>> {
+    /// Opens a trace file from disk.
+    pub fn open(path: &Path, policy: MalformedPolicy) -> Result<Self, TraceError> {
+        let file =
+            File::open(path).map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        Self::new(BufReader::new(file), policy)
+    }
+}
+
+impl<R: BufRead> HuaweiReader<R> {
+    /// Wraps any buffered input, parsing the header row eagerly.
+    pub fn new(mut input: R, policy: MalformedPolicy) -> Result<Self, TraceError> {
+        let mut buf = String::new();
+        let mut line_no = 0usize;
+        match read_record(&mut input, &mut buf, &mut line_no) {
+            Some(Ok(())) => {}
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(TraceError::MissingColumn {
+                    column: "start_time".into(),
+                })
+            }
+        }
+        let header: Vec<&str> = buf.trim_end().split(',').collect();
+        require_column(&header, "id")?;
+        let columns = Columns {
+            cpu: require_column(&header, "cpu")?,
+            memory: require_column(&header, "memory_mb")?,
+            disk: require_column(&header, "disk_gb")?,
+            start: require_column(&header, "start_time")?,
+            duration: require_column(&header, "duration")?,
+            count: optional_column(&header, "count"),
+        };
+        Ok(Self {
+            input,
+            buf,
+            line_no,
+            policy,
+            skipped: 0,
+            columns,
+            next_id: 0,
+        })
+    }
+
+    fn parse_row(&self, fields: &[&str]) -> Result<TraceEvent, String> {
+        let c = &self.columns;
+        let vm_count = match c.count {
+            Some(idx) => {
+                let n = parse_field(fields, idx, "count")?;
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err(format!("count must be a positive integer, got {n}"));
+                }
+                n as usize
+            }
+            None => 1,
+        };
+        let event = TraceEvent {
+            at: parse_field(fields, c.start, "start_time")?,
+            id: self.next_id,
+            vm_count,
+            cpu: parse_field(fields, c.cpu, "cpu")?,
+            ram: parse_field(fields, c.memory, "memory_mb")?,
+            disk: parse_field(fields, c.disk, "disk_gb")?,
+            holding: parse_field(fields, c.duration, "duration")?.max(0.0),
+        };
+        event.validate()?;
+        Ok(event)
+    }
+}
+
+impl<R: BufRead> DatasetReader for HuaweiReader<R> {
+    fn next_event(&mut self) -> Option<Result<TraceEvent, TraceError>> {
+        loop {
+            match read_record(&mut self.input, &mut self.buf, &mut self.line_no) {
+                Some(Ok(())) => {}
+                Some(Err(e)) => return Some(Err(e)),
+                None => return None,
+            }
+            let fields: Vec<&str> = self.buf.trim_end().split(',').collect();
+            match self.parse_row(&fields) {
+                Ok(event) => {
+                    self.next_id += 1;
+                    return Some(Ok(event));
+                }
+                Err(reason) => match self.policy {
+                    MalformedPolicy::Skip => {
+                        self.skipped += 1;
+                        continue;
+                    }
+                    MalformedPolicy::Fail => {
+                        return Some(Err(TraceError::MalformedRow {
+                            line: self.line_no,
+                            reason,
+                        }))
+                    }
+                },
+            }
+        }
+    }
+
+    fn skipped_rows(&self) -> usize {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_native_units_and_counts() {
+        let input = "\
+id,cpu,memory_mb,disk_gb,start_time,duration,count
+0,4,8192,80,0,1800,1
+1,1,1024,10,30,600,3
+";
+        let mut r = HuaweiReader::new(Cursor::new(input), MalformedPolicy::Fail).unwrap();
+        let events: Vec<TraceEvent> = std::iter::from_fn(|| r.next_event())
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].ram, 8192.0, "memory is already MiB");
+        assert_eq!(events[0].vm_count, 1);
+        assert_eq!(events[1].vm_count, 3, "count column fans out VMs");
+        assert_eq!(events[1].holding, 600.0);
+    }
+
+    #[test]
+    fn count_column_rejects_fractions_and_zero() {
+        let input = "id,cpu,memory_mb,disk_gb,start_time,duration,count\n0,1,1024,10,0,60,0\n";
+        let mut r = HuaweiReader::new(Cursor::new(input), MalformedPolicy::Fail).unwrap();
+        assert!(matches!(
+            r.next_event(),
+            Some(Err(TraceError::MalformedRow { .. }))
+        ));
+    }
+
+    #[test]
+    fn missing_column_reports_its_name() {
+        let input = "id,cpu,memory_mb,start_time,duration\n";
+        match HuaweiReader::new(Cursor::new(input), MalformedPolicy::Fail).err() {
+            Some(TraceError::MissingColumn { column }) => assert_eq!(column, "disk_gb"),
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_duration_clamps() {
+        let input = "id,cpu,memory_mb,disk_gb,start_time,duration\n0,1,1024,10,5,-3\n";
+        let mut r = HuaweiReader::new(Cursor::new(input), MalformedPolicy::Fail).unwrap();
+        assert_eq!(r.next_event().unwrap().unwrap().holding, 0.0);
+    }
+}

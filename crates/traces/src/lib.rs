@@ -1,0 +1,39 @@
+//! # cpo-traces — streaming production-trace ingestion
+//!
+//! The scenario generator synthesises paper-scale workloads (tens of
+//! servers, hundreds of VMs); nothing there exercises the repo's
+//! production-scale north star. This crate closes the gap the way the
+//! related simulation literature does (DISSECT-CF, dslab-iaas): replay
+//! normalised **production VM traces** against a simulated fleet.
+//!
+//! Three layers, each streaming — no whole-file materialisation:
+//!
+//! * [`reader`] — the [`DatasetReader`](reader::DatasetReader) trait and
+//!   CSV readers for Azure-style ([`azure::AzureReader`]) and
+//!   Huawei-style ([`huawei::HuaweiReader`]) trace schemas, with a
+//!   configurable malformed-row policy and a bounded reorder buffer
+//!   ([`reader::Sorted`]) for slightly out-of-order rows;
+//! * [`amplify`] — a deterministic synthetic amplifier that interleaves
+//!   `factor` jittered replicas of a seed trace on the same timeline,
+//!   scaling a few dozen committed rows up to millions of arrivals;
+//! * [`source`] — [`source::TraceArrivalSource`], which turns the
+//!   normalised [`event::TraceEvent`] stream into `cpo-des` arrivals via
+//!   `ArrivalSpec::trace_request_at`, so trace-fed requests mint
+//!   flight-recorder correlation uids exactly like Poisson arrivals.
+
+pub mod amplify;
+pub mod azure;
+pub mod event;
+pub mod huawei;
+pub mod reader;
+pub mod source;
+
+/// Everything a trace-replay driver needs.
+pub mod prelude {
+    pub use crate::amplify::{Amplifier, AmplifyConfig};
+    pub use crate::azure::AzureReader;
+    pub use crate::event::{TraceError, TraceEvent};
+    pub use crate::huawei::HuaweiReader;
+    pub use crate::reader::{open_dataset, DatasetReader, MalformedPolicy, Sorted, VecReader};
+    pub use crate::source::TraceArrivalSource;
+}

@@ -1,0 +1,87 @@
+//! End-to-end production-trace replay with every invariant monitor armed:
+//! the committed Azure-style sample trace is amplified ×20, streamed
+//! through the continuous-time scheduler over the memory-lean
+//! `FleetExecutor`, and the run is asserted clean — zero capacity or
+//! lifecycle violations under strict monitoring.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use cpo_iaas::des::prelude::*;
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::obs::flight;
+use cpo_iaas::prelude::*;
+use cpo_iaas::scenario::prelude::ArrivalSpec;
+use cpo_iaas::traces::prelude::*;
+use std::io::Cursor;
+
+/// The same 64-row seed trace the standing macro-benchmark embeds.
+const SAMPLE: &str = include_str!("data/azure_sample.csv");
+
+fn main() {
+    // Arm the full fail-fast monitor set: any capacity overshoot or
+    // lifecycle defect panics instead of silently skewing results.
+    flight::enable();
+    flight::set_strict(true);
+
+    let reader =
+        AzureReader::new(Cursor::new(SAMPLE), MalformedPolicy::Fail).expect("sample parses");
+    let amp = Amplifier::new(
+        reader,
+        AmplifyConfig {
+            factor: 20,
+            time_jitter: 30.0,
+            demand_jitter: 0.2,
+            seed: 7,
+        },
+    )
+    .expect("sample amplifies");
+    let total = amp.len();
+    let horizon = amp.horizon() + 120.0;
+    println!(
+        "replaying {} arrivals ({}-row seed × 20) over {:.0} s of simulated time",
+        total,
+        amp.base_len(),
+        horizon
+    );
+
+    let infra = Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(64))],
+    );
+    let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), 7);
+    let config = DesConfig {
+        window_length: 60.0,
+        latency: LatencyModel::Fixed(0.0),
+        failures: None,
+        seed: 7,
+    };
+    let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), config, source);
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    if let Some(err) = sched.source().error() {
+        panic!("trace stream failed: {err}");
+    }
+
+    assert_eq!(sched.source().emitted() as usize, total, "stream drained");
+    // The fleet's books must balance exactly after the replay: residual +
+    // used == effective capacity on every healthy server.
+    sched.backend().verify().expect("fleet accounting balances");
+
+    let peak_vms = report
+        .windows
+        .iter()
+        .map(|w| w.running_vms)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  {} windows, admitted {} / rejected {}, peak {} running VMs",
+        report.windows.len(),
+        report.total_admitted(),
+        report.total_rejected(),
+        peak_vms
+    );
+    // Strict monitors panic on violation, so reaching this line proves a
+    // clean replay; make the claim explicit for the reader.
+    println!("  strict monitors: zero invariant violations");
+}

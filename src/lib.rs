@@ -23,6 +23,7 @@
 //! | des | [`des`] | continuous-time discrete-event kernel |
 //! | exper | [`exper`] | figure/table regeneration harness |
 //! | obs | [`obs`] | spans, counters, histograms, trace export |
+//! | traces | [`traces`] | streaming production-trace ingestion + amplifier |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use cpo_platform as platform;
 pub use cpo_scenario as scenario;
 pub use cpo_tabu as tabu;
 pub use cpo_topology as topology;
+pub use cpo_traces as traces;
 
 /// Everything a typical user needs.
 pub mod prelude {
