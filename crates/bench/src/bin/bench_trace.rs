@@ -6,15 +6,22 @@
 //! ```text
 //! cargo run --release -p cpo-bench --bin bench_trace -- \
 //!     [--arrivals 1000000] [--servers 10000] [--window 60] \
-//!     [--seed 42] [--out target/bench/BENCH_trace.json]
+//!     [--seed 42] [--out target/bench/BENCH_trace.json] \
+//!     [--dash target/bench/DASH_trace.html]
 //! ```
 //!
 //! The run is executed **twice** with the same seed and the per-window
 //! outcome stream is fingerprinted: the benchmark aborts if the two
 //! replays diverge, so determinism is re-proven on every invocation.
-//! Reported cells: ingest throughput (events/s), end-to-end replay
-//! throughput, peak RSS, admitted/rejected totals, and p50/p95/p99
-//! per-window solve latency.
+//! Per-window fleet-health series (`cpo_obs::series`) are collected
+//! through both replays with three standing assertions: at least six
+//! distinct `fleet.*` series sampled once per window, every ring inside
+//! its constant-memory capacity bound, and byte-identical deterministic
+//! series JSON across the two replays. The series render to a
+//! self-contained HTML dashboard (`--dash`) plus an ANSI summary on
+//! stdout. Reported cells: ingest throughput (events/s), end-to-end
+//! replay throughput, peak RSS (null where procfs is unavailable),
+//! admitted/rejected totals, and p50/p95/p99 per-window solve latency.
 
 use cpo_bench::report::{Cell, Report};
 use cpo_core::prelude::RoundRobinAllocator;
@@ -36,6 +43,7 @@ struct Args {
     window: f64,
     seed: u64,
     out: String,
+    dash: String,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +53,7 @@ fn parse_args() -> Args {
         window: 60.0,
         seed: 42,
         out: "target/bench/BENCH_trace.json".into(),
+        dash: "target/bench/DASH_trace.html".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +67,7 @@ fn parse_args() -> Args {
             "--window" => args.window = value().parse().expect("--window"),
             "--seed" => args.seed = value().parse().expect("--seed"),
             "--out" => args.out = value(),
+            "--dash" => args.dash = value(),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -157,16 +167,55 @@ fn main() {
     println!("ingest: {ingest_rate:.0} events/s over {ingested} events");
 
     // --- full replay, twice: measure and prove determinism ----------
+    // Fleet-health series are collected through both replays; the
+    // deterministic subset of the series JSON must come out of each
+    // byte-for-byte identical, extending the fingerprint check from
+    // window outcomes to the whole telemetry pipeline.
+    cpo_obs::series::enable_with_capacity(512);
     let replay_start = Instant::now();
     let (report, emitted, horizon) = replay(&args, factor);
     let replay_ns = replay_start.elapsed().as_nanos();
+    let bus = cpo_obs::series::snapshot();
+    let det_json = bus.to_json(false);
+    cpo_obs::series::reset();
     let (second, _, _) = replay(&args, factor);
+    let det_json2 = cpo_obs::series::snapshot().to_json(false);
+    cpo_obs::series::disable();
     let fp = fingerprint(&report.windows);
     let fp2 = fingerprint(&second.windows);
     assert_eq!(
         fp, fp2,
         "replay is not deterministic: fingerprints {fp:#x} vs {fp2:#x}"
     );
+    assert_eq!(
+        det_json, det_json2,
+        "deterministic series JSON must be byte-identical across replays"
+    );
+
+    // --- fleet-health series: coverage and the constant-memory bound -
+    let fleet_series: Vec<&str> = bus
+        .series()
+        .keys()
+        .map(String::as_str)
+        .filter(|n| n.starts_with("fleet."))
+        .collect();
+    assert!(
+        fleet_series.len() >= 6,
+        "expected >= 6 fleet-health series, got {fleet_series:?}"
+    );
+    for (name, s) in bus.series() {
+        assert!(
+            s.ring.points().len() <= bus.capacity(),
+            "series {name} exceeded its capacity bound: {} > {}",
+            s.ring.points().len(),
+            bus.capacity()
+        );
+        assert_eq!(
+            s.ring.total(),
+            report.windows.len() as u64,
+            "series {name} must be sampled exactly once per window"
+        );
+    }
 
     assert_eq!(emitted, total, "scheduler must drain the whole stream");
     let replay_rate = emitted as f64 / (replay_ns as f64 / 1e9);
@@ -207,6 +256,15 @@ fn main() {
         println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
     }
 
+    // --- dashboard: HTML report + terminal summary ------------------
+    let title = format!(
+        "bench_trace — {total} arrivals / {} servers / seed {}",
+        args.servers, args.seed
+    );
+    cpo_obs::dash::write_html(&bus, &args.dash, &title).expect("write dashboard");
+    println!("wrote {}", args.dash);
+    print!("{}", cpo_obs::dash::ansi_summary(&bus));
+
     let mut out = Report::new("cpo-bench-trace", 1);
     out.push(
         Cell::new("trace.config")
@@ -223,25 +281,30 @@ fn main() {
             .int("wall_ns", ingest_ns as i128)
             .float("events_per_sec", ingest_rate),
     );
-    let mut replay_cell = Cell::new("trace.replay")
-        .int("events", emitted as i128)
-        .int("wall_ns", replay_ns as i128)
-        .float("events_per_sec", replay_rate)
-        .int("windows", report.windows.len() as i128)
-        .int("admitted", admitted as i128)
-        .int("rejected", rejected as i128)
-        .int("peak_active_servers", peak_active as i128)
-        .int("peak_running_vms", peak_vms as i128)
-        .str("fingerprint", format!("{fp:#018x}"));
-    if let Some(rss) = rss {
-        replay_cell = replay_cell.int("peak_rss_bytes", rss as i128);
-    }
-    out.push(replay_cell);
+    out.push(
+        Cell::new("trace.replay")
+            .int("events", emitted as i128)
+            .int("wall_ns", replay_ns as i128)
+            .float("events_per_sec", replay_rate)
+            .int("windows", report.windows.len() as i128)
+            .int("admitted", admitted as i128)
+            .int("rejected", rejected as i128)
+            .int("peak_active_servers", peak_active as i128)
+            .int("peak_running_vms", peak_vms as i128)
+            .str("fingerprint", format!("{fp:#018x}"))
+            .opt_int("peak_rss_bytes", rss),
+    );
     out.push(
         Cell::new("trace.solve_latency")
             .float("p50_ms", p50)
             .float("p95_ms", p95)
             .float("p99_ms", p99),
+    );
+    out.push(
+        Cell::new("trace.series")
+            .int("fleet_series", fleet_series.len() as i128)
+            .int("ring_capacity", bus.capacity() as i128)
+            .int("windows_sampled", report.windows.len() as i128),
     );
     out.write(&args.out).expect("write BENCH_trace.json");
     println!("wrote {}", args.out);

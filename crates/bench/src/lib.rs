@@ -6,6 +6,7 @@
 //! `ablation_*` targets benchmark the design choices DESIGN.md calls out;
 //! the `micro_*` targets profile the hot kernels.
 
+pub mod diff;
 pub mod report;
 
 use cpo_exper::runner::{Algorithm, Effort};

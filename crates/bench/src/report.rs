@@ -27,6 +27,7 @@ pub struct Cell {
 
 #[derive(Clone, Debug)]
 enum Value {
+    Null,
     Int(i128),
     Float(f64),
     Str(String),
@@ -60,11 +61,27 @@ impl Cell {
         self
     }
 
+    /// Adds an optional integer field, written as `null` when absent —
+    /// so a metric that is unavailable on this platform (e.g. peak RSS
+    /// without procfs) still appears in the report with a stable key
+    /// instead of silently vanishing.
+    pub fn opt_int(mut self, key: impl Into<String>, value: Option<impl Into<i128>>) -> Self {
+        self.fields.push((
+            key.into(),
+            match value {
+                Some(v) => Value::Int(v.into()),
+                None => Value::Null,
+            },
+        ));
+        self
+    }
+
     fn render(&self, out: &mut String) {
         let _ = write!(out, "  {{\"name\":\"{}\"", escape(&self.name));
         for (key, value) in &self.fields {
             let _ = write!(out, ",\"{}\":", escape(key));
             match value {
+                Value::Null => out.push_str("null"),
                 Value::Int(v) => {
                     let _ = write!(out, "{v}");
                 }
@@ -155,23 +172,31 @@ impl Report {
 }
 
 /// Peak resident-set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or `None` where procfs is unavailable.
+/// `/proc/self/status`), or `None` where procfs is unavailable (non-Linux
+/// platforms, or a malformed status file). Callers serialize the `None`
+/// as JSON `null` via [`Cell::opt_int`] so the metric key stays present
+/// cross-platform.
 pub fn peak_rss_bytes() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        for line in status.lines() {
-            if let Some(rest) = line.strip_prefix("VmHWM:") {
-                let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-                return Some(kib * 1024);
-            }
-        }
-        None
+        parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
     }
     #[cfg(not(target_os = "linux"))]
     {
         None
     }
+}
+
+/// Extracts `VmHWM` (peak RSS) in bytes from `/proc/self/status` text.
+/// Returns `None` when the field is missing or unparseable.
+pub fn parse_vm_hwm(status: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -217,6 +242,29 @@ mod tests {
         let back = std::fs::read_to_string(&path).unwrap();
         assert!(back.contains("\"schema_version\":2"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opt_int_serializes_none_as_null() {
+        let mut report = Report::new("s", 1);
+        report.push(
+            Cell::new("rss")
+                .opt_int("present", Some(7u64))
+                .opt_int("absent", None::<u64>),
+        );
+        let json = report.to_json();
+        assert!(json.contains("{\"name\":\"rss\",\"present\":7,\"absent\":null}"));
+    }
+
+    #[test]
+    fn parse_vm_hwm_reads_the_peak_and_rejects_garbage() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t   5120 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(5120 * 1024));
+        // Field missing entirely → None (the non-Linux / stripped-procfs shape).
+        assert_eq!(parse_vm_hwm("Name:\tbench\nThreads:\t1\n"), None);
+        // Unparseable value → None, not a panic.
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+        assert_eq!(parse_vm_hwm(""), None);
     }
 
     #[test]

@@ -478,6 +478,10 @@ impl<S: ArrivalSource, B: WindowBackend> WindowedScheduler<S, B> {
         if latency > self.config.window_length {
             cpo_obs::counter_add("des.stretched_windows", 1);
         }
+        // Sample every registry gauge/counter into the time-series bus at
+        // this window index (the backend already emitted its fleet probe
+        // inside execute_window). No-op unless series collection is on.
+        cpo_obs::series::sample_registry(report.windows.len() as u64);
         report.windows.push(window_report);
     }
 }

@@ -20,6 +20,12 @@
 //! per-request lifecycle timelines into `<out-dir>/timelines.jsonl` and
 //! validates every one against the lifecycle state machine;
 //! `--timeline ID` prints one request's reconstructed history.
+//! `exper trace` replays a production trace the same way; `--telemetry`
+//! gives it the same flight/metrics dumps as `des` (metrics JSONL plus
+//! `flight.jsonl`/`timelines.jsonl` under `--out-dir`).
+//! `--dash FILE` (on `des` and `trace`) collects per-window fleet-health
+//! time series and writes a self-contained HTML dashboard, plus an ANSI
+//! sparkline summary on stdout.
 //! `exper timeline <dump.jsonl>` reconstructs timelines offline from a
 //! previously written flight dump (e.g. a panic dump).
 
@@ -46,8 +52,10 @@ struct Options {
     trace: Option<String>,
     /// Request uid whose reconstructed timeline `des`/`timeline` print.
     timeline: Option<u64>,
-    /// Directory for flight dumps and timeline files.
+    /// Directory for flight dumps, timeline files, and metrics JSONL.
     out_dir: String,
+    /// `des`/`trace`: write an HTML fleet-health dashboard here.
+    dash: Option<String>,
     /// `des`: allocator label (see [`Algorithm::label`]).
     algo: Algorithm,
     /// `des`: arrival rate λ.
@@ -81,6 +89,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         timeline: None,
         out_dir: "target/flight".into(),
+        dash: None,
         algo: Algorithm::RoundRobin,
         rate: 3.0,
         horizon: 40.0,
@@ -118,6 +127,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.timeline = Some(v.parse().map_err(|e| format!("--timeline: {e}"))?);
             }
             "--out-dir" => opts.out_dir = it.next().ok_or("--out-dir needs a path")?.clone(),
+            "--dash" => opts.dash = Some(it.next().ok_or("--dash needs a path")?.clone()),
             "--algo" => {
                 let v = it.next().ok_or("--algo needs a name")?;
                 opts.algo = Algorithm::extended()
@@ -183,11 +193,39 @@ fn finish_telemetry(opts: &Options, base: Option<&cpo_obs::Snapshot>) -> Result<
     } else {
         print!("{}", cpo_exper::report::render_telemetry(&snap));
     }
+    // Every telemetry run also leaves a machine-readable record: the
+    // run-scoped snapshot as metrics JSONL under --out-dir, the same
+    // dump shape for `des` and `trace` alike.
+    fs::create_dir_all(&opts.out_dir).map_err(|e| format!("creating {}: {e}", opts.out_dir))?;
+    let metrics_path = format!("{}/metrics.jsonl", opts.out_dir);
+    fs::write(&metrics_path, cpo_obs::metrics_json_lines(&snap))
+        .map_err(|e| format!("writing {metrics_path}: {e}"))?;
+    eprintln!("wrote metrics JSONL to {metrics_path}");
     if let Some(path) = &opts.trace {
         fs::write(path, cpo_obs::chrome_trace(&snap))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
     }
+    Ok(())
+}
+
+/// Writes the fleet-health dashboard and prints its terminal summary
+/// when `--dash` was given (`des`/`trace`; the series bus was enabled
+/// before the run).
+fn finish_dash(opts: &Options, what: &str) -> Result<(), String> {
+    let Some(path) = &opts.dash else {
+        return Ok(());
+    };
+    let bus = cpo_obs::series::snapshot();
+    let title = format!(
+        "exper {what} — {} servers, allocator {}, seed {}",
+        opts.servers,
+        opts.algo.label(),
+        opts.seed
+    );
+    cpo_obs::dash::write_html(&bus, path, &title).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  dashboard: {} series -> {path}", bus.series().len());
+    print!("{}", cpo_obs::dash::ansi_summary(&bus));
     Ok(())
 }
 
@@ -282,6 +320,7 @@ fn run_des(opts: &Options) -> Result<(), String> {
             println!("    {e}");
         }
     }
+    finish_dash(opts, "des")?;
     if let Some(uid) = opts.timeline {
         println!();
         print_timeline(&set, uid)?;
@@ -382,6 +421,30 @@ fn run_trace(opts: &Options) -> Result<(), String> {
     if opts.strict {
         println!("  strict monitors: clean (no invariant violation aborted the run)");
     }
+    // Parity with `des`: when the flight recorder is on (--strict or
+    // --telemetry), dump the ring and the reconstructed timelines under
+    // --out-dir so trace replays are post-mortem debuggable too.
+    if cpo_obs::flight::is_enabled() {
+        let snap = cpo_obs::flight::snapshot();
+        fs::create_dir_all(&opts.out_dir).map_err(|e| format!("creating {}: {e}", opts.out_dir))?;
+        let dump_path = format!("{}/flight.jsonl", opts.out_dir);
+        fs::write(&dump_path, cpo_obs::flight::dump_json_lines(&snap))
+            .map_err(|e| format!("writing {dump_path}: {e}"))?;
+        let set = cpo_obs::timeline::reconstruct(&snap.events);
+        let tl_path = format!("{}/timelines.jsonl", opts.out_dir);
+        fs::write(&tl_path, cpo_obs::timeline::timelines_json_lines(&set))
+            .map_err(|e| format!("writing {tl_path}: {e}"))?;
+        println!(
+            "  flight: {} events recorded ({} overwritten) -> {dump_path}",
+            snap.recorded, snap.overwritten
+        );
+        println!(
+            "  timelines: {} requests, {} orphan events -> {tl_path}",
+            set.timelines.len(),
+            set.orphans.len()
+        );
+    }
+    finish_dash(opts, "trace")?;
     Ok(())
 }
 
@@ -508,9 +571,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|trace|timeline <dump>|all> \
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
-             [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--algo NAME] [--rate R] \
-             [--horizon T] [--servers N] [--failures MTBF,MTTR] [--strict] \
-             [--dataset SPEC] [--amplify N] [--window W]"
+             [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--dash FILE] \
+             [--algo NAME] [--rate R] [--horizon T] [--servers N] [--failures MTBF,MTTR] \
+             [--strict] [--dataset SPEC] [--amplify N] [--window W]"
         );
         return ExitCode::FAILURE;
     };
@@ -552,11 +615,20 @@ fn main() -> ExitCode {
             cpo_obs::flight::set_strict(true);
         }
     }
-    // Trace replay keeps the recorder off by default (throughput); under
-    // --strict it arms the full fail-fast monitor set.
-    if command == "trace" && opts.strict {
+    // Trace replay keeps the recorder off by default (throughput);
+    // --telemetry turns it on for the post-run flight dump and --strict
+    // additionally arms the full fail-fast monitor set.
+    if command == "trace" && (opts.strict || opts.telemetry) {
         cpo_obs::flight::enable();
-        cpo_obs::flight::set_strict(true);
+        let _ = fs::create_dir_all(&opts.out_dir);
+        cpo_obs::flight::install_panic_hook(std::path::Path::new(&opts.out_dir));
+        if opts.strict {
+            cpo_obs::flight::set_strict(true);
+        }
+    }
+    // --dash collects per-window fleet-health series through the run.
+    if opts.dash.is_some() && (command == "des" || command == "trace") {
+        cpo_obs::series::enable();
     }
 
     let result: Result<(), String> = match command.as_str() {

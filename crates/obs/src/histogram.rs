@@ -215,6 +215,45 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_on_empty_histogram() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty histogram at q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_in_the_exact_range_pins_every_quantile() {
+        // Values below 16 land in width-1 buckets, so one sample fixes
+        // every quantile exactly — no midpoint approximation.
+        let mut h = Histogram::new();
+        h.record(7);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7, "single-sample histogram at q={q}");
+        }
+    }
+
+    #[test]
+    fn boundary_saturated_bucket_keeps_quantiles_in_band() {
+        // 99 samples exactly on an octave boundary (1024 opens a fresh
+        // octave at sub-bucket 0) plus one outlier an octave up: p50/p95/
+        // p99 all resolve inside the saturated bucket (within one
+        // sub-bucket of the boundary) and only q=1.0 reaches the outlier.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1024);
+        }
+        h.record(2048);
+        let s = h.summary();
+        for (q, got) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+            let err = (got as f64 - 1024.0).abs() / 1024.0;
+            assert!(err <= 1.0 / 16.0, "q={q}: {got} strays from 1024 ({err})");
+        }
+        assert!(h.quantile(1.0) >= 2048 - 2048 / 16);
+        assert_eq!((s.min, s.max), (1024, 2048));
+    }
+
+    #[test]
     fn single_value_quantiles_collapse() {
         let mut h = Histogram::new();
         h.record(1_000_000);

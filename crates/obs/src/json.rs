@@ -63,6 +63,22 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value's elements, if an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields in insertion order, if an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Appends `s` as a JSON string literal (quoted, escaped).

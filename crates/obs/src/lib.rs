@@ -8,7 +8,10 @@
 //! files: [`metrics_json_lines`] writes the same tagged JSON-lines shape
 //! as the platform `EventLog`, and [`chrome_trace`] writes the Chrome
 //! trace-event format for flame-style inspection in `chrome://tracing`
-//! or Perfetto.
+//! or Perfetto. On top of the point-in-time registry, [`series`] records
+//! constant-memory time series (per-window fleet-health probes,
+//! downsampling rings) and [`dash`] renders them as a self-contained
+//! HTML dashboard or an ANSI terminal summary.
 //!
 //! # Quickstart
 //!
@@ -37,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+pub mod dash;
 mod event;
 mod export;
 pub mod flight;
 mod histogram;
 pub mod json;
 mod registry;
+pub mod series;
 mod span;
 pub mod timeline;
 

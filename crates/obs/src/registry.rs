@@ -272,6 +272,34 @@ impl Snapshot {
     }
 }
 
+/// Copies out just the gauges — cheap enough for per-window sampling
+/// (unlike [`snapshot`], which clones the full buffered event stream).
+pub fn gauge_values() -> Vec<(String, f64)> {
+    match REGISTRY.get() {
+        None => Vec::new(),
+        Some(r) => {
+            let inner = r.inner.lock().unwrap();
+            inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect()
+        }
+    }
+}
+
+/// Copies out just the counter totals — cheap enough for per-window
+/// sampling (unlike [`snapshot`]).
+pub fn counter_values() -> Vec<(String, u64)> {
+    match REGISTRY.get() {
+        None => Vec::new(),
+        Some(r) => {
+            let inner = r.inner.lock().unwrap();
+            inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect()
+        }
+    }
+}
+
 /// Copies out the current registry contents.
 pub fn snapshot() -> Snapshot {
     match REGISTRY.get() {
@@ -340,6 +368,34 @@ mod tests {
         assert!((h.mean - 250.0).abs() < 1e-9, "{}", h.mean);
         assert_eq!(h.max, 500, "extremes copied from the later summary");
         assert_eq!(d.gauges.get("depth"), Some(&4.0));
+    }
+
+    /// Pins the semantic split at the heart of `delta`: counters are
+    /// rates (pairwise subtraction), gauges are levels (the later value
+    /// verbatim — never subtracted, never dropped, and an entry present
+    /// only in the earlier snapshot does not leak in).
+    #[test]
+    fn delta_counters_are_rates_but_gauges_are_levels() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("events".into(), 100);
+        earlier.gauges.insert("queue_depth".into(), 50.0);
+        earlier.gauges.insert("stale".into(), 9.0);
+        let mut later = Snapshot::default();
+        later.counters.insert("events".into(), 130);
+        later.gauges.insert("queue_depth".into(), 20.0);
+        later.gauges.insert("fresh".into(), 7.0);
+        let d = later.delta(&earlier);
+        // Counter: the change over the interval.
+        assert_eq!(d.counters.get("events"), Some(&30));
+        // Gauge: the instantaneous later value, NOT 20 − 50 = −30.
+        assert_eq!(d.gauges.get("queue_depth"), Some(&20.0));
+        // A gauge that fell is still reported at its level, and an
+        // unchanged-counter-style "drop zero deltas" rule never applies
+        // to gauges.
+        assert_eq!(d.gauges.get("fresh"), Some(&7.0));
+        // A gauge last set before `earlier` and never since is absent
+        // from the later snapshot, so it does not reappear in the delta.
+        assert!(!d.gauges.contains_key("stale"));
     }
 
     #[test]

@@ -1,0 +1,683 @@
+//! Streaming time-series telemetry: constant-memory series rings fed by
+//! per-window fleet-health probes and registry samples.
+//!
+//! The paper's evaluation is about *shapes over time* — acceptance rate,
+//! utilization and cost trajectories across windows — but counters and
+//! gauges only capture point-in-time totals. This module records named
+//! `(t, value)` series with a hard memory bound:
+//!
+//! * [`SeriesRing`] — a fixed-capacity (power-of-two) buffer that halves
+//!   its resolution whenever it fills: stored points merge pairwise and
+//!   the aggregation stride doubles, so a replay of *any* length fits in
+//!   at most `capacity` points while still covering the full time span;
+//! * [`FleetProbe`] — the per-window fleet-health sample both window
+//!   engines (`WindowExecutor`, `FleetExecutor`) emit at window close:
+//!   per-resource utilization, residual-capacity fragmentation,
+//!   acceptance rate, queue depth, solve latency, active VM/server
+//!   counts;
+//! * [`TelemetryBus`] — the named collection of rings a probe or a
+//!   registry sample fans out into, with a schema-versioned JSON
+//!   serialisation the dashboards embed.
+//!
+//! Series carry a [`SeriesKind`]: `Deterministic` series depend only on
+//! the simulation seed (safe to fingerprint and diff across runs), while
+//! `Timing` series carry wall-clock measurements (solve latency, ambient
+//! registry samples) that legitimately vary between machines. The
+//! deterministic subset serialises byte-identically across replays of
+//! the same seed — `bench_trace` asserts exactly that.
+//!
+//! Like the metrics registry and the flight recorder, the global bus is
+//! disabled by default: every entry point returns after one relaxed
+//! atomic load until [`enable`] is called.
+
+use crate::json::{write_escaped, write_f64};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Schema version of the embedded series JSON.
+pub const SERIES_SCHEMA_VERSION: u32 = 1;
+
+/// Default per-series point capacity (must be a power of two).
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// One stored point: the aggregate of `stride` raw samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Time of the *first* raw sample folded into this point. The unit
+    /// is the producer's: window index for probes, sim-time µs for
+    /// drivers that sample on a clock.
+    pub t: u64,
+    /// Mean of the folded raw values.
+    pub mean: f64,
+    /// Smallest folded raw value.
+    pub min: f64,
+    /// Largest folded raw value.
+    pub max: f64,
+}
+
+/// A fixed-capacity downsampling series ring.
+///
+/// Invariants (asserted by tests and by `bench_trace`):
+/// * at most `capacity` points are ever stored;
+/// * every stored point aggregates exactly `stride` raw samples (the
+///   in-progress group is kept aside until complete);
+/// * `stride` is a power of two that doubles on each overflow, so after
+///   `n` pushes the ring holds `ceil(n / stride) ≤ capacity` points and
+///   `stride` is the smallest power of two with `n / stride ≤ capacity`.
+#[derive(Clone, Debug)]
+pub struct SeriesRing {
+    capacity: usize,
+    stride: u64,
+    points: Vec<Point>,
+    /// In-progress aggregation group (fewer than `stride` samples so far).
+    acc: Option<Point>,
+    acc_n: u64,
+    total: u64,
+}
+
+impl SeriesRing {
+    /// An empty ring holding at most `capacity` points.
+    ///
+    /// # Panics
+    /// Panics unless `capacity` is a power of two ≥ 2.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 2,
+            "capacity must be a power of two >= 2, got {capacity}"
+        );
+        Self {
+            capacity,
+            stride: 1,
+            points: Vec::new(),
+            acc: None,
+            acc_n: 0,
+            total: 0,
+        }
+    }
+
+    /// Point capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Raw samples aggregated per stored point.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Raw samples pushed over the ring's lifetime.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Stored (complete) points, oldest first.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Stored points plus the in-progress partial group, oldest first —
+    /// what renderers should draw so the freshest sample is visible.
+    pub fn collect(&self) -> Vec<Point> {
+        let mut out = self.points.clone();
+        if let Some(acc) = self.acc {
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Records one raw sample. Amortised O(1); worst case O(capacity)
+    /// when an overflow compacts the ring.
+    pub fn push(&mut self, t: u64, value: f64) {
+        self.total += 1;
+        match &mut self.acc {
+            None => {
+                self.acc = Some(Point {
+                    t,
+                    mean: value,
+                    min: value,
+                    max: value,
+                });
+                self.acc_n = 1;
+            }
+            Some(acc) => {
+                // Running mean over the group keeps f64 error tiny for
+                // the small strides this layer sees.
+                self.acc_n += 1;
+                acc.mean += (value - acc.mean) / self.acc_n as f64;
+                acc.min = acc.min.min(value);
+                acc.max = acc.max.max(value);
+            }
+        }
+        if self.acc_n == self.stride {
+            if self.points.len() == self.capacity {
+                // Halving doubles the stride, which demotes the
+                // just-completed group back to in-progress — so every
+                // stored point always aggregates exactly `stride` raw
+                // samples and pairwise merges stay equal-weight.
+                self.halve();
+            } else {
+                let done = self.acc.take().expect("group in progress");
+                self.acc_n = 0;
+                self.points.push(done);
+            }
+        }
+    }
+
+    /// Pairwise-merges the stored points and doubles the stride. All
+    /// stored points aggregate the same number of raw samples, so the
+    /// merged mean is the plain average of the pair.
+    fn halve(&mut self) {
+        let merged: Vec<Point> = self
+            .points
+            .chunks_exact(2)
+            .map(|p| Point {
+                t: p[0].t,
+                mean: (p[0].mean + p[1].mean) / 2.0,
+                min: p[0].min.min(p[1].min),
+                max: p[0].max.max(p[1].max),
+            })
+            .collect();
+        self.points = merged;
+        self.stride *= 2;
+    }
+
+    /// Last raw value folded in (the freshest sample), if any.
+    pub fn last_value(&self) -> Option<f64> {
+        // The in-progress group saw the freshest sample; its mean is the
+        // best constant-memory stand-in. Fall back to the last complete
+        // point.
+        self.acc
+            .map(|a| a.mean)
+            .or_else(|| self.points.last().map(|p| p.mean))
+    }
+}
+
+/// Whether a series is safe to fingerprint across runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Depends only on the simulation seed: byte-identical across
+    /// replays of the same configuration.
+    Deterministic,
+    /// Carries wall-clock measurements (solve latency, ambient registry
+    /// samples); varies between machines and runs.
+    Timing,
+}
+
+impl SeriesKind {
+    fn tag(self) -> &'static str {
+        match self {
+            SeriesKind::Deterministic => "det",
+            SeriesKind::Timing => "timing",
+        }
+    }
+}
+
+/// One named series: a ring plus its determinism class.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// The ring of points.
+    pub ring: SeriesRing,
+    /// Determinism class.
+    pub kind: SeriesKind,
+}
+
+/// The per-window fleet-health sample both window engines emit on every
+/// window close. All fields except `solve_latency_us` are functions of
+/// the simulation state alone, so their series are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct FleetProbe {
+    /// Window index (the probe's time axis).
+    pub window: u64,
+    /// Attribute labels, parallel to `utilization` (e.g. `cpu`, `ram`).
+    pub attrs: Vec<String>,
+    /// Per-resource fleet utilization in `[0, 1]`: Σ used / Σ effective
+    /// capacity over online servers.
+    pub utilization: Vec<f64>,
+    /// Residual-capacity fragmentation index in `[0, 1]`, averaged over
+    /// attributes: `1 − max_j residual_j / Σ_j residual_j`. 0 means all
+    /// free capacity sits on one server (a whole-server request could
+    /// still be placed); values near 1 mean the headroom is shredded
+    /// into slivers no large request fits.
+    pub fragmentation: f64,
+    /// Requests admitted this window / requests decided this window
+    /// (1.0 for an idle window, so the series stays plottable).
+    pub acceptance_rate: f64,
+    /// Requests decided this window (the admission queue depth at the
+    /// window boundary).
+    pub queue_depth: u64,
+    /// Resident VMs at window close.
+    pub active_vms: u64,
+    /// Active (non-empty) servers at window close.
+    pub active_servers: u64,
+    /// Wall-clock solve latency of the window, µs (a timing series).
+    pub solve_latency_us: u64,
+}
+
+impl FleetProbe {
+    /// The fragmentation index over per-server residual rows (servers ×
+    /// attrs), averaged across attributes. Offline servers must already
+    /// be excluded (their residual is definitionally zero).
+    pub fn fragmentation_of(residuals: &[&[f64]], attr_count: usize) -> f64 {
+        if attr_count == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for l in 0..attr_count {
+            let mut total = 0.0f64;
+            let mut largest = 0.0f64;
+            for row in residuals {
+                let r = row[l].max(0.0);
+                total += r;
+                largest = largest.max(r);
+            }
+            if total > 0.0 {
+                sum += 1.0 - largest / total;
+            }
+        }
+        sum / attr_count as f64
+    }
+}
+
+/// A named collection of series rings with one shared point capacity.
+#[derive(Clone, Debug)]
+pub struct TelemetryBus {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+}
+
+impl Default for TelemetryBus {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TelemetryBus {
+    /// An empty bus whose rings hold at most `capacity` points each.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 2,
+            "capacity must be a power of two >= 2, got {capacity}"
+        );
+        Self {
+            capacity,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Per-ring point capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The recorded series, name-ordered.
+    pub fn series(&self) -> &BTreeMap<String, Series> {
+        &self.series
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    fn ring_mut(&mut self, name: &str, kind: SeriesKind) -> &mut SeriesRing {
+        &mut self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series {
+                ring: SeriesRing::new(self.capacity),
+                kind,
+            })
+            .ring
+    }
+
+    /// Records one deterministic sample.
+    pub fn record(&mut self, name: &str, t: u64, value: f64) {
+        self.ring_mut(name, SeriesKind::Deterministic)
+            .push(t, value);
+    }
+
+    /// Records one wall-clock-dependent sample.
+    pub fn record_timing(&mut self, name: &str, t: u64, value: f64) {
+        self.ring_mut(name, SeriesKind::Timing).push(t, value);
+    }
+
+    /// Fans one fleet probe out into the `fleet.*` series family.
+    pub fn observe_probe(&mut self, probe: &FleetProbe) {
+        let w = probe.window;
+        for (label, &u) in probe.attrs.iter().zip(&probe.utilization) {
+            self.record(&format!("fleet.util.{label}"), w, u);
+        }
+        self.record("fleet.fragmentation", w, probe.fragmentation);
+        self.record("fleet.acceptance_rate", w, probe.acceptance_rate);
+        self.record("fleet.queue_depth", w, probe.queue_depth as f64);
+        self.record("fleet.active_vms", w, probe.active_vms as f64);
+        self.record("fleet.active_servers", w, probe.active_servers as f64);
+        self.record_timing(
+            "fleet.solve_latency_ms",
+            w,
+            probe.solve_latency_us as f64 / 1e3,
+        );
+    }
+
+    /// Samples every registry gauge and counter into `gauge.*` /
+    /// `counter.*` series at time `t`. Registry values mix simulation
+    /// state with wall-clock measurements, so these series are all
+    /// classed as timing. No-op while the registry is disabled.
+    pub fn sample_registry(&mut self, t: u64) {
+        if !crate::registry::is_enabled() {
+            return;
+        }
+        for (name, value) in crate::registry::gauge_values() {
+            self.record_timing(&format!("gauge.{name}"), t, value);
+        }
+        for (name, value) in crate::registry::counter_values() {
+            self.record_timing(&format!("counter.{name}"), t, value as f64);
+        }
+    }
+
+    /// Serialises the bus as schema-versioned JSON. With
+    /// `include_timing == false` only the deterministic series are
+    /// written — that subset is byte-identical across replays of the
+    /// same seed, which `bench_trace` asserts on every invocation.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"cpo-series\",\"schema_version\":");
+        out.push_str(&SERIES_SCHEMA_VERSION.to_string());
+        out.push_str(",\"series\":[");
+        let mut first = true;
+        for (name, s) in &self.series {
+            if s.kind == SeriesKind::Timing && !include_timing {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            write_escaped(name, &mut out);
+            out.push_str(",\"kind\":\"");
+            out.push_str(s.kind.tag());
+            out.push_str("\",\"stride\":");
+            out.push_str(&s.ring.stride().to_string());
+            out.push_str(",\"total\":");
+            out.push_str(&s.ring.total().to_string());
+            out.push_str(",\"points\":[");
+            for (i, p) in s.ring.collect().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&p.t.to_string());
+                out.push(',');
+                write_f64(p.mean, &mut out);
+                out.push(',');
+                write_f64(p.min, &mut out);
+                out.push(',');
+                write_f64(p.max, &mut out);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// --- the global bus ---------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static BUS: OnceLock<Mutex<TelemetryBus>> = OnceLock::new();
+
+fn bus() -> &'static Mutex<TelemetryBus> {
+    BUS.get_or_init(|| Mutex::new(TelemetryBus::default()))
+}
+
+/// Turns series collection on with the default per-ring capacity.
+pub fn enable() {
+    bus();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns series collection on and (re)sets the per-ring point capacity.
+/// Existing series are cleared — capacity is a construction-time
+/// property of the rings.
+pub fn enable_with_capacity(capacity: usize) {
+    *bus().lock().unwrap() = TelemetryBus::new(capacity);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns series collection off. Recorded series are kept until
+/// [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether series collection is recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears every recorded series (capacity is kept).
+pub fn reset() {
+    if let Some(b) = BUS.get() {
+        let mut b = b.lock().unwrap();
+        let capacity = b.capacity();
+        *b = TelemetryBus::new(capacity);
+    }
+}
+
+/// Records one deterministic sample on the global bus. No-op when
+/// disabled.
+pub fn record(name: &str, t: u64, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    bus().lock().unwrap().record(name, t, value);
+}
+
+/// Records one wall-clock-dependent sample on the global bus. No-op when
+/// disabled.
+pub fn record_timing(name: &str, t: u64, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    bus().lock().unwrap().record_timing(name, t, value);
+}
+
+/// Fans one fleet probe into the global bus. No-op when disabled.
+pub fn probe(p: &FleetProbe) {
+    if !is_enabled() {
+        return;
+    }
+    bus().lock().unwrap().observe_probe(p);
+}
+
+/// Samples the metrics registry into the global bus at time `t`. No-op
+/// when the bus (or the registry) is disabled.
+pub fn sample_registry(t: u64) {
+    if !is_enabled() {
+        return;
+    }
+    bus().lock().unwrap().sample_registry(t);
+}
+
+/// A point-in-time copy of the global bus.
+pub fn snapshot() -> TelemetryBus {
+    match BUS.get() {
+        None => TelemetryBus::default(),
+        Some(b) => b.lock().unwrap().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_stores_raw_points_until_full() {
+        let mut r = SeriesRing::new(8);
+        for i in 0..8u64 {
+            r.push(i, i as f64);
+        }
+        assert_eq!(r.points().len(), 8);
+        assert_eq!(r.stride(), 1);
+        assert_eq!(
+            r.points()[3],
+            Point {
+                t: 3,
+                mean: 3.0,
+                min: 3.0,
+                max: 3.0
+            }
+        );
+    }
+
+    #[test]
+    fn overflow_halves_resolution_and_doubles_stride() {
+        let mut r = SeriesRing::new(4);
+        for i in 0..5u64 {
+            r.push(i, i as f64);
+        }
+        // The 5th complete group forced one compaction: 4 points → 2,
+        // stride 1 → 2, then the new point joined as a group of 2... but
+        // sample 4 alone is still a partial group under stride 2.
+        assert_eq!(r.stride(), 2);
+        assert_eq!(r.points().len(), 2);
+        assert_eq!(
+            r.points()[0],
+            Point {
+                t: 0,
+                mean: 0.5,
+                min: 0.0,
+                max: 1.0
+            }
+        );
+        assert_eq!(
+            r.points()[1],
+            Point {
+                t: 2,
+                mean: 2.5,
+                min: 2.0,
+                max: 3.0
+            }
+        );
+        // The partial group is visible in collect().
+        let all = r.collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(
+            all[2],
+            Point {
+                t: 4,
+                mean: 4.0,
+                min: 4.0,
+                max: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_bound_holds_for_any_length() {
+        let mut r = SeriesRing::new(16);
+        for i in 0..100_000u64 {
+            r.push(i, (i % 7) as f64);
+            assert!(r.points().len() <= 16, "at sample {i}");
+        }
+        assert_eq!(r.total(), 100_000);
+        assert!(r.stride().is_power_of_two());
+        // Stride is the smallest power of two fitting the ring.
+        assert!(r.total() / r.stride() <= 16);
+        assert!(r.total() / (r.stride() / 2) > 16);
+        // The mean of means is the global mean (equal-weight groups).
+        let exact: f64 = (0..100_000u64).map(|i| (i % 7) as f64).sum::<f64>() / 1e5;
+        let stored: f64 = r.points().iter().map(|p| p.mean).sum::<f64>() / r.points().len() as f64;
+        assert!((stored - exact).abs() < 1e-2, "{stored} vs {exact}");
+    }
+
+    #[test]
+    fn compaction_keeps_time_span_and_extremes() {
+        let mut r = SeriesRing::new(4);
+        for i in 0..64u64 {
+            r.push(i * 10, if i == 37 { 1000.0 } else { 1.0 });
+        }
+        let pts = r.collect();
+        assert_eq!(pts[0].t, 0, "oldest sample's time survives");
+        assert_eq!(r.stride(), 16);
+        // The spike is preserved in some point's max.
+        assert!(pts.iter().any(|p| p.max == 1000.0));
+        assert!(pts.iter().all(|p| p.min >= 1.0));
+    }
+
+    #[test]
+    fn probe_fans_out_to_fleet_series() {
+        let mut bus = TelemetryBus::new(16);
+        bus.observe_probe(&FleetProbe {
+            window: 3,
+            attrs: vec!["cpu".into(), "ram".into()],
+            utilization: vec![0.5, 0.25],
+            fragmentation: 0.1,
+            acceptance_rate: 0.9,
+            queue_depth: 7,
+            active_vms: 42,
+            active_servers: 5,
+            solve_latency_us: 1500,
+        });
+        let names: Vec<&str> = bus.series().keys().map(String::as_str).collect();
+        assert_eq!(
+            names,
+            [
+                "fleet.acceptance_rate",
+                "fleet.active_servers",
+                "fleet.active_vms",
+                "fleet.fragmentation",
+                "fleet.queue_depth",
+                "fleet.solve_latency_ms",
+                "fleet.util.cpu",
+                "fleet.util.ram",
+            ]
+        );
+        assert_eq!(
+            bus.series()["fleet.solve_latency_ms"].kind,
+            SeriesKind::Timing
+        );
+        assert_eq!(
+            bus.series()["fleet.acceptance_rate"].kind,
+            SeriesKind::Deterministic
+        );
+        assert_eq!(bus.series()["fleet.util.cpu"].ring.points()[0].mean, 0.5);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing_series() {
+        let mut bus = TelemetryBus::new(4);
+        bus.record("a", 0, 1.0);
+        bus.record_timing("b", 0, 2.0);
+        let det = bus.to_json(false);
+        let full = bus.to_json(true);
+        assert!(det.contains("\"a\"") && !det.contains("\"b\""));
+        assert!(full.contains("\"a\"") && full.contains("\"b\""));
+        assert!(det.contains("\"schema\":\"cpo-series\""));
+        // Valid JSON round trip through the crate's own parser.
+        let v = crate::json::parse(&full).expect("valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(|x| x.as_u64()),
+            Some(u64::from(SERIES_SCHEMA_VERSION))
+        );
+    }
+
+    #[test]
+    fn fragmentation_index_behaves() {
+        // All free capacity on one server → 0 (no fragmentation).
+        let a: &[f64] = &[8.0];
+        let b: &[f64] = &[0.0];
+        assert_eq!(FleetProbe::fragmentation_of(&[a, b], 1), 0.0);
+        // Evenly shredded across 4 servers → 1 − 1/4.
+        let rows: Vec<&[f64]> = vec![&[2.0], &[2.0], &[2.0], &[2.0]];
+        let f = FleetProbe::fragmentation_of(&rows, 1);
+        assert!((f - 0.75).abs() < 1e-12, "{f}");
+        // No free capacity at all → 0 by convention.
+        let z: Vec<&[f64]> = vec![&[0.0], &[0.0]];
+        assert_eq!(FleetProbe::fragmentation_of(&z, 1), 0.0);
+    }
+}

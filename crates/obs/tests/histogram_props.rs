@@ -1,0 +1,60 @@
+//! Property tests for the log-linear histogram: quantiles are monotone
+//! non-decreasing in q, and every quantile lands inside the observed
+//! value range — regardless of where samples fall relative to bucket
+//! boundaries.
+
+use cpo_obs::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in vec(0u64..u64::MAX, 1..200),
+        mut qs in vec(0.0f64..=1.0, 2..12),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        qs.sort_by(f64::total_cmp);
+        let quantiles: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(
+                w[0] <= w[1],
+                "quantiles must be monotone in q: {quantiles:?} at {qs:?}"
+            );
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        for (&q, &v) in qs.iter().zip(&quantiles) {
+            prop_assert!(
+                (lo..=hi).contains(&v),
+                "quantile(q={q}) = {v} outside observed range [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_approximates_the_exact_order_statistic(
+        values in vec(0u64..1_000_000, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        // Nearest-rank over buckets must stay within one sub-bucket
+        // (<= 1/16 relative error) of the true order statistic.
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(q);
+        let band = exact / 16 + 1;
+        prop_assert!(
+            got >= exact.saturating_sub(band) && got <= exact + band,
+            "quantile(q={q}) = {got} vs exact {exact} (band {band})"
+        );
+    }
+}

@@ -660,6 +660,19 @@ impl WindowExecutor {
             window,
             self.tenants.len() as u64,
         );
+        crate::probe::emit(
+            &self.infra,
+            (0..self.offline_until.len()).filter(|&j| self.offline_until[j] <= window),
+            |j| tracker.used_row(ServerId(j)),
+            crate::probe::ProbeStats {
+                window,
+                arrivals: report.arrivals,
+                admitted,
+                active_vms: report.running_vms,
+                active_servers: report.active_servers,
+                solve_latency_us: solve_time.as_micros() as u64,
+            },
+        );
         sp.field("admitted", admitted)
             .field("rejected", rejected)
             .field("migrations", migrations);

@@ -267,6 +267,19 @@ impl FleetExecutor {
             window,
             self.heads.len() as u64,
         );
+        crate::probe::emit(
+            &self.infra,
+            (0..self.offline.len()).filter(|&j| !self.offline[j]),
+            |j| self.loads.used(j as u32),
+            crate::probe::ProbeStats {
+                window,
+                arrivals: report.arrivals,
+                admitted,
+                active_vms: report.running_vms,
+                active_servers: report.active_servers,
+                solve_latency_us: solve_time.as_micros() as u64,
+            },
+        );
         sp.field("admitted", admitted).field("rejected", rejected);
         cpo_obs::record_value("fleet.solve_ns", solve_time.as_nanos() as u64);
         cpo_obs::gauge_set("fleet.running_vms", self.vms.live() as f64);

@@ -44,6 +44,7 @@ pub mod events;
 pub mod executor;
 pub mod fleet;
 pub mod network;
+pub mod probe;
 pub mod sim;
 pub mod sla;
 pub mod tenant;

@@ -1,0 +1,181 @@
+//! Per-window fleet-health probe emission, shared by both window engines.
+//!
+//! [`WindowExecutor`](crate::executor::WindowExecutor) and
+//! [`FleetExecutor`](crate::fleet::FleetExecutor) keep their load state in
+//! different shapes (a dense [`cpo_model::load::LoadTracker`] vs the
+//! packed [`cpo_model::fleet::ServerLoadTable`]), but both can answer the
+//! same two questions per online server: "what is used?" and "what is the
+//! effective capacity?". [`emit`] folds those rows into one
+//! [`FleetProbe`] — per-resource utilization, residual-capacity
+//! fragmentation, acceptance rate, queue depth, solve latency, active
+//! VM/server counts — and hands it to the global series bus.
+//!
+//! The whole pass is O(m·h) per window and is skipped entirely (one
+//! relaxed atomic load) while series collection is disabled.
+
+use cpo_model::prelude::*;
+use cpo_obs::series::FleetProbe;
+
+/// Inputs for one probe that do not depend on the engine's load layout.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeStats {
+    /// Window index (the probe's time axis).
+    pub window: u64,
+    /// Requests decided this window.
+    pub arrivals: usize,
+    /// Requests admitted this window.
+    pub admitted: usize,
+    /// Resident VMs at window close.
+    pub active_vms: usize,
+    /// Active (non-empty) servers at window close.
+    pub active_servers: usize,
+    /// Wall-clock solve latency of the window, in microseconds.
+    pub solve_latency_us: u64,
+}
+
+/// Builds this window's [`FleetProbe`] and submits it to the global
+/// series bus. `online` yields the indices of servers that are not
+/// offline; `used_row` maps such an index to the server's used-capacity
+/// row (length `h`, same attribute order as `infra`). No-op while series
+/// collection is disabled.
+pub fn emit<'a>(
+    infra: &Infrastructure,
+    online: impl Iterator<Item = usize>,
+    used_row: impl Fn(usize) -> &'a [f64],
+    stats: ProbeStats,
+) {
+    if !cpo_obs::series::is_enabled() {
+        return;
+    }
+    cpo_obs::series::probe(&build(infra, online, used_row, stats));
+}
+
+/// The probe-construction core, separated from [`emit`] so tests can
+/// inspect the computed fields without the global bus.
+pub fn build<'a>(
+    infra: &Infrastructure,
+    online: impl Iterator<Item = usize>,
+    used_row: impl Fn(usize) -> &'a [f64],
+    stats: ProbeStats,
+) -> FleetProbe {
+    let h = infra.attr_count();
+    let mut used_tot = vec![0.0f64; h];
+    let mut cap_tot = vec![0.0f64; h];
+    let mut residuals: Vec<Vec<f64>> = Vec::new();
+    for j in online {
+        let used = used_row(j);
+        let cap = infra.effective_row(ServerId(j));
+        let mut resid = vec![0.0; h];
+        for l in 0..h {
+            used_tot[l] += used[l];
+            cap_tot[l] += cap[l];
+            resid[l] = (cap[l] - used[l]).max(0.0);
+        }
+        residuals.push(resid);
+    }
+    let resid_refs: Vec<&[f64]> = residuals.iter().map(Vec::as_slice).collect();
+    let attrs = infra.attrs();
+    FleetProbe {
+        window: stats.window,
+        attrs: attrs.ids().map(|id| attrs.kind(id).label()).collect(),
+        utilization: (0..h)
+            .map(|l| {
+                if cap_tot[l] > 0.0 {
+                    used_tot[l] / cap_tot[l]
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+        fragmentation: FleetProbe::fragmentation_of(&resid_refs, h),
+        acceptance_rate: if stats.arrivals > 0 {
+            stats.admitted as f64 / stats.arrivals as f64
+        } else {
+            1.0
+        },
+        queue_depth: stats.arrivals as u64,
+        active_vms: stats.active_vms as u64,
+        active_servers: stats.active_servers as u64,
+        solve_latency_us: stats.solve_latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::attr::AttrSet;
+
+    fn infra(servers: usize) -> Infrastructure {
+        Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+        )
+    }
+
+    #[test]
+    fn probe_computes_utilization_per_attr() {
+        let infra = infra(2);
+        let cap: Vec<f64> = infra.effective_row(ServerId(0)).to_vec();
+        // Server 0 half-used on every attr, server 1 idle.
+        let half: Vec<f64> = cap.iter().map(|c| c / 2.0).collect();
+        let idle = vec![0.0; cap.len()];
+        let rows = [half, idle];
+        let p = build(
+            &infra,
+            0..2,
+            |j| rows[j].as_slice(),
+            ProbeStats {
+                window: 5,
+                arrivals: 4,
+                admitted: 3,
+                active_vms: 9,
+                active_servers: 1,
+                solve_latency_us: 123,
+            },
+        );
+        assert_eq!(p.window, 5);
+        assert_eq!(p.attrs, vec!["cpu", "ram", "disk"]);
+        for &u in &p.utilization {
+            assert!((u - 0.25).abs() < 1e-12, "fleet is quarter-used: {u}");
+        }
+        assert!((p.acceptance_rate - 0.75).abs() < 1e-12);
+        assert_eq!(p.queue_depth, 4);
+        assert_eq!(p.active_vms, 9);
+        assert_eq!(p.active_servers, 1);
+        // Headroom is split: server 0 has half rows, server 1 full rows →
+        // largest share is 2/3, fragmentation 1/3.
+        assert!(
+            (p.fragmentation - 1.0 / 3.0).abs() < 1e-12,
+            "{}",
+            p.fragmentation
+        );
+    }
+
+    #[test]
+    fn offline_servers_are_excluded_from_both_sides() {
+        let infra = infra(2);
+        let cap: Vec<f64> = infra.effective_row(ServerId(0)).to_vec();
+        let full = cap.clone();
+        let p = build(
+            &infra,
+            // Only server 0 online, fully used.
+            std::iter::once(0),
+            |_| full.as_slice(),
+            ProbeStats {
+                window: 0,
+                arrivals: 0,
+                admitted: 0,
+                active_vms: 1,
+                active_servers: 1,
+                solve_latency_us: 0,
+            },
+        );
+        for &u in &p.utilization {
+            assert!((u - 1.0).abs() < 1e-12);
+        }
+        // Idle window: acceptance rate pegged at 1.0 to stay plottable.
+        assert_eq!(p.acceptance_rate, 1.0);
+        // No residual anywhere → fragmentation 0 by convention.
+        assert_eq!(p.fragmentation, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end acceptance of the time-series telemetry layer: a
+//! continuous-time run over each window backend (`WindowExecutor` and
+//! `FleetExecutor`) must feed the global series bus one fleet-health
+//! probe per closed window, stay inside the ring's constant-memory
+//! bound, produce byte-identical deterministic series JSON across
+//! same-seed replays, and render to a self-contained HTML dashboard
+//! whose embedded payload parses back.
+//!
+//! The series bus is process-global, so the whole scenario runs inside
+//! one test function.
+
+use cpo_iaas::core::prelude::RoundRobinAllocator;
+use cpo_iaas::des::prelude::*;
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::obs::{dash, series};
+use cpo_iaas::platform::prelude::{FleetExecutor, SimConfig};
+use cpo_iaas::prelude::*;
+
+fn infra(servers: usize) -> Infrastructure {
+    Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+    )
+}
+
+fn arrivals(seed: u64) -> PoissonArrivals {
+    PoissonArrivals::new(
+        ArrivalSpec {
+            rate: 4.0,
+            lifetime: (2.0, 6.0),
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+fn des_config(seed: u64) -> DesConfig {
+    DesConfig {
+        window_length: 1.0,
+        latency: LatencyModel::Fixed(0.02),
+        failures: None,
+        seed,
+    }
+}
+
+/// Runs the default (`WindowExecutor`) backend and returns the
+/// deterministic series JSON plus the number of windows closed.
+fn run_window_backend(seed: u64) -> (String, usize) {
+    series::reset();
+    let mut sched = WindowedScheduler::new(
+        infra(8),
+        SimConfig::default(),
+        des_config(seed),
+        arrivals(seed),
+    );
+    let report = sched.run(&RoundRobinAllocator, 30.0);
+    (series::snapshot().to_json(false), report.windows.len())
+}
+
+/// Same run shape over the memory-lean `FleetExecutor`.
+fn run_fleet_backend(seed: u64) -> (String, usize) {
+    series::reset();
+    let mut sched = WindowedScheduler::with_backend(
+        FleetExecutor::new(infra(8)),
+        des_config(seed),
+        arrivals(seed),
+    );
+    let report = sched.run(&RoundRobinAllocator, 30.0);
+    (series::snapshot().to_json(false), report.windows.len())
+}
+
+#[test]
+fn both_backends_probe_every_window_and_replay_byte_identically() {
+    // Small capacity so the 30-window run actually exercises the
+    // halve-on-overflow path while staying inside the bound.
+    series::enable_with_capacity(16);
+
+    for (label, run) in [
+        ("window", run_window_backend as fn(u64) -> (String, usize)),
+        ("fleet", run_fleet_backend),
+    ] {
+        let (json_a, windows) = run(7);
+        assert!(windows > 0, "{label}: run must close windows");
+
+        // Coverage: at least the six per-window fleet-health series,
+        // each sampled exactly once per closed window, every ring
+        // inside its constant-memory capacity bound.
+        series::reset();
+        let _ = run(7);
+        let bus = series::snapshot();
+        let fleet: Vec<&str> = bus
+            .series()
+            .keys()
+            .map(String::as_str)
+            .filter(|n| n.starts_with("fleet."))
+            .collect();
+        assert!(
+            fleet.len() >= 6,
+            "{label}: expected >= 6 fleet-health series, got {fleet:?}"
+        );
+        for need in [
+            "fleet.fragmentation",
+            "fleet.acceptance_rate",
+            "fleet.queue_depth",
+            "fleet.active_vms",
+            "fleet.active_servers",
+            "fleet.solve_latency_ms",
+        ] {
+            assert!(bus.series().contains_key(need), "{label}: missing {need}");
+        }
+        for (name, s) in bus.series() {
+            assert!(
+                s.ring.points().len() <= bus.capacity(),
+                "{label}/{name}: {} points exceed capacity {}",
+                s.ring.points().len(),
+                bus.capacity()
+            );
+            assert_eq!(
+                s.ring.total(),
+                windows as u64,
+                "{label}/{name}: must be sampled once per window"
+            );
+        }
+
+        // Determinism: same seed, byte-identical deterministic JSON.
+        let (json_b, windows_b) = run(7);
+        assert_eq!(windows, windows_b, "{label}: window count must replay");
+        assert_eq!(
+            json_a, json_b,
+            "{label}: deterministic series JSON must be byte-identical"
+        );
+
+        // A different seed must actually change the sampled data.
+        let (json_c, _) = run(8);
+        assert_ne!(json_a, json_c, "{label}: seed must matter");
+    }
+
+    // Dashboard round trip: the HTML is self-contained and the embedded
+    // machine-readable payload parses back to the same series set.
+    let bus = series::snapshot();
+    let dir = std::env::temp_dir().join("cpo_series_dashboard_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dash.html");
+    dash::write_html(&bus, &path, "integration test").unwrap();
+    let html = std::fs::read_to_string(&path).unwrap();
+    assert!(html.contains("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"), "sparklines must be inline SVG");
+    let payload = html
+        .split("<script type=\"application/json\" id=\"cpo-series-data\">")
+        .nth(1)
+        .and_then(|rest| rest.split("</script>").next())
+        .expect("embedded series payload present");
+    let value = cpo_iaas::obs::json::parse(&payload.replace("<\\/", "</")).unwrap();
+    let names: Vec<&str> = value
+        .get("series")
+        .and_then(|s| s.as_array())
+        .expect("series array")
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for name in bus.series().keys() {
+        assert!(
+            names.contains(&name.as_str()),
+            "dashboard payload dropped series {name}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    series::disable();
+    series::reset();
+}
