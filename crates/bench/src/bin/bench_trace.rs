@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p cpo-bench --bin bench_trace -- \
 //!     [--arrivals 1000000] [--servers 10000] [--window 60] \
-//!     [--seed 42] [--out target/bench/BENCH_trace.json] \
+//!     [--seed 42] [--shards 4] [--out target/bench/BENCH_trace.json] \
 //!     [--dash target/bench/DASH_trace.html]
 //! ```
 //!
@@ -22,13 +22,29 @@
 //! stdout. Reported cells: ingest throughput (events/s), end-to-end
 //! replay throughput, peak RSS (null where procfs is unavailable),
 //! admitted/rejected totals, and p50/p95/p99 per-window solve latency.
+//!
+//! A sharded section then replays the same trace through
+//! `ShardedScheduler<FleetExecutor>` at a ladder of shard counts up to
+//! `--shards`, printing a throughput-vs-shards scaling table. The
+//! headline sharded metric is the *modeled* admission throughput under
+//! the DES clock — arrivals divided by the summed per-window critical
+//! path (slowest shard's solve plus the sequential commit phase) — so
+//! the scaling is honest on any host, including single-CPU CI runners
+//! where the shard solves execute serially but are timed individually.
+//! Wall-clock throughput is reported alongside as an untracked cell.
+//! The `shards = 1` rung must fingerprint-match the native replay
+//! (bit-identity of the optimistic-commit protocol at one shard), and
+//! the top rung is run twice to prove the conflict counters and window
+//! outcomes deterministic.
 
 use cpo_bench::report::{Cell, Report};
 use cpo_core::prelude::RoundRobinAllocator;
 use cpo_des::prelude::*;
 use cpo_model::attr::AttrSet;
 use cpo_model::prelude::*;
-use cpo_platform::prelude::{FleetExecutor, WindowReport};
+use cpo_platform::prelude::{
+    FleetExecutor, ShardConfig, ShardedScheduler, StoreMetrics, WindowReport,
+};
 use cpo_scenario::prelude::ArrivalSpec;
 use cpo_traces::prelude::*;
 use std::io::Cursor;
@@ -42,6 +58,7 @@ struct Args {
     servers: usize,
     window: f64,
     seed: u64,
+    shards: usize,
     out: String,
     dash: String,
 }
@@ -52,6 +69,7 @@ fn parse_args() -> Args {
         servers: 10_000,
         window: 60.0,
         seed: 42,
+        shards: 4,
         out: "target/bench/BENCH_trace.json".into(),
         dash: "target/bench/DASH_trace.html".into(),
     };
@@ -66,6 +84,10 @@ fn parse_args() -> Args {
             "--servers" => args.servers = value().parse().expect("--servers"),
             "--window" => args.window = value().parse().expect("--window"),
             "--seed" => args.seed = value().parse().expect("--seed"),
+            "--shards" => {
+                args.shards = value().parse().expect("--shards");
+                assert!(args.shards >= 1, "--shards must be >= 1");
+            }
             "--out" => args.out = value(),
             "--dash" => args.dash = value(),
             other => panic!("unknown flag {other}"),
@@ -132,6 +154,48 @@ fn replay(args: &Args, factor: usize) -> (DesReport, usize, f64) {
     }
     let emitted = sched.source().emitted() as usize;
     (report, emitted, horizon)
+}
+
+/// One sharded replay: outcomes, emitted arrivals, store counters, and
+/// end-to-end wall time.
+fn replay_sharded(
+    args: &Args,
+    factor: usize,
+    shards: usize,
+) -> (DesReport, usize, StoreMetrics, u128) {
+    let amp = amplifier(factor, args.seed);
+    let horizon = amp.horizon() + 2.0 * args.window;
+    let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), args.seed);
+    let config = DesConfig {
+        window_length: args.window,
+        latency: LatencyModel::Fixed(0.0),
+        failures: None,
+        seed: args.seed,
+    };
+    let backend = ShardedScheduler::new(
+        FleetExecutor::new(fleet(args.servers)),
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let mut sched = WindowedScheduler::with_backend(backend, config, source);
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    let wall_ns = start.elapsed().as_nanos();
+    if let Some(err) = sched.source().error() {
+        panic!("trace stream failed: {err}");
+    }
+    let metrics = sched.backend().backend().store().metrics();
+    let emitted = sched.source().emitted() as usize;
+    (report, emitted, metrics, wall_ns)
+}
+
+/// Summed per-window service time — for a sharded window the critical
+/// path (max-over-shards solve + sequential commits); the denominator
+/// of the modeled admission throughput.
+fn modeled_ns(windows: &[WindowReport]) -> u128 {
+    windows.iter().map(|w| w.solve_time.as_nanos()).sum()
 }
 
 fn percentile_ms(sorted_ns: &[u128], p: f64) -> f64 {
@@ -265,6 +329,101 @@ fn main() {
     println!("wrote {}", args.dash);
     print!("{}", cpo_obs::dash::ansi_summary(&bus));
 
+    // --- sharded replays: scaling ladder, equivalence, determinism --
+    // Ladder: powers of two up to --shards, plus --shards itself.
+    let mut ladder = vec![1usize];
+    let mut next = 2usize;
+    while next < args.shards {
+        ladder.push(next);
+        next *= 2;
+    }
+    if args.shards > 1 {
+        ladder.push(args.shards);
+    }
+    let native_modeled = modeled_ns(&report.windows);
+    println!("sharded replay ladder (modeled = arrivals / summed window critical path):");
+    println!(
+        "  shards  modeled-events/s  speedup  wall-events/s  commits  conflicts  conflict-rate"
+    );
+    let mut top = None;
+    let mut one_shard_modeled = native_modeled;
+    for &s in &ladder {
+        let (rep, em, metrics, wall) = replay_sharded(&args, factor, s);
+        assert_eq!(em, total, "sharded scheduler must drain the whole stream");
+        let sfp = fingerprint(&rep.windows);
+        if s == 1 {
+            assert_eq!(
+                sfp, fp,
+                "shards=1 must be bit-identical to the native fleet replay"
+            );
+            one_shard_modeled = modeled_ns(&rep.windows);
+        }
+        let m_ns = modeled_ns(&rep.windows);
+        let modeled_rate = em as f64 / (m_ns as f64 / 1e9);
+        let wall_rate = em as f64 / (wall as f64 / 1e9);
+        let speedup = one_shard_modeled as f64 / m_ns as f64;
+        let attempts = metrics.commits + metrics.conflicts;
+        let conflict_rate = if attempts > 0 {
+            metrics.conflicts as f64 / attempts as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {s:>6}  {modeled_rate:>16.0}  {speedup:>6.2}x  {wall_rate:>13.0}  {:>7}  {:>9}  {conflict_rate:>13.4}",
+            metrics.commits, metrics.conflicts
+        );
+        top = Some((
+            s,
+            rep,
+            metrics,
+            sfp,
+            m_ns,
+            modeled_rate,
+            wall_rate,
+            speedup,
+            conflict_rate,
+        ));
+    }
+    let (
+        top_shards,
+        top_report,
+        top_metrics,
+        top_fp,
+        _top_ns,
+        top_rate,
+        top_wall_rate,
+        top_speedup,
+        top_conflict_rate,
+    ) = top.expect("ladder is never empty");
+
+    // Determinism at the top rung: outcomes *and* conflict counters,
+    // with the store.* telemetry series captured for the artifact.
+    cpo_obs::series::enable_with_capacity(512);
+    let (rerun, _, rerun_metrics, _) = replay_sharded(&args, factor, top_shards);
+    let sharded_bus = cpo_obs::series::snapshot();
+    cpo_obs::series::disable();
+    assert_eq!(
+        fingerprint(&rerun.windows),
+        top_fp,
+        "sharded replay is not deterministic at {top_shards} shards"
+    );
+    assert_eq!(
+        rerun_metrics, top_metrics,
+        "conflict counters must reproduce exactly at {top_shards} shards"
+    );
+    let series_path = args.out.replace(".json", "_series.json");
+    std::fs::create_dir_all(
+        std::path::Path::new(&series_path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new(".")),
+    )
+    .expect("create series dir");
+    std::fs::write(&series_path, sharded_bus.to_json(false)).expect("write sharded series");
+    println!(
+        "sharded determinism: {top_shards} shards reproduce fingerprint {top_fp:#018x}; \
+         store series -> {series_path}"
+    );
+
     let mut out = Report::new("cpo-bench-trace", 1);
     out.push(
         Cell::new("trace.config")
@@ -305,6 +464,23 @@ fn main() {
             .int("fleet_series", fleet_series.len() as i128)
             .int("ring_capacity", bus.capacity() as i128)
             .int("windows_sampled", report.windows.len() as i128),
+    );
+    out.push(
+        Cell::new("sharded.replay")
+            .int("shards", top_shards as i128)
+            .float("events_per_sec", top_rate)
+            .float("wall_events_per_sec", top_wall_rate)
+            .float("speedup_vs_one", top_speedup)
+            .int("windows", top_report.windows.len() as i128)
+            .int("admitted", top_report.total_admitted() as i128)
+            .int("rejected", top_report.total_rejected() as i128)
+            .str("fingerprint", format!("{top_fp:#018x}")),
+    );
+    out.push(
+        Cell::new("sharded.store")
+            .int("commits", top_metrics.commits as i128)
+            .int("conflicts", top_metrics.conflicts as i128)
+            .float("conflict_rate", top_conflict_rate),
     );
     out.write(&args.out).expect("write BENCH_trace.json");
     println!("wrote {}", args.out);

@@ -88,7 +88,14 @@ pub fn policy_for(key: &str) -> Policy {
         | "full_evals"
         | "fleet_series"
         | "ring_capacity"
-        | "windows_sampled" => p(Direction::Exact, 0.0),
+        | "windows_sampled"
+        // Sharded-replay outcomes: the optimistic-commit protocol is
+        // deterministic, so conflict counters and their derived rate
+        // must reproduce exactly or the store protocol changed.
+        | "shards"
+        | "commits"
+        | "conflicts"
+        | "conflict_rate" => p(Direction::Exact, 0.0),
         _ => p(Direction::Ignore, 0.0),
     }
 }

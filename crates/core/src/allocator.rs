@@ -111,7 +111,12 @@ impl AllocationOutcome {
 }
 
 /// A cloud resource allocation algorithm.
-pub trait Allocator {
+///
+/// `Sync` is a supertrait so a `&dyn Allocator` can be shared across the
+/// sharded scheduler's scoped solver threads; every allocator here is a
+/// pure function of the problem plus owned configuration, so the bound
+/// costs nothing.
+pub trait Allocator: Sync {
     /// Short stable name used in reports ("round-robin", "nsga3-tabu", …).
     fn name(&self) -> &'static str;
 

@@ -10,19 +10,17 @@
 //! `check`/`evaluate` pair, pinned by `evaluation_matches_direct_model_calls`.
 
 use crate::encoding::GenomeCodec;
-use cpo_model::delta::DeltaEvaluator;
+use crate::eval_pool::EvaluatorPool;
 use cpo_model::prelude::*;
 use cpo_moea::prelude::{Evaluation, MoeaProblem};
-use std::sync::Mutex;
 
 /// The allocation problem in MOEA clothing.
 pub struct AllocMoeaProblem<'a> {
     problem: &'a AllocationProblem,
     codec: GenomeCodec,
-    /// Reusable evaluators, popped per genome evaluation. A `Mutex` (not
-    /// a thread-local) because the evaluators borrow `problem` for `'a`;
-    /// the pool grows to at most the number of concurrent workers.
-    pool: Mutex<Vec<DeltaEvaluator<'a>>>,
+    /// Shared evaluator pool — brief pop/push locks only, never held
+    /// across a score (see [`EvaluatorPool`]).
+    pool: EvaluatorPool<'a>,
 }
 
 impl<'a> AllocMoeaProblem<'a> {
@@ -32,7 +30,7 @@ impl<'a> AllocMoeaProblem<'a> {
         Self {
             problem,
             codec,
-            pool: Mutex::new(Vec::new()),
+            pool: EvaluatorPool::new(problem),
         }
     }
 
@@ -48,17 +46,7 @@ impl<'a> AllocMoeaProblem<'a> {
 
     /// Scores an assignment on a pooled evaluator.
     fn pooled_score(&self, assignment: Assignment) -> cpo_model::delta::MoveScore {
-        let pooled = self.pool.lock().expect("evaluator pool poisoned").pop();
-        let ev = match pooled {
-            Some(mut ev) => {
-                ev.reset(assignment);
-                ev
-            }
-            None => DeltaEvaluator::new(self.problem, assignment),
-        };
-        let score = ev.score();
-        self.pool.lock().expect("evaluator pool poisoned").push(ev);
-        score
+        self.pool.score(assignment)
     }
 }
 

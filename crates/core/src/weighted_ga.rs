@@ -7,21 +7,20 @@
 
 use crate::allocator::{AllocationOutcome, Allocator};
 use crate::encoding::GenomeCodec;
-use cpo_model::delta::DeltaEvaluator;
+use crate::eval_pool::EvaluatorPool;
 use cpo_model::prelude::*;
 use cpo_moea::prelude::{run, Evaluation, MoeaProblem, NsgaConfig, Repair, Variant};
 use cpo_tabu::repair::{repair as tabu_repair, RepairConfig, ScanOrder};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// The allocation problem scalarised to one objective. Genome scoring
-/// reuses pooled [`DeltaEvaluator`]s, as in
+/// reuses a pooled [`EvaluatorPool`], as in
 /// [`AllocMoeaProblem`](crate::moea_problem::AllocMoeaProblem).
 struct WeightedProblem<'a> {
     problem: &'a AllocationProblem,
     codec: GenomeCodec,
     weights: [f64; 3],
-    pool: Mutex<Vec<DeltaEvaluator<'a>>>,
+    pool: EvaluatorPool<'a>,
 }
 
 impl MoeaProblem for WeightedProblem<'_> {
@@ -36,16 +35,7 @@ impl MoeaProblem for WeightedProblem<'_> {
     }
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let a = self.codec.decode(genes);
-        let pooled = self.pool.lock().expect("evaluator pool poisoned").pop();
-        let ev = match pooled {
-            Some(mut ev) => {
-                ev.reset(a);
-                ev
-            }
-            None => DeltaEvaluator::new(self.problem, a),
-        };
-        let score = ev.score();
-        self.pool.lock().expect("evaluator pool poisoned").push(ev);
+        let score = self.pool.score(a);
         Evaluation {
             objectives: vec![score.objectives.weighted(self.weights)],
             violation: score.violation,
@@ -105,7 +95,7 @@ impl Allocator for WeightedGaAllocator {
             problem,
             codec,
             weights: self.weights,
-            pool: Mutex::new(Vec::new()),
+            pool: EvaluatorPool::new(problem),
         };
 
         let repair_cfg = self.repair;

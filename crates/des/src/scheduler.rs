@@ -25,7 +25,8 @@ use crate::time::SimTime;
 use cpo_core::prelude::Allocator;
 use cpo_model::prelude::*;
 use cpo_platform::prelude::{
-    FleetExecutor, LifetimePolicy, SimConfig, TenantId, WindowExecutor, WindowReport,
+    FleetExecutor, LifetimePolicy, ShardBackend, ShardedScheduler, SimConfig, TenantId,
+    WindowExecutor, WindowReport,
 };
 use cpo_platform::tenant::rebase_rules;
 
@@ -284,6 +285,51 @@ impl WindowBackend for FleetExecutor {
     }
 }
 
+/// A sharded engine plugs straight into the DES loop: the window solve
+/// runs the snapshot → solve → optimistic-commit protocol of
+/// [`ShardedScheduler::execute_window`], everything else delegates to
+/// the wrapped backend. Under the DES clock the reported solve time is
+/// the sharded critical path, so latency feedback and throughput
+/// metrics see the parallel speedup even on a serial host.
+impl<B: ShardBackend> WindowBackend for ShardedScheduler<B> {
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        self.backend_mut().register_arrivals(arrivals)
+    }
+
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        self.backend_mut().bind_request_keys(ids, keys)
+    }
+
+    fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        ShardedScheduler::execute_window(self, allocator, arrivals, ids)
+    }
+
+    fn depart_tenant(&mut self, id: TenantId) -> bool {
+        self.backend_mut().depart_tenant(id)
+    }
+
+    fn force_failure(&mut self, server: ServerId) -> bool {
+        self.backend_mut().force_failure(server)
+    }
+
+    fn force_repair(&mut self, server: ServerId) -> bool {
+        self.backend_mut().force_repair(server)
+    }
+
+    fn server_count(&self) -> usize {
+        self.backend().server_count()
+    }
+
+    fn resident_requests(&self) -> usize {
+        self.backend().resident_requests()
+    }
+}
+
 /// The continuous-time window scheduler over any [`WindowBackend`]
 /// (defaulting to the full-reconfiguration [`WindowExecutor`]).
 pub struct WindowedScheduler<S: ArrivalSource, B: WindowBackend = WindowExecutor> {
@@ -328,6 +374,12 @@ impl<S: ArrivalSource, B: WindowBackend> WindowedScheduler<S, B> {
     /// The backend.
     pub fn backend(&self) -> &B {
         &self.exec
+    }
+
+    /// Consumes the scheduler, returning the backend for post-run
+    /// inspection (residual tables, store metrics, tenant state).
+    pub fn into_backend(self) -> B {
+        self.exec
     }
 
     /// The arrival source.

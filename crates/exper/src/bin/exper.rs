@@ -74,6 +74,9 @@ struct Options {
     amplify: usize,
     /// `trace`: scheduling window length in sim-time units.
     window: f64,
+    /// `des`/`trace`: shard the window solve across N workers over the
+    /// optimistic-commit placement store (1 = unsharded seed path).
+    shards: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -99,6 +102,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         dataset: "azure:examples/data/azure_sample.csv".into(),
         amplify: 1,
         window: 60.0,
+        shards: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +173,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--window" => {
                 let v = it.next().ok_or("--window needs a length")?;
                 opts.window = v.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("--shards: {e}"))?;
+                if n < 1 {
+                    return Err("--shards must be >= 1".into());
+                }
+                opts.shards = Some(n);
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -268,13 +280,33 @@ fn run_des(opts: &Options) -> Result<(), String> {
         ..Default::default()
     };
     let allocator = opts.algo.build(opts.effort, opts.seed);
-    let mut sched = WindowedScheduler::new(
-        infra,
-        SimConfig::default(),
-        des,
-        PoissonArrivals::new(spec, opts.seed),
-    );
-    let report = sched.run(allocator.as_ref(), opts.horizon);
+    let report = match opts.shards {
+        Some(shards) => {
+            use cpo_platform::prelude::{ShardConfig, ShardedScheduler, WindowExecutor};
+            let backend = ShardedScheduler::new(
+                WindowExecutor::new(infra, SimConfig::default()),
+                ShardConfig {
+                    shards,
+                    ..ShardConfig::default()
+                },
+            );
+            let mut sched = WindowedScheduler::with_backend(
+                backend,
+                des,
+                PoissonArrivals::new(spec, opts.seed),
+            );
+            sched.run(allocator.as_ref(), opts.horizon)
+        }
+        None => {
+            let mut sched = WindowedScheduler::new(
+                infra,
+                SimConfig::default(),
+                des,
+                PoissonArrivals::new(spec, opts.seed),
+            );
+            sched.run(allocator.as_ref(), opts.horizon)
+        }
+    };
 
     let snap = cpo_obs::flight::snapshot();
     fs::create_dir_all(&opts.out_dir).map_err(|e| format!("creating {}: {e}", opts.out_dir))?;
@@ -287,12 +319,16 @@ fn run_des(opts: &Options) -> Result<(), String> {
         .map_err(|e| format!("writing {tl_path}: {e}"))?;
 
     println!(
-        "continuous-time run: {} servers, λ={}, horizon {} ({} windows), allocator {}",
+        "continuous-time run: {} servers, λ={}, horizon {} ({} windows), allocator {}{}",
         opts.servers,
         opts.rate,
         opts.horizon,
         report.windows.len(),
         opts.algo.label(),
+        match opts.shards {
+            Some(s) => format!(", {s} shards"),
+            None => String::new(),
+        },
     );
     println!(
         "  admitted {}  rejected {}  mean wait {:.3}  max wait {:.3}",
@@ -380,15 +416,47 @@ fn run_trace(opts: &Options) -> Result<(), String> {
     };
     let allocator = opts.algo.build(opts.effort, opts.seed);
     let start = std::time::Instant::now();
-    let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), des, source);
-    let report = sched.run(allocator.as_ref(), horizon);
-    let wall = start.elapsed();
-    if let Some(err) = sched.source().error() {
-        return Err(format!("trace stream failed: {err}"));
-    }
-
-    let emitted = sched.source().emitted();
-    let skipped = sched.source().skipped_rows();
+    let (report, wall, emitted, skipped, store_metrics) = match opts.shards {
+        Some(shards) => {
+            use cpo_platform::prelude::{ShardConfig, ShardedScheduler};
+            let backend = ShardedScheduler::new(
+                FleetExecutor::new(infra),
+                ShardConfig {
+                    shards,
+                    ..ShardConfig::default()
+                },
+            );
+            let mut sched = WindowedScheduler::with_backend(backend, des, source);
+            let report = sched.run(allocator.as_ref(), horizon);
+            let wall = start.elapsed();
+            if let Some(err) = sched.source().error() {
+                return Err(format!("trace stream failed: {err}"));
+            }
+            let metrics = sched.backend().backend().store().metrics();
+            (
+                report,
+                wall,
+                sched.source().emitted(),
+                sched.source().skipped_rows(),
+                Some(metrics),
+            )
+        }
+        None => {
+            let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), des, source);
+            let report = sched.run(allocator.as_ref(), horizon);
+            let wall = start.elapsed();
+            if let Some(err) = sched.source().error() {
+                return Err(format!("trace stream failed: {err}"));
+            }
+            (
+                report,
+                wall,
+                sched.source().emitted(),
+                sched.source().skipped_rows(),
+                None,
+            )
+        }
+    };
     let peak_active = report
         .windows
         .iter()
@@ -418,6 +486,20 @@ fn run_trace(opts: &Options) -> Result<(), String> {
         peak_active,
         peak_vms,
     );
+    if let Some(m) = store_metrics {
+        let attempts = m.commits + m.conflicts;
+        println!(
+            "  sharded admission: {} shards, {} commits, {} conflicts (rate {:.4})",
+            opts.shards.unwrap_or(1),
+            m.commits,
+            m.conflicts,
+            if attempts > 0 {
+                m.conflicts as f64 / attempts as f64
+            } else {
+                0.0
+            },
+        );
+    }
     if opts.strict {
         println!("  strict monitors: clean (no invariant violation aborted the run)");
     }
@@ -573,7 +655,7 @@ fn main() -> ExitCode {
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
              [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--dash FILE] \
              [--algo NAME] [--rate R] [--horizon T] [--servers N] [--failures MTBF,MTTR] \
-             [--strict] [--dataset SPEC] [--amplify N] [--window W]"
+             [--strict] [--dataset SPEC] [--amplify N] [--window W] [--shards N]"
         );
         return ExitCode::FAILURE;
     };

@@ -231,6 +231,54 @@ impl RequestBatch {
         Ok(())
     }
 
+    /// Builds a new batch containing only the requests at `indices`, in
+    /// that order. VM ids and request ids are renumbered densely from 0;
+    /// affinity rules are rebased onto the new [`VmId`]s. Used by the
+    /// sharded scheduler to hand each shard its slice of a window's
+    /// arrivals as a self-contained batch.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range or repeated.
+    pub fn subset(&self, indices: &[usize]) -> RequestBatch {
+        let mut seen = vec![false; self.requests.len()];
+        let mut out = RequestBatch::new();
+        for &r in indices {
+            assert!(r < self.requests.len(), "request index {r} out of range");
+            assert!(!seen[r], "request index {r} repeated in subset");
+            seen[r] = true;
+            let req = &self.requests[r];
+            // Old VmId → position within the request == new VmId offset
+            // from the subset batch's current vm count.
+            let base = out.vms.len();
+            let vms: Vec<VmSpec> = req
+                .vms
+                .iter()
+                .map(|&k| self.vms[k.index()].clone())
+                .collect();
+            let rules: Vec<AffinityRule> = req
+                .rules
+                .iter()
+                .map(|rule| {
+                    let rebased = rule
+                        .vms()
+                        .iter()
+                        .map(|v| {
+                            let pos = req
+                                .vms
+                                .iter()
+                                .position(|&k| k == *v)
+                                .expect("rule references VM outside its request");
+                            VmId(base + pos)
+                        })
+                        .collect();
+                    AffinityRule::new(rule.kind(), rebased)
+                })
+                .collect();
+            out.push_request(vms, rules);
+        }
+        out
+    }
+
     /// Total demand across the batch per attribute — used by scenario
     /// generators to target utilisation.
     pub fn total_demand(&self, h: usize) -> Vec<f64> {
@@ -323,5 +371,52 @@ mod tests {
     fn empty_request_rejected() {
         let mut b = RequestBatch::new();
         b.push_request(vec![], vec![]);
+    }
+
+    #[test]
+    fn subset_renumbers_vms_and_rebases_rules() {
+        let mut b = RequestBatch::new();
+        b.push_request(vec![vm_spec(1.0, 1.0, 1.0); 2], vec![]);
+        b.push_request(
+            vec![vm_spec(2.0, 2.0, 2.0); 3],
+            vec![AffinityRule::new(
+                AffinityKind::DifferentServer,
+                vec![VmId(2), VmId(4)],
+            )],
+        );
+        b.push_request(vec![vm_spec(3.0, 3.0, 3.0)], vec![]);
+
+        // Take requests 2 and 1, in that order.
+        let s = b.subset(&[2, 1]);
+        assert_eq!(s.request_count(), 2);
+        assert_eq!(s.vm_count(), 4);
+        assert_eq!(s.request(RequestId(0)).vms, vec![VmId(0)]);
+        assert_eq!(s.vm(VmId(0)).demand, vec![3.0, 3.0, 3.0]);
+        assert_eq!(s.request(RequestId(1)).vms, vec![VmId(1), VmId(2), VmId(3)]);
+        // Old rule over VmId(2)/VmId(4) (positions 0 and 2 within its
+        // request) must now point at VmId(1)/VmId(3).
+        let rule = &s.request(RequestId(1)).rules[0];
+        assert_eq!(rule.kind(), AffinityKind::DifferentServer);
+        assert_eq!(rule.vms(), &[VmId(1), VmId(3)]);
+        assert_eq!(s.request_of(VmId(3)), RequestId(1));
+    }
+
+    #[test]
+    fn subset_of_everything_matches_original_shape() {
+        let mut b = RequestBatch::new();
+        b.push_request(vec![vm_spec(1.0, 10.0, 100.0)], vec![]);
+        b.push_request(vec![vm_spec(2.0, 20.0, 200.0); 2], vec![]);
+        let s = b.subset(&[0, 1]);
+        assert_eq!(s.vm_count(), b.vm_count());
+        assert_eq!(s.request_count(), b.request_count());
+        assert_eq!(s.total_demand(3), b.total_demand(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in subset")]
+    fn subset_rejects_duplicates() {
+        let mut b = RequestBatch::new();
+        b.push_request(vec![vm_spec(1.0, 1.0, 1.0)], vec![]);
+        b.subset(&[0, 0]);
     }
 }

@@ -76,11 +76,19 @@ pub enum FlightKind {
     Violation = 11,
     /// Free-form marker dropped by drivers/tests.
     Marker = 12,
+    /// The placement store accepted an optimistic commit for the
+    /// request, reserving its residual capacity. `a` = window, `b` =
+    /// retry round (0 = first attempt).
+    Committed = 13,
+    /// The placement store bounced an optimistic commit (another
+    /// scheduler shard took the capacity first, or it never fit).
+    /// `a` = window, `b` = retry round of the bounced attempt.
+    Conflicted = 14,
 }
 
 impl FlightKind {
     /// All kinds, for iteration in tests and exporters.
-    pub const ALL: [FlightKind; 13] = [
+    pub const ALL: [FlightKind; 15] = [
         FlightKind::Generated,
         FlightKind::Arrived,
         FlightKind::Admitted,
@@ -94,6 +102,8 @@ impl FlightKind {
         FlightKind::WindowClosed,
         FlightKind::Violation,
         FlightKind::Marker,
+        FlightKind::Committed,
+        FlightKind::Conflicted,
     ];
 
     /// Stable lower-case name used in JSONL dumps.
@@ -112,6 +122,8 @@ impl FlightKind {
             FlightKind::WindowClosed => "window_closed",
             FlightKind::Violation => "violation",
             FlightKind::Marker => "marker",
+            FlightKind::Committed => "committed",
+            FlightKind::Conflicted => "conflicted",
         }
     }
 

@@ -92,11 +92,19 @@ impl Timeline {
         if count(FlightKind::Arrived) == 1 && count(FlightKind::Generated) == 0 {
             errors.push(format!("request {}: arrived without generation", self.key));
         }
+        // Store commit traffic (committed / conflicted) legally precedes
+        // the admission decision: a sharded scheduler may bounce a
+        // request several times before it is admitted or rejected.
         if admissions == 0
-            && self
-                .events
-                .iter()
-                .any(|e| !matches!(e.kind, FlightKind::Generated | FlightKind::Arrived))
+            && self.events.iter().any(|e| {
+                !matches!(
+                    e.kind,
+                    FlightKind::Generated
+                        | FlightKind::Arrived
+                        | FlightKind::Committed
+                        | FlightKind::Conflicted
+                )
+            })
         {
             errors.push(format!(
                 "request {}: lifecycle events before an admission decision",
@@ -120,11 +128,15 @@ impl Timeline {
             }
         }
         if self.rejected() {
+            // `conflicted` is fine on a rejected timeline (the retry
+            // budget ran out); a surviving `committed` is not — a commit
+            // reserves capacity, so its request must end up admitted.
             for k in [
                 FlightKind::Placed,
                 FlightKind::Migrated,
                 FlightKind::Departed,
                 FlightKind::SlaViolated,
+                FlightKind::Committed,
             ] {
                 if count(k) > 0 {
                     errors.push(format!(
@@ -186,6 +198,12 @@ impl Timeline {
                 FlightKind::Departed => format!("departed in window {}", e.a),
                 FlightKind::SlaViolated => {
                     format!("SLA breach in window {} (credit {}µ)", e.a, e.b)
+                }
+                FlightKind::Committed => {
+                    format!("commit accepted in window {} (round {})", e.a, e.b)
+                }
+                FlightKind::Conflicted => {
+                    format!("commit bounced in window {} (round {})", e.a, e.b)
                 }
                 _ => format!("{} a={} b={}", e.kind.name(), e.a, e.b),
             };

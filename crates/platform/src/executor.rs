@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Simulation configuration.
 #[derive(Clone, Debug)]
@@ -74,6 +74,19 @@ pub enum LifetimePolicy {
     /// removes it — the driver owns departures (continuous-time mode).
     /// No RNG draw is made.
     External,
+}
+
+/// Per-window totals handed to [`WindowExecutor::finish_window`] by
+/// whichever path (native solve or sharded store commits) decided the
+/// window's admissions.
+pub(crate) struct WindowTotals {
+    pub arrivals: usize,
+    pub admitted: usize,
+    pub rejected: usize,
+    pub migrations: usize,
+    pub migration_cost: f64,
+    pub denied_flows: usize,
+    pub solve_time: Duration,
 }
 
 /// The live platform: infrastructure + running tenants + event history,
@@ -133,7 +146,7 @@ impl WindowExecutor {
     }
 
     /// The correlation key bound to a tenant, or [`flight::NONE`].
-    fn flight_key(&self, id: TenantId) -> u64 {
+    pub(crate) fn flight_key(&self, id: TenantId) -> u64 {
         self.flight_keys.get(&id).copied().unwrap_or(flight::NONE)
     }
 
@@ -525,64 +538,137 @@ impl WindowExecutor {
                             .expect("accepted ⇒ placed")
                     })
                     .collect();
-                let remaining_windows = match lifetime {
-                    LifetimePolicy::DrawnWindows => self
-                        .rng
-                        .gen_range(self.config.lifetime.0..=self.config.lifetime.1)
-                        .max(1),
-                    LifetimePolicy::External => u32::MAX,
-                };
-                self.tenants.push(Tenant {
-                    id: tid,
-                    vms: req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect(),
-                    rules: rebase_rules(req),
-                    placement,
-                    remaining_windows,
-                });
-                if let Some(net) = &mut self.network {
-                    denied_flows += net
-                        .admit_tenant(self.tenants.last().expect("just pushed"))
-                        .denied;
-                }
-                self.log.push(Event::TenantAdmitted {
-                    window,
-                    tenant: tid,
-                });
-                // `admitted` binds key↔tenant in the timeline, so it must
-                // precede the per-VM `placed` events.
-                if flight::is_enabled() {
-                    let key = self.flight_key(tid);
-                    flight::record(
-                        FlightKind::Admitted,
-                        key,
-                        tid.0,
-                        window,
-                        req.vms.len() as u64,
-                    );
-                    let placed = self.tenants.last().expect("just pushed");
-                    for (local, &server) in placed.placement.iter().enumerate() {
-                        flight::record(
-                            FlightKind::Placed,
-                            key,
-                            tid.0,
-                            server.0 as u64,
-                            local as u64,
-                        );
-                    }
-                }
+                denied_flows +=
+                    self.apply_admission(tid, arrivals, req, placement, lifetime, window);
                 admitted += 1;
                 admitted_ids.push(tid);
             } else {
-                self.log.push(Event::RequestRejected {
-                    window,
-                    tenant: tid,
-                });
-                flight::record(FlightKind::Rejected, self.flight_key(tid), tid.0, window, 0);
-                self.flight_keys.remove(&tid);
+                self.apply_rejection(tid, window);
                 rejected += 1;
             }
         }
 
+        let report = self.finish_window(WindowTotals {
+            arrivals: arrivals.request_count(),
+            admitted,
+            rejected,
+            migrations,
+            migration_cost,
+            denied_flows,
+            solve_time,
+        });
+        sp.field("admitted", admitted)
+            .field("rejected", rejected)
+            .field("migrations", migrations);
+        (report, admitted_ids)
+    }
+
+    /// Admits one accepted arrival: tenant pushed with its placement,
+    /// network flows admitted, `tenant_admitted` log entry, `admitted` +
+    /// per-VM `placed` flight events (in that order — `admitted` binds
+    /// key↔tenant in the timeline). Returns the number of denied network
+    /// flows. Shared by the native solve path and the sharded
+    /// store-commit path.
+    pub(crate) fn apply_admission(
+        &mut self,
+        tid: TenantId,
+        arrivals: &RequestBatch,
+        req: &Request,
+        placement: Vec<ServerId>,
+        lifetime: LifetimePolicy,
+        window: u64,
+    ) -> usize {
+        let mut denied_flows = 0usize;
+        let remaining_windows = match lifetime {
+            LifetimePolicy::DrawnWindows => self
+                .rng
+                .gen_range(self.config.lifetime.0..=self.config.lifetime.1)
+                .max(1),
+            LifetimePolicy::External => u32::MAX,
+        };
+        self.tenants.push(Tenant {
+            id: tid,
+            vms: req.vms.iter().map(|&k| arrivals.vm(k).clone()).collect(),
+            rules: rebase_rules(req),
+            placement,
+            remaining_windows,
+        });
+        if let Some(net) = &mut self.network {
+            denied_flows += net
+                .admit_tenant(self.tenants.last().expect("just pushed"))
+                .denied;
+        }
+        self.log.push(Event::TenantAdmitted {
+            window,
+            tenant: tid,
+        });
+        if flight::is_enabled() {
+            let key = self.flight_key(tid);
+            flight::record(
+                FlightKind::Admitted,
+                key,
+                tid.0,
+                window,
+                req.vms.len() as u64,
+            );
+            let placed = self.tenants.last().expect("just pushed");
+            for (local, &server) in placed.placement.iter().enumerate() {
+                flight::record(
+                    FlightKind::Placed,
+                    key,
+                    tid.0,
+                    server.0 as u64,
+                    local as u64,
+                );
+            }
+        }
+        denied_flows
+    }
+
+    /// Rejects one arrival: `request_rejected` log entry, `rejected`
+    /// flight event, correlation key dropped.
+    pub(crate) fn apply_rejection(&mut self, tid: TenantId, window: u64) {
+        self.log.push(Event::RequestRejected {
+            window,
+            tenant: tid,
+        });
+        flight::record(FlightKind::Rejected, self.flight_key(tid), tid.0, window, 0);
+        self.flight_keys.remove(&tid);
+    }
+
+    /// Residual-headroom view of the live platform for admission-only
+    /// sharded scheduling: effective capacity (offline servers zeroed)
+    /// minus every resident VM's demand, as a fresh infrastructure with
+    /// unit factors. Resident placements are pinned — the sharded path
+    /// never migrates — so this is exactly the capacity a new arrival
+    /// may consume.
+    pub(crate) fn admission_residual(&self) -> Infrastructure {
+        let mut residual = crate::store::residual_view(&self.effective_infra());
+        for t in &self.tenants {
+            for (vm, &server) in t.vms.iter().zip(&t.placement) {
+                let neg: Vec<f64> = vm.demand.iter().map(|d| -d).collect();
+                residual.adjust_capacity(server, &neg);
+            }
+        }
+        residual
+    }
+
+    /// Post-admission window close shared by the native and sharded
+    /// paths: SLA observation, online invariant monitors, provider and
+    /// downtime cost on the real platform state, report, log +
+    /// `window_closed` flight event, fleet probe, gauges; advances the
+    /// window counter.
+    pub(crate) fn finish_window(&mut self, totals: WindowTotals) -> WindowReport {
+        let window = self.window;
+        let WindowTotals {
+            arrivals,
+            admitted,
+            rejected,
+            migrations,
+            migration_cost,
+            denied_flows,
+            solve_time,
+        } = totals;
         // --- Post-window accounting on the real platform state. ---
         let (state_batch, state_assignment) = self.snapshot();
         let tracker = LoadTracker::from_assignment(&state_assignment, &state_batch, &self.infra);
@@ -629,7 +715,7 @@ impl WindowExecutor {
             .count();
         let report = WindowReport {
             window,
-            arrivals: arrivals.request_count(),
+            arrivals,
             admitted,
             rejected,
             migrations,
@@ -673,14 +759,11 @@ impl WindowExecutor {
                 solve_latency_us: solve_time.as_micros() as u64,
             },
         );
-        sp.field("admitted", admitted)
-            .field("rejected", rejected)
-            .field("migrations", migrations);
         cpo_obs::record_value("platform.solve_ns", solve_time.as_nanos() as u64);
         cpo_obs::gauge_set("platform.running_tenants", self.tenants.len() as f64);
         cpo_obs::gauge_set("platform.active_servers", tracker.active_servers() as f64);
         self.window += 1;
-        (report, admitted_ids)
+        report
     }
 
     /// Snapshot of the running platform as (batch, assignment) — the state

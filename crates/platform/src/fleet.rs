@@ -31,49 +31,24 @@
 //! hosted VM contributes the server's usage cost.
 
 use crate::accounting::WindowReport;
+use crate::store::PlacementStore;
 use crate::tenant::TenantId;
 use cpo_core::prelude::Allocator;
 use cpo_model::fleet::{ServerLoadTable, VmTable, NO_SLOT};
 use cpo_model::prelude::*;
 use cpo_obs::flight::{self, FlightKind};
 use std::collections::HashMap;
-use std::time::Instant;
-
-/// Builds the residual-headroom view of `infra`: capacity rows start at
-/// the *effective* capacity (factors already applied, so residual factors
-/// are 1.0); admissions carve demand out, departures return it.
-fn residual_of(infra: &Infrastructure) -> Infrastructure {
-    let h = infra.attr_count();
-    let dcs = infra
-        .datacenters()
-        .iter()
-        .map(|dc| {
-            let servers = dc
-                .servers()
-                .map(|j| {
-                    let s = infra.server(j);
-                    Server {
-                        capacity: (0..h).map(|l| s.effective_capacity(AttrId(l))).collect(),
-                        factor: vec![1.0; h],
-                        opex: s.opex,
-                        usage_cost: s.usage_cost,
-                        max_load: s.max_load.clone(),
-                        max_qos: s.max_qos.clone(),
-                    }
-                })
-                .collect();
-            (dc.name.clone(), servers)
-        })
-        .collect();
-    Infrastructure::new(infra.attrs().clone(), dcs)
-}
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Streaming admission-only window executor over packed fleet tables.
 pub struct FleetExecutor {
     infra: Infrastructure,
-    /// Live headroom: effective capacity minus resident load (zeroed for
-    /// offline servers).
-    residual: Infrastructure,
+    /// Live headroom behind the optimistic-commit store: effective
+    /// capacity minus resident load (zeroed for offline servers). Shared
+    /// with scheduler shards via [`Arc`]; the native path goes through
+    /// [`PlacementStore::reserve`]/[`PlacementStore::release`].
+    store: Arc<PlacementStore>,
     vms: VmTable,
     loads: ServerLoadTable,
     /// Tenant → head slot of its VM chain.
@@ -92,10 +67,10 @@ impl FleetExecutor {
     pub fn new(infra: Infrastructure) -> Self {
         let m = infra.server_count();
         let h = infra.attr_count();
-        let residual = residual_of(&infra);
+        let store = Arc::new(PlacementStore::new(&infra));
         Self {
             infra,
-            residual,
+            store,
             vms: VmTable::new(h),
             loads: ServerLoadTable::new(m, h),
             heads: HashMap::new(),
@@ -112,9 +87,16 @@ impl FleetExecutor {
         &self.infra
     }
 
-    /// The live residual-headroom view the allocator packs against.
-    pub fn residual(&self) -> &Infrastructure {
-        &self.residual
+    /// The shared placement store holding the live residual headroom the
+    /// allocator packs against.
+    pub fn store(&self) -> &Arc<PlacementStore> {
+        &self.store
+    }
+
+    /// Current residual-headroom row of server `j` (convenience over
+    /// [`Self::store`]).
+    pub fn residual_row(&self, j: ServerId) -> Vec<f64> {
+        self.store.residual_row(j)
     }
 
     /// Resident VMs.
@@ -158,7 +140,7 @@ impl FleetExecutor {
         }
     }
 
-    fn flight_key(&self, tenant: u64) -> u64 {
+    pub(crate) fn flight_key(&self, tenant: u64) -> u64 {
         self.flight_keys
             .get(&tenant)
             .copied()
@@ -177,7 +159,7 @@ impl FleetExecutor {
     ) -> (WindowReport, Vec<TenantId>) {
         let window = self.window;
         let mut sp = cpo_obs::span!("fleet.window", window = window);
-        let problem = AllocationProblem::new(self.residual.clone(), arrivals.clone(), None);
+        let problem = AllocationProblem::new(self.store.residual_clone(), arrivals.clone(), None);
         let solve_start = Instant::now();
         let outcome = allocator.allocate(&problem);
         let solve_time = solve_start.elapsed();
@@ -189,45 +171,96 @@ impl FleetExecutor {
         for (i, req) in arrivals.requests().iter().enumerate() {
             let tid = arrival_tenant_ids[i];
             if accepted.contains(&RequestId(i)) {
-                let key = self.flight_key(tid.0);
-                if flight::is_enabled() {
-                    // `admitted` binds key↔tenant before the per-VM
-                    // `placed` events, matching WindowExecutor's order.
-                    flight::record(
-                        FlightKind::Admitted,
-                        key,
-                        tid.0,
-                        window,
-                        req.vms.len() as u64,
-                    );
-                }
-                let mut head = NO_SLOT;
-                for (local, &k) in req.vms.iter().enumerate() {
-                    let server = outcome.assignment.server_of(k).expect("accepted ⇒ placed");
-                    let j = server.index() as u32;
-                    let vm = arrivals.vm(k);
-                    head = self.vms.insert(tid.0, j, &vm.demand, vm.revenue, head);
-                    self.admit_load(j, &vm.demand);
-                    if flight::is_enabled() {
-                        flight::record(FlightKind::Placed, key, tid.0, j as u64, local as u64);
-                    }
-                }
-                self.heads.insert(tid.0, head);
+                self.admit_request(
+                    tid,
+                    window,
+                    arrivals,
+                    req,
+                    |k| {
+                        outcome
+                            .assignment
+                            .server_of(k)
+                            .expect("accepted ⇒ placed")
+                            .index() as u32
+                    },
+                    true,
+                );
                 admitted += 1;
                 admitted_ids.push(tid);
             } else {
-                flight::record(
-                    FlightKind::Rejected,
-                    self.flight_key(tid.0),
-                    tid.0,
-                    window,
-                    0,
-                );
-                self.flight_keys.remove(&tid.0);
+                self.reject_request(tid, window);
                 rejected += 1;
             }
         }
 
+        let report = self.finish_window(arrivals.request_count(), admitted, rejected, solve_time);
+        sp.field("admitted", admitted).field("rejected", rejected);
+        (report, admitted_ids)
+    }
+
+    /// Admits one accepted request into the packed tables: the
+    /// `admitted` flight event binds key↔tenant, then each VM is
+    /// inserted in order (per-VM `placed` events), matching
+    /// `WindowExecutor`'s event order. When `reserve` is set the
+    /// residual store is charged per VM (the native path); the sharded
+    /// path passes `false` because its optimistic commit has already
+    /// reserved the capacity.
+    pub(crate) fn admit_request(
+        &mut self,
+        tid: TenantId,
+        window: u64,
+        arrivals: &RequestBatch,
+        req: &Request,
+        server_of: impl Fn(VmId) -> u32,
+        reserve: bool,
+    ) {
+        let key = self.flight_key(tid.0);
+        if flight::is_enabled() {
+            flight::record(
+                FlightKind::Admitted,
+                key,
+                tid.0,
+                window,
+                req.vms.len() as u64,
+            );
+        }
+        let mut head = NO_SLOT;
+        for (local, &k) in req.vms.iter().enumerate() {
+            let j = server_of(k);
+            let vm = arrivals.vm(k);
+            head = self.vms.insert(tid.0, j, &vm.demand, vm.revenue, head);
+            self.admit_load(j, &vm.demand, reserve);
+            if flight::is_enabled() {
+                flight::record(FlightKind::Placed, key, tid.0, j as u64, local as u64);
+            }
+        }
+        self.heads.insert(tid.0, head);
+    }
+
+    /// Rejects one request: `rejected` flight event, correlation key
+    /// dropped.
+    pub(crate) fn reject_request(&mut self, tid: TenantId, window: u64) {
+        flight::record(
+            FlightKind::Rejected,
+            self.flight_key(tid.0),
+            tid.0,
+            window,
+            0,
+        );
+        self.flight_keys.remove(&tid.0);
+    }
+
+    /// Post-admission window close shared by the native and sharded
+    /// paths: capacity monitor, report, `window_closed` flight event,
+    /// fleet probe, gauges; advances the window counter.
+    pub(crate) fn finish_window(
+        &mut self,
+        arrivals: usize,
+        admitted: usize,
+        rejected: usize,
+        solve_time: Duration,
+    ) -> WindowReport {
+        let window = self.window;
         // Online capacity monitor over the packed state (cheap: O(m·h)).
         if flight::is_enabled() {
             for v in self.capacity_violations() {
@@ -244,7 +277,7 @@ impl FleetExecutor {
             .sum();
         let report = WindowReport {
             window,
-            arrivals: arrivals.request_count(),
+            arrivals,
             admitted,
             rejected,
             migrations: 0,
@@ -280,25 +313,23 @@ impl FleetExecutor {
                 solve_latency_us: solve_time.as_micros() as u64,
             },
         );
-        sp.field("admitted", admitted).field("rejected", rejected);
         cpo_obs::record_value("fleet.solve_ns", solve_time.as_nanos() as u64);
         cpo_obs::gauge_set("fleet.running_vms", self.vms.live() as f64);
         cpo_obs::gauge_set("fleet.active_servers", self.loads.active_servers() as f64);
         self.window += 1;
-        (report, admitted_ids)
+        report
     }
 
-    /// Accounts one admitted VM onto server `j`: load, residual headroom
-    /// and the incremental provider cost.
-    fn admit_load(&mut self, j: u32, demand: &[f64]) {
+    /// Accounts one admitted VM onto server `j`: load, incremental
+    /// provider cost and — when `reserve` is set — the residual store.
+    fn admit_load(&mut self, j: u32, demand: &[f64], reserve: bool) {
         let server = &self.infra.servers()[j as usize];
         if self.loads.add(j, demand) {
             self.provider_cost += server.opex;
         }
         self.provider_cost += server.usage_cost;
-        if !self.offline[j as usize] {
-            let neg: Vec<f64> = demand.iter().map(|d| -d).collect();
-            self.residual.adjust_capacity(ServerId(j as usize), &neg);
+        if reserve {
+            self.store.reserve(ServerId(j as usize), demand);
         }
     }
 
@@ -320,9 +351,7 @@ impl FleetExecutor {
                 self.provider_cost -= server.opex;
             }
             self.provider_cost -= server.usage_cost;
-            if !self.offline[j as usize] {
-                self.residual.adjust_capacity(ServerId(j as usize), &demand);
-            }
+            self.store.release(ServerId(j as usize), &demand);
             self.vms.remove(slot);
             slot = next;
         }
@@ -346,8 +375,7 @@ impl FleetExecutor {
             return false;
         }
         self.offline[j] = true;
-        let h = self.infra.attr_count();
-        self.residual.set_capacity(server, &vec![0.0; h]);
+        self.store.fail(server);
         flight::record(
             FlightKind::ServerFailed,
             flight::NONE,
@@ -375,7 +403,7 @@ impl FleetExecutor {
             .zip(used)
             .map(|(e, u)| (e - u).max(0.0))
             .collect();
-        self.residual.set_capacity(server, &restored);
+        self.store.restore(server, &restored);
         flight::record(
             FlightKind::ServerRepaired,
             flight::NONE,
@@ -424,7 +452,7 @@ impl FleetExecutor {
             }
             let used = self.loads.used(j as u32);
             let eff = self.infra.effective_row(ServerId(j));
-            let res = self.residual.effective_row(ServerId(j));
+            let res = self.store.residual_row(ServerId(j));
             for l in 0..used.len() {
                 if used[l] > eff[l] + eps {
                     return Err(format!(
@@ -488,10 +516,7 @@ mod tests {
         // Headroom fully restored: the residual equals a fresh fleet's.
         let fresh = fleet(4);
         for j in 0..4 {
-            assert_eq!(
-                f.residual().effective_row(ServerId(j)),
-                fresh.residual().effective_row(ServerId(j))
-            );
+            assert_eq!(f.residual_row(ServerId(j)), fresh.residual_row(ServerId(j)));
         }
     }
 
@@ -545,15 +570,11 @@ mod tests {
         assert_eq!(r0.admitted, 1);
         assert!(f.force_failure(ServerId(0)));
         assert!(!f.force_failure(ServerId(0)));
-        assert!(f
-            .residual()
-            .effective_row(ServerId(0))
-            .iter()
-            .all(|&c| c == 0.0));
+        assert!(f.residual_row(ServerId(0)).iter().all(|&c| c == 0.0));
         assert!(f.force_repair(ServerId(0)));
         assert!(!f.force_repair(ServerId(0)));
         // Headroom restored minus whatever is resident on server 0.
-        let res = f.residual().effective_row(ServerId(0));
+        let res = f.residual_row(ServerId(0));
         let eff = f.infra().effective_row(ServerId(0));
         let used = f.loads.used(0);
         for l in 0..3 {
@@ -571,16 +592,13 @@ mod tests {
         f.force_failure(ServerId(0));
         assert!(f.depart_tenant(admitted[0]));
         assert!(
-            f.residual()
-                .effective_row(ServerId(0))
-                .iter()
-                .all(|&c| c == 0.0),
+            f.residual_row(ServerId(0)).iter().all(|&c| c == 0.0),
             "an offline server has no headroom to return to"
         );
         // Repair restores the full effective capacity (nothing resident).
         f.force_repair(ServerId(0));
         assert_eq!(
-            f.residual().effective_row(ServerId(0)),
+            f.residual_row(ServerId(0)),
             f.infra().effective_row(ServerId(0))
         );
     }

@@ -45,8 +45,10 @@ pub mod executor;
 pub mod fleet;
 pub mod network;
 pub mod probe;
+pub mod shard;
 pub mod sim;
 pub mod sla;
+pub mod store;
 pub mod tenant;
 
 /// The most-used simulator types.
@@ -56,7 +58,11 @@ pub mod prelude {
     pub use crate::executor::{LifetimePolicy, WindowExecutor};
     pub use crate::fleet::FleetExecutor;
     pub use crate::network::{FlowAdmission, NetworkModel};
+    pub use crate::shard::{ShardBackend, ShardConfig, ShardedScheduler};
     pub use crate::sim::{PlatformSim, SimConfig};
     pub use crate::sla::{SlaLedger, SlaRecord};
+    pub use crate::store::{
+        CommitCtx, ConflictReason, PlacementStore, StoreMetrics, StoreSnapshot,
+    };
     pub use crate::tenant::{Tenant, TenantId};
 }

@@ -1,0 +1,765 @@
+//! Sharded window scheduling over the optimistic-commit
+//! [`PlacementStore`].
+//!
+//! [`ShardedScheduler`] partitions each window's arrivals across N
+//! worker shards. Every round, each shard solves its slice as an
+//! independent admission problem on a shared [`StoreSnapshot`] — with
+//! its **own** [`DeltaEvaluator`] for solution scoring, never a shared
+//! pool — and the coordinator then replays the proposed placements
+//! through [`PlacementStore::try_commit`] in global arrival order:
+//!
+//! * **committed** → the backend applies the admission (the commit
+//!   already reserved the capacity);
+//! * **solver-rejected** → final: within one window the residual only
+//!   shrinks, so a request the solver could not fit on this round's
+//!   snapshot cannot fit later;
+//! * **conflicted** → the request bounced off capacity another shard
+//!   took first; it is resubmitted for a re-solve on a fresh snapshot
+//!   next round, up to [`ShardConfig::retry_budget`] retry rounds, after
+//!   which it is force-rejected.
+//!
+//! Progress is guaranteed: the first commit of every round validates
+//! against the very snapshot it was solved on, so each round terminates
+//! at least one request. Determinism is by construction — partitioning
+//! is round-robin on arrival order, commits are applied sequentially in
+//! arrival order, and shard solves are pure functions of (snapshot,
+//! slice) — so a run is bit-reproducible for a fixed seed and shard
+//! count whether the shards solved on real threads or serially.
+//!
+//! Shard solves run on `std::thread::scope` threads when the host has
+//! ≥2 CPUs; on a single CPU they run serially with each solve timed
+//! individually. Either way the *modeled* window service time under the
+//! DES clock is the critical path — `max` over shards per round — which
+//! is what [`WindowReport::solve_time`] carries for a sharded window.
+//!
+//! At `shards = 1` the scheduler is bit-identical to the unsharded
+//! path: a [`WindowExecutor`] backend delegates to its native solve
+//! (full reconfiguration semantics), while a [`FleetExecutor`] backend
+//! still runs the store protocol — one shard solving on a snapshot of a
+//! quiescent store commits every accepted request without conflict, and
+//! the per-VM commit arithmetic is the same float sequence as the
+//! native path (proven by `tests/sharded_equivalence.rs`).
+
+use crate::accounting::WindowReport;
+use crate::executor::{LifetimePolicy, WindowExecutor, WindowTotals};
+use crate::fleet::FleetExecutor;
+use crate::store::{CommitCtx, PlacementStore, StoreSnapshot};
+use crate::tenant::TenantId;
+use cpo_core::prelude::Allocator;
+use cpo_model::delta::DeltaEvaluator;
+use cpo_model::prelude::*;
+use cpo_obs::flight;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sharding parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Worker shards per window (1 = unsharded).
+    pub shards: usize,
+    /// Retry rounds a conflicted request may consume after its first
+    /// attempt before it is force-rejected.
+    pub retry_budget: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            retry_budget: 3,
+        }
+    }
+}
+
+/// What a window engine must expose for [`ShardedScheduler`] to drive
+/// it through the store-commit protocol. Implemented by
+/// [`FleetExecutor`] (persistent cross-window store) and
+/// [`WindowExecutor`] (per-window admission store materialised from
+/// live tenant state).
+pub trait ShardBackend {
+    /// Completed windows (the next window's index).
+    fn window(&self) -> u64;
+
+    /// The unsharded seed path for one window.
+    fn native_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        arrival_tenant_ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>);
+
+    /// Whether `shards = 1` should still run the store protocol.
+    /// `FleetExecutor` says yes — its admission-only semantics make the
+    /// protocol provably equivalent; `WindowExecutor` says no — its
+    /// native path reconfigures residents, which the admission-only
+    /// store cannot express, so bit-identity demands delegation.
+    fn store_protocol_at_one(&self) -> bool;
+
+    /// The persistent cross-window store, when the backend keeps one.
+    fn persistent_store(&self) -> Option<Arc<PlacementStore>>;
+
+    /// A fresh admission-only store for this window, materialised from
+    /// the live state (residents pinned, offline servers zeroed). Only
+    /// called when [`Self::persistent_store`] is `None`.
+    fn admission_store(&self) -> Arc<PlacementStore>;
+
+    /// The flight correlation key bound to a registered tenant.
+    fn flight_key_of(&self, tid: TenantId) -> u64;
+
+    /// Applies one committed admission (capacity already reserved by the
+    /// store commit). `placement` holds one server per VM of request
+    /// `req_index`, in VM order. Returns denied network flows (0 for
+    /// backends without a fabric model).
+    fn shard_admit(
+        &mut self,
+        tid: TenantId,
+        arrivals: &RequestBatch,
+        req_index: usize,
+        placement: &[ServerId],
+        window: u64,
+    ) -> usize;
+
+    /// Applies one final rejection (solver-rejected or retry budget
+    /// exhausted).
+    fn shard_reject(&mut self, tid: TenantId, window: u64);
+
+    /// Closes the window's books after all admissions/rejections were
+    /// applied; advances the backend's window counter.
+    fn shard_finish(
+        &mut self,
+        arrivals: usize,
+        admitted: usize,
+        rejected: usize,
+        denied_flows: usize,
+        solve_time: Duration,
+    ) -> WindowReport;
+
+    /// Assigns sequential tenant ids to an arrival batch.
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId>;
+    /// Binds tenant ids to flight correlation keys.
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]);
+    /// Departs one tenant; `false` when not resident.
+    fn depart_tenant(&mut self, id: TenantId) -> bool;
+    /// Fails one server; `false` when already offline.
+    fn force_failure(&mut self, server: ServerId) -> bool;
+    /// Repairs one server; `false` when healthy.
+    fn force_repair(&mut self, server: ServerId) -> bool;
+    /// Number of servers.
+    fn server_count(&self) -> usize;
+    /// Resident requests.
+    fn resident_requests(&self) -> usize;
+}
+
+/// One shard's solved slice of a round.
+struct ShardSolution {
+    problem: AllocationProblem,
+    assignment: Assignment,
+    /// Per local request: did the solver accept it?
+    accepted: Vec<bool>,
+    /// Wall time of this shard's solve, measured individually.
+    solve_time: Duration,
+}
+
+fn solve_shard(
+    allocator: &dyn Allocator,
+    arrivals: &RequestBatch,
+    residual: &Infrastructure,
+    indices: &[usize],
+    full_batch: bool,
+) -> ShardSolution {
+    let batch = if full_batch {
+        arrivals.clone()
+    } else {
+        arrivals.subset(indices)
+    };
+    let problem = AllocationProblem::new(residual.clone(), batch, None);
+    let start = Instant::now();
+    let outcome = allocator.allocate(&problem);
+    let solve_time = start.elapsed();
+    // Same admission predicate as the native paths: a request is
+    // accepted iff every one of its VMs is assigned.
+    let mut accepted = vec![false; problem.batch().request_count()];
+    for r in problem.accepted_requests(&outcome.assignment) {
+        accepted[r.index()] = true;
+    }
+    // Score the shard's solution with its own owned evaluator — each
+    // shard gets a private DeltaEvaluator over its private problem, so
+    // no lock is ever held across a solve (the Mutex evaluator *pools*
+    // in cpo-core remain, but only for intra-solve rayon scoring).
+    if flight::is_enabled() || cpo_obs::series::is_enabled() {
+        let ev = DeltaEvaluator::new(&problem, outcome.assignment.clone());
+        let score = ev.score();
+        cpo_obs::gauge_set("shard.solution_cost", score.total_cost());
+        cpo_obs::counter_add("shard.solves", 1);
+    }
+    ShardSolution {
+        assignment: outcome.assignment,
+        problem,
+        accepted,
+        solve_time,
+    }
+}
+
+/// Solves one round's partitions, on scoped threads when the host has
+/// the cores for it, serially otherwise. Either way each shard's solve
+/// is timed individually, so the critical-path (max-over-shards) window
+/// service time is honest on any host.
+fn solve_round(
+    allocator: &dyn Allocator,
+    arrivals: &RequestBatch,
+    snapshot: &StoreSnapshot,
+    parts: &[Vec<usize>],
+) -> Vec<ShardSolution> {
+    let full_batch = parts.len() == 1 && parts[0].len() == arrivals.request_count();
+    let parallel =
+        parts.len() > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2);
+    if parallel {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|indices| {
+                    s.spawn(move || {
+                        solve_shard(allocator, arrivals, &snapshot.residual, indices, false)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard solver panicked"))
+                .collect()
+        })
+    } else {
+        parts
+            .iter()
+            .map(|indices| {
+                solve_shard(allocator, arrivals, &snapshot.residual, indices, full_batch)
+            })
+            .collect()
+    }
+}
+
+/// Partitions incoming requests across N worker shards solving on store
+/// snapshots, resubmitting bounced conflicts with a bounded retry
+/// budget. See the module docs for the protocol.
+pub struct ShardedScheduler<B> {
+    backend: B,
+    config: ShardConfig,
+}
+
+impl<B: ShardBackend> ShardedScheduler<B> {
+    /// Wraps `backend` with sharding `config`.
+    pub fn new(backend: B, config: ShardConfig) -> Self {
+        Self { backend, config }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The wrapped backend, mutably.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the scheduler, returning the wrapped backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// The sharding parameters.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Executes one window: native delegation when unsharded (unless the
+    /// backend opts into the store protocol at one shard), otherwise the
+    /// snapshot → solve → commit/bounce/retry loop. Returns the report
+    /// plus admitted tenant ids in arrival order.
+    pub fn execute_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        arrival_tenant_ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        if self.config.shards <= 1 && !self.backend.store_protocol_at_one() {
+            return self
+                .backend
+                .native_window(allocator, arrivals, arrival_tenant_ids);
+        }
+        let window = self.backend.window();
+        let mut sp = cpo_obs::span!("shard.window", window = window);
+        let store = self
+            .backend
+            .persistent_store()
+            .unwrap_or_else(|| self.backend.admission_store());
+        let n = arrivals.request_count();
+        let metrics_before = store.metrics();
+
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut admitted_ids: Vec<TenantId> = Vec::new();
+        let mut admitted = 0usize;
+        let mut rejected = 0usize;
+        let mut denied_flows = 0usize;
+        let mut solve_critical = Duration::ZERO;
+        let mut commit_wall = Duration::ZERO;
+        let mut round = 0u64;
+
+        while !remaining.is_empty() {
+            let last_round = round >= self.config.retry_budget as u64;
+            let snapshot = store.snapshot();
+            let shard_count = self.config.shards.clamp(1, remaining.len());
+            // Round-robin partition: remaining[p] → shard p % N, local
+            // request p / N (shards preserve arrival order internally).
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+            for (p, &i) in remaining.iter().enumerate() {
+                parts[p % shard_count].push(i);
+            }
+            let solutions = solve_round(allocator, arrivals, &snapshot, &parts);
+            solve_critical += solutions
+                .iter()
+                .map(|s| s.solve_time)
+                .max()
+                .unwrap_or(Duration::ZERO);
+
+            // Commit phase: decide every remaining request in global
+            // arrival order, sequentially against the live store.
+            let commit_start = Instant::now();
+            let mut bounced: Vec<usize> = Vec::new();
+            for (p, &i) in remaining.iter().enumerate() {
+                let sol = &solutions[p % shard_count];
+                let local = RequestId(p / shard_count);
+                let tid = arrival_tenant_ids[i];
+                if !sol.accepted[local.index()] {
+                    // Solver rejection is final: the residual only
+                    // shrinks within a window.
+                    self.backend.shard_reject(tid, window);
+                    rejected += 1;
+                    continue;
+                }
+                let local_req = sol.problem.batch().request(local);
+                let placement: Vec<ServerId> = local_req
+                    .vms
+                    .iter()
+                    .map(|&k| sol.assignment.server_of(k).expect("accepted ⇒ placed"))
+                    .collect();
+                let placements: Vec<(ServerId, &[f64])> = local_req
+                    .vms
+                    .iter()
+                    .zip(&placement)
+                    .map(|(&k, &j)| (j, sol.problem.batch().vm(k).demand.as_slice()))
+                    .collect();
+                let ctx = CommitCtx {
+                    key: self.backend.flight_key_of(tid),
+                    tenant: tid.0,
+                    window,
+                    round,
+                };
+                match store.try_commit(&placements, &snapshot.versions, &ctx) {
+                    Ok(()) => {
+                        denied_flows += self
+                            .backend
+                            .shard_admit(tid, arrivals, i, &placement, window);
+                        admitted += 1;
+                        admitted_ids.push(tid);
+                    }
+                    Err(_) if last_round => {
+                        self.backend.shard_reject(tid, window);
+                        rejected += 1;
+                    }
+                    Err(_) => bounced.push(i),
+                }
+            }
+            commit_wall += commit_start.elapsed();
+            remaining = bounced;
+            round += 1;
+        }
+
+        let retry_depth_max = round.saturating_sub(1);
+        let delta = {
+            let m = store.metrics();
+            (
+                m.commits - metrics_before.commits,
+                m.conflicts - metrics_before.conflicts,
+            )
+        };
+        let attempts = delta.0 + delta.1;
+        let conflict_rate = if attempts > 0 {
+            delta.1 as f64 / attempts as f64
+        } else {
+            0.0
+        };
+        cpo_obs::counter_add("store.commits", delta.0);
+        cpo_obs::counter_add("store.conflicts", delta.1);
+        cpo_obs::gauge_set("store.conflict_rate", conflict_rate);
+        if cpo_obs::series::is_enabled() {
+            cpo_obs::series::record("store.commits", window, delta.0 as f64);
+            cpo_obs::series::record("store.conflicts", window, delta.1 as f64);
+            cpo_obs::series::record("store.conflict_rate", window, conflict_rate);
+            cpo_obs::series::record("store.retry_depth_max", window, retry_depth_max as f64);
+            cpo_obs::series::record_timing(
+                "store.commit_latency_us",
+                window,
+                commit_wall.as_micros() as f64,
+            );
+        }
+        // Admitted ids in arrival order regardless of the round a
+        // request finally committed in.
+        admitted_ids.sort_by_key(|t| t.0);
+        // The window's modeled service time is the critical path: the
+        // slowest shard of each round plus the sequential commit phase.
+        let service_time = solve_critical + commit_wall;
+        let report = self
+            .backend
+            .shard_finish(n, admitted, rejected, denied_flows, service_time);
+        sp.field("admitted", admitted)
+            .field("rejected", rejected)
+            .field("conflicts", delta.1 as usize)
+            .field("rounds", round as usize);
+        (report, admitted_ids)
+    }
+}
+
+impl ShardBackend for FleetExecutor {
+    fn window(&self) -> u64 {
+        FleetExecutor::window(self)
+    }
+
+    fn native_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        arrival_tenant_ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        self.execute_window(allocator, arrivals, arrival_tenant_ids)
+    }
+
+    fn store_protocol_at_one(&self) -> bool {
+        // Admission-only semantics: the store protocol at one shard is
+        // provably bit-identical to the native path, so run it — the
+        // equivalence suite pins that claim.
+        true
+    }
+
+    fn persistent_store(&self) -> Option<Arc<PlacementStore>> {
+        Some(Arc::clone(self.store()))
+    }
+
+    fn admission_store(&self) -> Arc<PlacementStore> {
+        Arc::clone(self.store())
+    }
+
+    fn flight_key_of(&self, tid: TenantId) -> u64 {
+        self.flight_key(tid.0)
+    }
+
+    fn shard_admit(
+        &mut self,
+        tid: TenantId,
+        arrivals: &RequestBatch,
+        req_index: usize,
+        placement: &[ServerId],
+        window: u64,
+    ) -> usize {
+        let req = arrivals.request(RequestId(req_index));
+        // reserve = false: the optimistic commit already carved the
+        // placement out of the store.
+        self.admit_request(
+            tid,
+            window,
+            arrivals,
+            req,
+            |k| {
+                let pos = req
+                    .vms
+                    .iter()
+                    .position(|&v| v == k)
+                    .expect("vm belongs to request");
+                placement[pos].index() as u32
+            },
+            false,
+        );
+        0
+    }
+
+    fn shard_reject(&mut self, tid: TenantId, window: u64) {
+        self.reject_request(tid, window);
+    }
+
+    fn shard_finish(
+        &mut self,
+        arrivals: usize,
+        admitted: usize,
+        rejected: usize,
+        _denied_flows: usize,
+        solve_time: Duration,
+    ) -> WindowReport {
+        self.finish_window(arrivals, admitted, rejected, solve_time)
+    }
+
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        FleetExecutor::register_arrivals(self, arrivals)
+    }
+
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        FleetExecutor::bind_request_keys(self, ids, keys)
+    }
+
+    fn depart_tenant(&mut self, id: TenantId) -> bool {
+        FleetExecutor::depart_tenant(self, id)
+    }
+
+    fn force_failure(&mut self, server: ServerId) -> bool {
+        FleetExecutor::force_failure(self, server)
+    }
+
+    fn force_repair(&mut self, server: ServerId) -> bool {
+        FleetExecutor::force_repair(self, server)
+    }
+
+    fn server_count(&self) -> usize {
+        FleetExecutor::server_count(self)
+    }
+
+    fn resident_requests(&self) -> usize {
+        FleetExecutor::resident_requests(self)
+    }
+}
+
+impl ShardBackend for WindowExecutor {
+    fn window(&self) -> u64 {
+        WindowExecutor::window(self)
+    }
+
+    fn native_window(
+        &mut self,
+        allocator: &dyn Allocator,
+        arrivals: &RequestBatch,
+        arrival_tenant_ids: &[TenantId],
+    ) -> (WindowReport, Vec<TenantId>) {
+        self.execute(
+            allocator,
+            arrivals,
+            arrival_tenant_ids,
+            LifetimePolicy::External,
+        )
+    }
+
+    fn store_protocol_at_one(&self) -> bool {
+        // The native path reconfigures residents (migrations); the
+        // admission-only store cannot express that, so bit-identity at
+        // one shard demands native delegation.
+        false
+    }
+
+    fn persistent_store(&self) -> Option<Arc<PlacementStore>> {
+        None
+    }
+
+    fn admission_store(&self) -> Arc<PlacementStore> {
+        Arc::new(PlacementStore::from_residual(self.admission_residual()))
+    }
+
+    fn flight_key_of(&self, tid: TenantId) -> u64 {
+        self.flight_key(tid)
+    }
+
+    fn shard_admit(
+        &mut self,
+        tid: TenantId,
+        arrivals: &RequestBatch,
+        req_index: usize,
+        placement: &[ServerId],
+        window: u64,
+    ) -> usize {
+        let req = arrivals.request(RequestId(req_index));
+        self.apply_admission(
+            tid,
+            arrivals,
+            req,
+            placement.to_vec(),
+            LifetimePolicy::External,
+            window,
+        )
+    }
+
+    fn shard_reject(&mut self, tid: TenantId, window: u64) {
+        self.apply_rejection(tid, window);
+    }
+
+    fn shard_finish(
+        &mut self,
+        arrivals: usize,
+        admitted: usize,
+        rejected: usize,
+        denied_flows: usize,
+        solve_time: Duration,
+    ) -> WindowReport {
+        // Sharded windows over the resident-pinning store never migrate.
+        self.finish_window(WindowTotals {
+            arrivals,
+            admitted,
+            rejected,
+            migrations: 0,
+            migration_cost: 0.0,
+            denied_flows,
+            solve_time,
+        })
+    }
+
+    fn register_arrivals(&mut self, arrivals: &RequestBatch) -> Vec<TenantId> {
+        WindowExecutor::register_arrivals(self, arrivals)
+    }
+
+    fn bind_request_keys(&mut self, ids: &[TenantId], keys: &[u64]) {
+        WindowExecutor::bind_request_keys(self, ids, keys)
+    }
+
+    fn depart_tenant(&mut self, id: TenantId) -> bool {
+        WindowExecutor::depart_tenant(self, id)
+    }
+
+    fn force_failure(&mut self, server: ServerId) -> bool {
+        WindowExecutor::force_failure(self, server)
+    }
+
+    fn force_repair(&mut self, server: ServerId) -> bool {
+        WindowExecutor::force_repair(self, server)
+    }
+
+    fn server_count(&self) -> usize {
+        self.infra().server_count()
+    }
+
+    fn resident_requests(&self) -> usize {
+        self.tenants().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_core::prelude::RoundRobinAllocator;
+    use cpo_model::attr::AttrSet;
+
+    fn fleet(servers: usize) -> FleetExecutor {
+        FleetExecutor::new(Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+        ))
+    }
+
+    fn batch(requests: usize, vms_each: usize) -> RequestBatch {
+        let mut b = RequestBatch::new();
+        for _ in 0..requests {
+            b.push_request(vec![vm_spec(2.0, 4096.0, 40.0); vms_each], vec![]);
+        }
+        b
+    }
+
+    fn run_window(
+        sched: &mut ShardedScheduler<FleetExecutor>,
+        arrivals: &RequestBatch,
+    ) -> (WindowReport, Vec<TenantId>) {
+        let ids = sched.backend_mut().register_arrivals(arrivals);
+        sched.execute_window(&RoundRobinAllocator, arrivals, &ids)
+    }
+
+    #[test]
+    fn single_shard_runs_store_protocol_without_conflicts() {
+        let mut sched = ShardedScheduler::new(fleet(4), ShardConfig::default());
+        let arrivals = batch(3, 2);
+        let (report, admitted) = run_window(&mut sched, &arrivals);
+        assert_eq!(report.admitted, 3);
+        assert_eq!(admitted.len(), 3);
+        let m = sched.backend().store().metrics();
+        assert_eq!(m.commits, 3);
+        assert_eq!(m.conflicts, 0, "one shard never races itself");
+        assert!(sched.backend().verify().is_ok());
+    }
+
+    #[test]
+    fn multi_shard_window_stays_feasible_and_deterministic() {
+        let run = |shards: usize| {
+            let mut sched = ShardedScheduler::new(
+                fleet(3),
+                ShardConfig {
+                    shards,
+                    retry_budget: 3,
+                },
+            );
+            // More demand than fits: forces both rejections and, with
+            // several shards, genuine commit races.
+            let arrivals = batch(12, 2);
+            let (report, admitted) = run_window(&mut sched, &arrivals);
+            assert!(sched.backend().verify().is_ok());
+            assert_eq!(report.admitted + report.rejected, 12);
+            let ids: Vec<u64> = admitted.iter().map(|t| t.0).collect();
+            (report.admitted, ids, sched.backend().store().metrics())
+        };
+        let (a1, ids1, m1) = run(4);
+        let (a2, ids2, m2) = run(4);
+        assert_eq!(a1, a2, "double-run determinism");
+        assert_eq!(ids1, ids2);
+        assert_eq!(m1, m2, "conflict counters are deterministic too");
+        let sorted: Vec<u64> = {
+            let mut v = ids1.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids1, sorted, "admitted ids reported in arrival order");
+    }
+
+    #[test]
+    fn conflicted_requests_terminate_within_budget() {
+        // One server, many shards, every request wants most of it: a
+        // conflict storm. Everyone must terminate as admitted or
+        // rejected, and the books must balance.
+        let mut sched = ShardedScheduler::new(
+            fleet(1),
+            ShardConfig {
+                shards: 6,
+                retry_budget: 2,
+            },
+        );
+        let mut arrivals = RequestBatch::new();
+        for _ in 0..12 {
+            arrivals.push_request(vec![vm_spec(12.0, 8192.0, 80.0)], vec![]);
+        }
+        let (report, _) = run_window(&mut sched, &arrivals);
+        assert_eq!(report.admitted + report.rejected, 12);
+        assert!(report.admitted >= 1, "progress: at least one commit");
+        assert!(sched.backend().verify().is_ok());
+        let m = sched.backend().store().metrics();
+        assert_eq!(m.capacity_conflicts, 0, "no solver-infeasible commits");
+    }
+
+    #[test]
+    fn window_executor_backend_shards_admission_only() {
+        let infra = Infrastructure::new(
+            AttrSet::standard(),
+            vec![("dc".into(), ServerProfile::commodity(3).build_many(4))],
+        );
+        let exec = WindowExecutor::new(infra, crate::executor::SimConfig::default());
+        let mut sched = ShardedScheduler::new(
+            exec,
+            ShardConfig {
+                shards: 2,
+                retry_budget: 2,
+            },
+        );
+        let arrivals = batch(6, 1);
+        let ids = sched.backend_mut().register_arrivals(&arrivals);
+        let (report, admitted) = sched.execute_window(&RoundRobinAllocator, &arrivals, &ids);
+        assert_eq!(report.migrations, 0, "sharded admission never migrates");
+        assert_eq!(report.admitted, admitted.len());
+        assert_eq!(report.admitted + report.rejected, 6);
+        assert!(sched.backend().verify_state().is_feasible());
+        // A second window sees the residents pinned.
+        let more = batch(2, 1);
+        let ids2 = sched.backend_mut().register_arrivals(&more);
+        let (r2, _) = sched.execute_window(&RoundRobinAllocator, &more, &ids2);
+        assert_eq!(r2.window, 1);
+        assert!(sched.backend().verify_state().is_feasible());
+    }
+}

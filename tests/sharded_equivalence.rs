@@ -1,0 +1,329 @@
+//! Differential suite for the sharded scheduler: at `shards = 1` the
+//! optimistic-commit path must be **bit-identical** to the seed
+//! (unsharded) path — same accepted/rejected sets, same placements,
+//! same provider cost to the last bit — on synthetic Poisson (fig. 8
+//! style) scenarios and on trace replay, over both the
+//! `WindowExecutor` and `FleetExecutor` backends.
+//!
+//! At `shards > 1` outcomes may legitimately differ from the seed path
+//! (each shard solves a sub-batch), so there the suite pins the weaker
+//! invariants that must always hold: every request terminates, the
+//! fleet stays feasible, and the whole run is double-run deterministic.
+
+use cpo_core::prelude::RoundRobinAllocator;
+use cpo_des::prelude::*;
+use cpo_model::attr::AttrSet;
+use cpo_model::prelude::*;
+use cpo_platform::prelude::{
+    FleetExecutor, ShardConfig, ShardedScheduler, SimConfig, WindowExecutor, WindowReport,
+};
+use cpo_scenario::prelude::ArrivalSpec;
+use cpo_traces::prelude::*;
+use std::io::Cursor;
+
+const SAMPLE: &str = include_str!("../examples/data/azure_sample.csv");
+
+fn infra(servers: usize) -> Infrastructure {
+    Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(servers))],
+    )
+}
+
+fn des_config(seed: u64) -> DesConfig {
+    DesConfig {
+        latency: LatencyModel::PerRequest {
+            base: 0.02,
+            per_request: 0.01,
+        },
+        failures: None,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Compares two window streams field by field, bitwise on the float
+/// costs, ignoring only measured wall time (`solve_time`).
+fn assert_windows_identical(native: &[WindowReport], sharded: &[WindowReport], label: &str) {
+    assert_eq!(native.len(), sharded.len(), "{label}: window count");
+    for (a, b) in native.iter().zip(sharded) {
+        assert_eq!(a.window, b.window, "{label}: window index");
+        assert_eq!(a.arrivals, b.arrivals, "{label}: arrivals @ {}", a.window);
+        assert_eq!(a.admitted, b.admitted, "{label}: admitted @ {}", a.window);
+        assert_eq!(a.rejected, b.rejected, "{label}: rejected @ {}", a.window);
+        assert_eq!(
+            a.migrations, b.migrations,
+            "{label}: migrations @ {}",
+            a.window
+        );
+        assert_eq!(
+            a.migration_cost.to_bits(),
+            b.migration_cost.to_bits(),
+            "{label}: migration cost bits @ {}",
+            a.window
+        );
+        assert_eq!(
+            a.provider_cost.to_bits(),
+            b.provider_cost.to_bits(),
+            "{label}: provider cost bits @ {}",
+            a.window
+        );
+        assert_eq!(
+            a.downtime_cost.to_bits(),
+            b.downtime_cost.to_bits(),
+            "{label}: downtime cost bits @ {}",
+            a.window
+        );
+        assert_eq!(
+            a.running_tenants, b.running_tenants,
+            "{label}: tenants @ {}",
+            a.window
+        );
+        assert_eq!(a.running_vms, b.running_vms, "{label}: vms @ {}", a.window);
+        assert_eq!(
+            a.active_servers, b.active_servers,
+            "{label}: active servers @ {}",
+            a.window
+        );
+        assert_eq!(
+            a.stranded_vms, b.stranded_vms,
+            "{label}: stranded @ {}",
+            a.window
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// FleetExecutor backend: shards=1 runs the full store protocol (solve
+// on snapshot → optimistic commit), so equality here proves the commit
+// arithmetic replays the native reserve arithmetic bit for bit.
+// ---------------------------------------------------------------------
+
+fn run_fleet_native(
+    servers: usize,
+    seed: u64,
+    rate: f64,
+    horizon: f64,
+) -> (DesReport, FleetExecutor) {
+    let source = PoissonArrivals::new(
+        ArrivalSpec {
+            rate,
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut sched = WindowedScheduler::with_backend(
+        FleetExecutor::new(infra(servers)),
+        des_config(seed),
+        source,
+    );
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    let exec = sched.into_backend();
+    (report, exec)
+}
+
+fn run_fleet_sharded(
+    servers: usize,
+    seed: u64,
+    rate: f64,
+    horizon: f64,
+    shards: usize,
+) -> (DesReport, FleetExecutor) {
+    let source = PoissonArrivals::new(
+        ArrivalSpec {
+            rate,
+            ..Default::default()
+        },
+        seed,
+    );
+    let backend = ShardedScheduler::new(
+        FleetExecutor::new(infra(servers)),
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        },
+    );
+    let mut sched = WindowedScheduler::with_backend(backend, des_config(seed), source);
+    let report = sched.run(&RoundRobinAllocator, horizon);
+    let sharded = sched.into_backend();
+    (report, sharded.into_backend())
+}
+
+/// Bitwise comparison of the two fleets' residual capacity tables: if
+/// every server's remaining headroom matches to the last bit, the two
+/// runs placed the same VMs on the same servers in the same order.
+fn assert_residuals_identical(a: &FleetExecutor, b: &FleetExecutor, label: &str) {
+    assert_eq!(a.server_count(), b.server_count(), "{label}: fleet size");
+    for j in 0..a.server_count() {
+        let ra = a.residual_row(ServerId(j));
+        let rb = b.residual_row(ServerId(j));
+        let bits_a: Vec<u64> = ra.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = rb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "{label}: residual bits of server {j}");
+    }
+}
+
+#[test]
+fn fleet_single_shard_is_bit_identical_on_poisson_arrivals() {
+    // Fig. 8 shape: more demand than the fleet can serve, so the run
+    // exercises both admission and rejection.
+    let (native, native_exec) = run_fleet_native(6, 11, 6.0, 30.0);
+    let (sharded, sharded_exec) = run_fleet_sharded(6, 11, 6.0, 30.0, 1);
+    assert_windows_identical(&native.windows, &sharded.windows, "fleet/poisson");
+    assert_residuals_identical(&native_exec, &sharded_exec, "fleet/poisson");
+    assert_eq!(
+        native_exec.resident_requests(),
+        sharded_exec.resident_requests(),
+        "resident population"
+    );
+    // The protocol ran (commits recorded), yet one shard never races
+    // itself: zero conflicts.
+    let m = sharded_exec.store().metrics();
+    assert!(
+        m.commits > 0,
+        "store protocol must actually run at shards=1"
+    );
+    assert_eq!(m.conflicts, 0, "a single shard cannot lose a race");
+    assert!(sharded_exec.verify().is_ok());
+}
+
+#[test]
+fn fleet_single_shard_is_bit_identical_on_trace_replay() {
+    let replay = |shards: Option<usize>| {
+        let reader = AzureReader::new(Cursor::new(SAMPLE), MalformedPolicy::Fail)
+            .expect("embedded sample parses");
+        let amp = Amplifier::new(
+            reader,
+            AmplifyConfig {
+                factor: 8,
+                time_jitter: 30.0,
+                demand_jitter: 0.2,
+                seed: 7,
+            },
+        )
+        .expect("sample amplifies");
+        let horizon = amp.horizon() + 120.0;
+        let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), 7);
+        let config = DesConfig {
+            window_length: 60.0,
+            latency: LatencyModel::Fixed(0.0),
+            failures: None,
+            seed: 7,
+        };
+        match shards {
+            None => {
+                let mut sched =
+                    WindowedScheduler::with_backend(FleetExecutor::new(infra(24)), config, source);
+                let report = sched.run(&RoundRobinAllocator, horizon);
+                let exec = sched.into_backend();
+                (report, exec)
+            }
+            Some(s) => {
+                let backend = ShardedScheduler::new(
+                    FleetExecutor::new(infra(24)),
+                    ShardConfig {
+                        shards: s,
+                        ..ShardConfig::default()
+                    },
+                );
+                let mut sched = WindowedScheduler::with_backend(backend, config, source);
+                let report = sched.run(&RoundRobinAllocator, horizon);
+                let sharded = sched.into_backend();
+                (report, sharded.into_backend())
+            }
+        }
+    };
+    let (native, native_exec) = replay(None);
+    let (sharded, sharded_exec) = replay(Some(1));
+    assert_windows_identical(&native.windows, &sharded.windows, "fleet/trace");
+    assert_residuals_identical(&native_exec, &sharded_exec, "fleet/trace");
+    assert_eq!(sharded_exec.store().metrics().conflicts, 0);
+}
+
+#[test]
+fn fleet_multi_shard_is_feasible_and_double_run_deterministic() {
+    let (r1, e1) = run_fleet_sharded(5, 23, 8.0, 25.0, 4);
+    let (r2, e2) = run_fleet_sharded(5, 23, 8.0, 25.0, 4);
+    assert_windows_identical(&r1.windows, &r2.windows, "fleet/4-shards double run");
+    assert_residuals_identical(&e1, &e2, "fleet/4-shards double run");
+    assert_eq!(
+        e1.store().metrics(),
+        e2.store().metrics(),
+        "conflict counters"
+    );
+    assert!(e1.verify().is_ok(), "sharded fleet books must balance");
+    // Every arrival terminated one way or the other.
+    for w in &r1.windows {
+        assert_eq!(w.arrivals, w.admitted + w.rejected, "window {}", w.window);
+    }
+}
+
+// ---------------------------------------------------------------------
+// WindowExecutor backend: shards=1 must delegate to the native
+// reconfiguration path (migrations preserved), shards>1 runs
+// admission-only over a per-window store (residents pinned).
+// ---------------------------------------------------------------------
+
+fn run_executor(
+    servers: usize,
+    seed: u64,
+    rate: f64,
+    horizon: f64,
+    shards: Option<usize>,
+) -> DesReport {
+    let source = PoissonArrivals::new(
+        ArrivalSpec {
+            rate,
+            ..Default::default()
+        },
+        seed,
+    );
+    match shards {
+        None => {
+            let mut sched = WindowedScheduler::new(
+                infra(servers),
+                SimConfig::default(),
+                des_config(seed),
+                source,
+            );
+            sched.run(&RoundRobinAllocator, horizon)
+        }
+        Some(s) => {
+            let backend = ShardedScheduler::new(
+                WindowExecutor::new(infra(servers), SimConfig::default()),
+                ShardConfig {
+                    shards: s,
+                    ..ShardConfig::default()
+                },
+            );
+            let mut sched = WindowedScheduler::with_backend(backend, des_config(seed), source);
+            sched.run(&RoundRobinAllocator, horizon)
+        }
+    }
+}
+
+#[test]
+fn executor_single_shard_is_bit_identical_on_poisson_arrivals() {
+    let native = run_executor(8, 5, 4.0, 30.0, None);
+    let sharded = run_executor(8, 5, 4.0, 30.0, Some(1));
+    assert_windows_identical(&native.windows, &sharded.windows, "executor/poisson");
+}
+
+#[test]
+fn executor_multi_shard_admits_without_migrating() {
+    let sharded = run_executor(6, 13, 7.0, 25.0, Some(3));
+    let rerun = run_executor(6, 13, 7.0, 25.0, Some(3));
+    assert_windows_identical(
+        &sharded.windows,
+        &rerun.windows,
+        "executor/3-shards double run",
+    );
+    for w in &sharded.windows {
+        assert_eq!(
+            w.migrations, 0,
+            "sharded admission never migrates (window {})",
+            w.window
+        );
+        assert_eq!(w.arrivals, w.admitted + w.rejected, "window {}", w.window);
+    }
+}

@@ -1,0 +1,251 @@
+//! Property tests over the optimistic-commit [`PlacementStore`]:
+//! randomized concurrent commit interleavings must never oversubscribe
+//! a server (the capacity side of Eqs. 9–14, re-checked from scratch
+//! via `cpo_model::constraints::check`), every transaction must
+//! terminate within a provable retry bound, and the sharded scheduler
+//! built on the store must be double-run deterministic.
+
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One logical commit transaction: a few VMs with their demands and
+/// chosen target servers.
+#[derive(Clone, Debug)]
+struct Txn {
+    /// (target server, demand row) per VM.
+    placements: Vec<(usize, Vec<f64>)>,
+}
+
+fn infra(m: usize) -> Infrastructure {
+    Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(m))],
+    )
+}
+
+/// Strategy: a fleet size plus a set of transactions targeting random
+/// servers with random (sometimes deliberately oversized) demands.
+fn txn_set() -> impl Strategy<Value = (usize, Vec<Txn>)> {
+    (2usize..6).prop_flat_map(|m| {
+        let txn = proptest::collection::vec(
+            (0..m, 1u64..14).prop_map(|(server, cpu)| {
+                let c = cpu as f64;
+                (server, vec![c, c * 1024.0, c * 10.0])
+            }),
+            1..4,
+        )
+        .prop_map(|placements| Txn { placements });
+        (Just(m), proptest::collection::vec(txn, 1..16))
+    })
+}
+
+/// Commits every transaction from `threads` worker threads, each
+/// re-snapshotting after a stale bounce, until it either commits or
+/// hits a genuine capacity rejection. Returns the committed subset (in
+/// no particular order) and the worst retry depth observed.
+fn storm(store: &Arc<PlacementStore>, txns: &[Txn], threads: usize) -> (Vec<Txn>, usize) {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = Arc::clone(store);
+                let mine: Vec<(usize, Txn)> = txns
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(i, x)| (i, x.clone()))
+                    .collect();
+                s.spawn(move || {
+                    let mut committed = Vec::new();
+                    let mut max_retries = 0usize;
+                    for (i, txn) in mine {
+                        let mut retries = 0usize;
+                        loop {
+                            let snap = store.snapshot();
+                            let placements: Vec<(ServerId, &[f64])> = txn
+                                .placements
+                                .iter()
+                                .map(|(j, d)| (ServerId(*j), d.as_slice()))
+                                .collect();
+                            let ctx = CommitCtx {
+                                key: i as u64,
+                                tenant: i as u64,
+                                window: 0,
+                                round: retries as u64,
+                            };
+                            match store.try_commit(&placements, &snap.versions, &ctx) {
+                                Ok(()) => {
+                                    committed.push(txn);
+                                    break;
+                                }
+                                Err(ConflictReason::Capacity) => break,
+                                Err(ConflictReason::Stale) => {
+                                    retries += 1;
+                                    // Progress bound: a stale bounce off a
+                                    // fresh snapshot implies someone else
+                                    // committed in between; commits are
+                                    // finite, so retries are too.
+                                    assert!(
+                                        retries <= txns.len() + 1,
+                                        "transaction {i} exceeded the retry bound"
+                                    );
+                                }
+                            }
+                        }
+                        max_retries = max_retries.max(retries);
+                    }
+                    (committed, max_retries)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut worst = 0usize;
+        for h in handles {
+            let (c, r) = h.join().expect("storm worker panicked");
+            all.extend(c);
+            worst = worst.max(r);
+        }
+        (all, worst)
+    })
+}
+
+/// Rebuilds a batch + assignment from the committed transactions and
+/// re-checks the paper's hard constraints from scratch.
+fn recheck(
+    infra: &Infrastructure,
+    committed: &[Txn],
+) -> cpo_iaas::model::constraints::ViolationReport {
+    let mut batch = RequestBatch::new();
+    let mut targets: Vec<usize> = Vec::new();
+    for txn in committed {
+        let specs: Vec<VmSpec> = txn
+            .placements
+            .iter()
+            .map(|(_, d)| VmSpec {
+                demand: d.clone(),
+                ..vm_spec(0.0, 0.0, 0.0)
+            })
+            .collect();
+        targets.extend(txn.placements.iter().map(|(j, _)| *j));
+        batch.push_request(specs, vec![]);
+    }
+    let mut assignment = Assignment::unassigned(batch.vm_count());
+    for (k, &j) in targets.iter().enumerate() {
+        assignment.assign(VmId(k), ServerId(j));
+    }
+    cpo_iaas::model::constraints::check(&assignment, &batch, infra)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No interleaving of concurrent commits may oversubscribe any
+    /// server: the committed set, re-checked from scratch against the
+    /// pristine infrastructure, is always feasible.
+    #[test]
+    fn committed_set_never_oversubscribes((m, txns) in txn_set(), threads in 1usize..5) {
+        let fleet = infra(m);
+        let store = Arc::new(PlacementStore::new(&fleet));
+        let (committed, _) = storm(&store, &txns, threads);
+        let report = recheck(&fleet, &committed);
+        prop_assert!(
+            report.is_feasible(),
+            "committed set infeasible: {:?}",
+            report.violations()
+        );
+        // Counter accuracy: every attempt is exactly one commit or one
+        // conflict, and commits equal the committed transactions.
+        let metrics = store.metrics();
+        prop_assert_eq!(metrics.commits as usize, committed.len());
+    }
+
+    /// The serial protocol (one thread) never produces a stale bounce:
+    /// every rejection is a genuine capacity rejection.
+    #[test]
+    fn serial_commits_never_go_stale((m, txns) in txn_set()) {
+        let fleet = infra(m);
+        let store = Arc::new(PlacementStore::new(&fleet));
+        let (committed, worst_retry) = storm(&store, &txns, 1);
+        prop_assert_eq!(worst_retry, 0, "serial commits cannot lose a race");
+        let metrics = store.metrics();
+        prop_assert_eq!(metrics.commits as usize, committed.len());
+        prop_assert_eq!(metrics.conflicts, metrics.capacity_conflicts);
+    }
+}
+
+/// Strategy: a one-window sharded workload — fleet size, request sizes,
+/// shard count and retry budget.
+fn sharded_window() -> impl Strategy<Value = (usize, Vec<usize>, usize, usize, u64)> {
+    (
+        1usize..6,
+        proptest::collection::vec(1usize..3, 1..20),
+        1usize..7,
+        0usize..4,
+        1u64..1_000,
+    )
+}
+
+fn run_sharded_window(
+    servers: usize,
+    request_vms: &[usize],
+    shards: usize,
+    retry_budget: usize,
+    seed: u64,
+) -> (WindowReport, Vec<u64>, StoreMetrics) {
+    let mut sched = ShardedScheduler::new(
+        FleetExecutor::new(infra(servers)),
+        ShardConfig {
+            shards,
+            retry_budget,
+        },
+    );
+    let mut arrivals = RequestBatch::new();
+    let mut s = seed;
+    for &vms in request_vms {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let cpu = 1.0 + (s >> 33) as f64 % 8.0;
+        arrivals.push_request(vec![vm_spec(cpu, cpu * 1024.0, cpu * 10.0); vms], vec![]);
+    }
+    let ids = sched.backend_mut().register_arrivals(&arrivals);
+    let (report, admitted) = sched.execute_window(&RoundRobinAllocator, &arrivals, &ids);
+    assert!(sched.backend().verify().is_ok(), "fleet books must balance");
+    (
+        report,
+        admitted.iter().map(|t| t.0).collect(),
+        sched.backend().store().metrics(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request terminates within the retry budget — admitted or
+    /// rejected, nothing lost, under any (fleet, workload, shards,
+    /// budget) combination — and the run reproduces exactly.
+    #[test]
+    fn sharded_window_terminates_and_reproduces(
+        (servers, request_vms, shards, retry_budget, seed) in sharded_window()
+    ) {
+        let (r1, a1, m1) = run_sharded_window(servers, &request_vms, shards, retry_budget, seed);
+        prop_assert_eq!(r1.arrivals, request_vms.len());
+        prop_assert_eq!(
+            r1.admitted + r1.rejected,
+            request_vms.len(),
+            "every request must terminate"
+        );
+        prop_assert_eq!(r1.admitted, a1.len());
+        let (r2, a2, m2) = run_sharded_window(servers, &request_vms, shards, retry_budget, seed);
+        prop_assert_eq!(r1.admitted, r2.admitted, "double-run determinism: admitted");
+        prop_assert_eq!(r1.rejected, r2.rejected, "double-run determinism: rejected");
+        prop_assert_eq!(
+            r1.provider_cost.to_bits(),
+            r2.provider_cost.to_bits(),
+            "double-run determinism: provider cost bits"
+        );
+        prop_assert_eq!(a1, a2, "double-run determinism: admitted ids");
+        prop_assert_eq!(m1, m2, "double-run determinism: conflict counters");
+    }
+}

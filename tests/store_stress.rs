@@ -1,0 +1,234 @@
+//! Deterministic-permutation stress of the versioned-entry commit path
+//! under conflict storms: every shard aims at one hot server, and every
+//! possible commit order is enumerated exhaustively. The store must
+//! show the same aggregate behaviour under **all** interleavings —
+//! same number of commits, same final residual bits, conflict counters
+//! that account for every attempt — plus progress (at least one commit
+//! per round) and accurate counters under a real thread storm.
+
+use cpo_iaas::model::attr::AttrSet;
+use cpo_iaas::prelude::*;
+use std::sync::Arc;
+
+fn hot_infra() -> Infrastructure {
+    Infrastructure::new(
+        AttrSet::standard(),
+        vec![("dc".into(), ServerProfile::commodity(3).build_many(1))],
+    )
+}
+
+/// All permutations of `0..n` (Heap's algorithm, deterministic order).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, xs: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(xs.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, xs, out);
+            if k.is_multiple_of(2) {
+                xs.swap(i, k - 1);
+            } else {
+                xs.swap(0, k - 1);
+            }
+        }
+    }
+    let mut xs: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    heap(n, &mut xs, &mut out);
+    out
+}
+
+/// Commits `txns` (demand rows, all against server 0) in the given
+/// order against one shared starting snapshot — the single-round
+/// conflict storm. Returns (commit flags per txn, final residual row).
+fn run_order(demands: &[Vec<f64>], order: &[usize]) -> (Vec<bool>, Vec<f64>, StoreMetrics) {
+    let store = PlacementStore::new(&hot_infra());
+    let snap = store.snapshot();
+    let mut committed = vec![false; demands.len()];
+    for &i in order {
+        let placements = [(ServerId(0), demands[i].as_slice())];
+        let ctx = CommitCtx {
+            key: i as u64,
+            tenant: i as u64,
+            window: 0,
+            round: 0,
+        };
+        committed[i] = store.try_commit(&placements, &snap.versions, &ctx).is_ok();
+    }
+    (committed, store.residual_row(ServerId(0)), store.metrics())
+}
+
+#[test]
+fn identical_demands_commit_the_same_count_under_every_permutation() {
+    // Five identical wedges, of which only a prefix fits: any order must
+    // commit exactly the same number and leave bit-identical residuals.
+    let base = PlacementStore::new(&hot_infra()).residual_row(ServerId(0));
+    let demand: Vec<f64> = base.iter().map(|c| c / 3.0).collect();
+    let demands: Vec<Vec<f64>> = (0..5).map(|_| demand.clone()).collect();
+
+    let mut expected: Option<(usize, Vec<u64>)> = None;
+    for order in permutations(demands.len()) {
+        let (committed, residual, metrics) = run_order(&demands, &order);
+        let commits = committed.iter().filter(|&&c| c).count();
+        let bits: Vec<u64> = residual.iter().map(|v| v.to_bits()).collect();
+        match &expected {
+            None => expected = Some((commits, bits)),
+            Some((want_commits, want_bits)) => {
+                assert_eq!(commits, *want_commits, "order {order:?} commit count");
+                assert_eq!(&bits, want_bits, "order {order:?} residual bits");
+            }
+        }
+        assert!(commits >= 1, "progress: some commit always lands");
+        assert!(commits < demands.len(), "storm must actually conflict");
+        // Counter accuracy: every attempt is exactly one commit or one
+        // conflict, and every bounce here is a lost race (the wedge fits
+        // a fresh snapshot), never a capacity conflict.
+        assert_eq!(metrics.commits as usize, commits, "order {order:?}");
+        assert_eq!(
+            metrics.conflicts as usize,
+            demands.len() - commits,
+            "order {order:?}"
+        );
+        assert_eq!(metrics.capacity_conflicts, 0, "order {order:?}");
+    }
+}
+
+#[test]
+fn mixed_demands_never_oversubscribe_under_any_permutation() {
+    let base = PlacementStore::new(&hot_infra()).residual_row(ServerId(0));
+    // Wedges of 50%, 35%, 30%, 20% of the hot server: which subset
+    // commits depends on the order, but the sum may never exceed 100%.
+    let fractions = [0.50, 0.35, 0.30, 0.20];
+    let demands: Vec<Vec<f64>> = fractions
+        .iter()
+        .map(|f| base.iter().map(|c| c * f).collect())
+        .collect();
+    for order in permutations(demands.len()) {
+        let (committed, residual, metrics) = run_order(&demands, &order);
+        for (l, r) in residual.iter().enumerate() {
+            assert!(
+                *r >= -1e-9,
+                "order {order:?} oversubscribed attr {l}: residual {r}"
+            );
+        }
+        let commits = committed.iter().filter(|&&c| c).count();
+        assert!(commits >= 1, "order {order:?} made no progress");
+        // The first transaction in commit order always wins: it validated
+        // against the exact snapshot it was committed under.
+        assert!(committed[order[0]], "order {order:?}: first committer lost");
+        assert_eq!(
+            (metrics.commits + metrics.conflicts) as usize,
+            demands.len(),
+            "order {order:?}: every attempt must be counted exactly once"
+        );
+        assert_eq!(metrics.commits as usize, commits, "order {order:?}");
+    }
+}
+
+#[test]
+fn round_based_retries_drain_the_storm_within_the_commit_bound() {
+    // The scheduler's protocol in miniature: bounced transactions retry
+    // on a fresh snapshot each round. Each round's first commit always
+    // succeeds, so rounds are bounded by the transaction count.
+    let store = PlacementStore::new(&hot_infra());
+    let base = store.residual_row(ServerId(0));
+    let demand: Vec<f64> = base.iter().map(|c| c / 4.0).collect();
+    let mut remaining: Vec<usize> = (0..8).collect();
+    let mut rounds = 0usize;
+    let mut done = [false; 8];
+    while !remaining.is_empty() {
+        rounds += 1;
+        assert!(rounds <= 8, "storm failed to drain: {remaining:?} left");
+        let snap = store.snapshot();
+        let mut bounced = Vec::new();
+        for &i in &remaining {
+            let placements = [(ServerId(0), demand.as_slice())];
+            let ctx = CommitCtx {
+                key: i as u64,
+                tenant: i as u64,
+                window: 0,
+                round: rounds as u64 - 1,
+            };
+            match store.try_commit(&placements, &snap.versions, &ctx) {
+                Ok(()) => done[i] = true,
+                Err(ConflictReason::Capacity) => done[i] = true, // terminal
+                Err(ConflictReason::Stale) => bounced.push(i),
+            }
+        }
+        assert!(
+            bounced.len() < remaining.len(),
+            "round {rounds} made no progress"
+        );
+        remaining = bounced;
+    }
+    assert!(done.iter().all(|&d| d), "every transaction must terminate");
+    let metrics = store.metrics();
+    // Four quarters fit; the other four eventually hit terminal
+    // capacity conflicts on fresh snapshots.
+    assert_eq!(metrics.commits, 4);
+    assert!(metrics.capacity_conflicts >= 4);
+}
+
+#[test]
+fn threaded_storm_keeps_counters_exact() {
+    // 8 threads × 6 attempts, all on the hot server, one-third wedges:
+    // exactly 3 commits can land; every other attempt must be counted
+    // as a conflict — no lost updates, no double counts.
+    let store = Arc::new(PlacementStore::new(&hot_infra()));
+    let base = store.residual_row(ServerId(0));
+    let demand: Vec<f64> = base.iter().map(|c| c / 3.0).collect();
+    let threads = 8usize;
+    let attempts_each = 6usize;
+    let snap = store.snapshot();
+    let committed: usize = std::thread::scope(|s| {
+        (0..threads)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let demand = demand.clone();
+                let versions = snap.versions.clone();
+                s.spawn(move || {
+                    let mut wins = 0usize;
+                    for a in 0..attempts_each {
+                        let placements = [(ServerId(0), demand.as_slice())];
+                        let ctx = CommitCtx {
+                            key: (t * attempts_each + a) as u64,
+                            tenant: t as u64,
+                            window: 0,
+                            round: a as u64,
+                        };
+                        if store.try_commit(&placements, &versions, &ctx).is_ok() {
+                            wins += 1;
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("storm thread panicked"))
+            .sum()
+    });
+    assert_eq!(committed, 3, "exactly three thirds fit");
+    let metrics = store.metrics();
+    assert_eq!(metrics.commits, 3);
+    assert_eq!(
+        (metrics.commits + metrics.conflicts) as usize,
+        threads * attempts_each,
+        "every attempt counted exactly once"
+    );
+    assert_eq!(
+        metrics.capacity_conflicts, 0,
+        "stale-version bounces, not capacity rejections: the wedge fits a fresh snapshot"
+    );
+    // The residual must reflect exactly three subtractions.
+    let residual = store.residual_row(ServerId(0));
+    for (l, (r, c)) in residual.iter().zip(&base).enumerate() {
+        let expect = c - demand[l] - demand[l] - demand[l];
+        assert_eq!(
+            r.to_bits(),
+            expect.to_bits(),
+            "attr {l}: residual bits after three commits"
+        );
+    }
+}
