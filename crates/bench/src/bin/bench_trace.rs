@@ -36,6 +36,15 @@
 //! (bit-identity of the optimistic-commit protocol at one shard), and
 //! the top rung is run twice to prove the conflict counters and window
 //! outcomes deterministic.
+//!
+//! Finally the top rung runs twice more under the latency-attribution
+//! profiler (`cpo_obs::prof`): per-request stage decomposition must
+//! account ≥95% of finalized requests, the deterministic profile subset
+//! must be byte-identical across the two runs, and the per-server
+//! conflict heat must sum to the store's own conflict counter. The full
+//! profile lands in `BENCH_trace_profile.json` plus a
+//! flamegraph-compatible `BENCH_trace_flame.folded`, and the
+//! deterministic attribution counters become pinned report cells.
 
 use cpo_bench::report::{Cell, Report};
 use cpo_core::prelude::RoundRobinAllocator;
@@ -362,12 +371,7 @@ fn main() {
         let modeled_rate = em as f64 / (m_ns as f64 / 1e9);
         let wall_rate = em as f64 / (wall as f64 / 1e9);
         let speedup = one_shard_modeled as f64 / m_ns as f64;
-        let attempts = metrics.commits + metrics.conflicts;
-        let conflict_rate = if attempts > 0 {
-            metrics.conflicts as f64 / attempts as f64
-        } else {
-            0.0
-        };
+        let conflict_rate = metrics.conflict_rate();
         println!(
             "  {s:>6}  {modeled_rate:>16.0}  {speedup:>6.2}x  {wall_rate:>13.0}  {:>7}  {:>9}  {conflict_rate:>13.4}",
             metrics.commits, metrics.conflicts
@@ -422,6 +426,67 @@ fn main() {
     println!(
         "sharded determinism: {top_shards} shards reproduce fingerprint {top_fp:#018x}; \
          store series -> {series_path}"
+    );
+
+    // --- latency attribution at the top rung, twice -----------------
+    // The profiler decomposes every admitted request's latency into
+    // stages and attributes each bounce to a server; its deterministic
+    // subset (counts, segments, rankings — no µs) must reproduce
+    // byte-for-byte across same-seed runs, and its conflict tables must
+    // agree with the store's own counters.
+    let run_profiled = || {
+        cpo_obs::flight::enable();
+        cpo_obs::prof::enable();
+        let (rep, _, metrics, _) = replay_sharded(&args, factor, top_shards);
+        let profile = cpo_obs::prof::snapshot().expect("profiler enabled");
+        cpo_obs::prof::disable();
+        cpo_obs::prof::reset();
+        cpo_obs::flight::disable();
+        cpo_obs::flight::reset();
+        (rep, metrics, profile)
+    };
+    let (prof_rep, prof_metrics, profile) = run_profiled();
+    let (_, _, profile2) = run_profiled();
+    assert_eq!(
+        fingerprint(&prof_rep.windows),
+        top_fp,
+        "profiling must not change replay outcomes"
+    );
+    let prof_det = profile.to_json(false);
+    assert_eq!(
+        prof_det,
+        profile2.to_json(false),
+        "deterministic profile JSON must be byte-identical across replays"
+    );
+    assert!(
+        profile.accounted_fraction() >= 0.95,
+        "stage decomposition must account >=95% of finalized requests, got {:.4}",
+        profile.accounted_fraction()
+    );
+    assert_eq!(
+        profile.bounces, prof_metrics.conflicts,
+        "profiler bounce count must equal the store's conflict counter"
+    );
+    assert_eq!(
+        profile.commits, prof_metrics.commits,
+        "profiler commit count must equal the store's commit counter"
+    );
+    let hot_total: u64 = profile.hot_servers.iter().map(|h| h.conflicts).sum();
+    assert_eq!(
+        hot_total, prof_metrics.conflicts,
+        "per-server conflict heat must sum to the store's conflict counter"
+    );
+    let profile_path = args.out.replace(".json", "_profile.json");
+    std::fs::write(&profile_path, profile.to_json(true)).expect("write profile");
+    let flame_path = args.out.replace(".json", "_flame.folded");
+    std::fs::write(&flame_path, profile.flame_folded()).expect("write flame");
+    println!(
+        "latency attribution: {:.2}% accounted over {} finalized requests, \
+         stage coverage {}/5, hot-server fingerprint {} -> {profile_path}",
+        profile.accounted_fraction() * 100.0,
+        profile.finalized(),
+        profile.stage_coverage(),
+        profile.hot_fingerprint(16),
     );
 
     let mut out = Report::new("cpo-bench-trace", 1);
@@ -481,6 +546,18 @@ fn main() {
             .int("commits", top_metrics.commits as i128)
             .int("conflicts", top_metrics.conflicts as i128)
             .float("conflict_rate", top_conflict_rate),
+    );
+    out.push(
+        Cell::new("profile.attribution")
+            .int("tracked", profile.tracked as i128)
+            .int("finalized", profile.finalized() as i128)
+            .float("accounted_fraction", profile.accounted_fraction())
+            .int("stage_coverage", profile.stage_coverage() as i128)
+            .int("commits", profile.commits as i128)
+            .int("conflicts", profile.bounces as i128)
+            .int("stale_bounces", profile.stale_bounces as i128)
+            .int("capacity_bounces", profile.capacity_bounces as i128)
+            .str("hot_fingerprint", profile.hot_fingerprint(16)),
     );
     out.write(&args.out).expect("write BENCH_trace.json");
     println!("wrote {}", args.out);

@@ -95,7 +95,17 @@ pub fn policy_for(key: &str) -> Policy {
         | "shards"
         | "commits"
         | "conflicts"
-        | "conflict_rate" => p(Direction::Exact, 0.0),
+        | "conflict_rate"
+        // Latency-attribution counters: the profiler's deterministic
+        // subset (stage coverage, accounting, per-server conflict heat
+        // ranking) must reproduce exactly or attribution changed.
+        | "tracked"
+        | "finalized"
+        | "accounted_fraction"
+        | "stage_coverage"
+        | "stale_bounces"
+        | "capacity_bounces"
+        | "hot_fingerprint" => p(Direction::Exact, 0.0),
         _ => p(Direction::Ignore, 0.0),
     }
 }

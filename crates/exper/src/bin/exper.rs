@@ -28,6 +28,15 @@
 //! sparkline summary on stdout.
 //! `exper timeline <dump.jsonl>` reconstructs timelines offline from a
 //! previously written flight dump (e.g. a panic dump).
+//!
+//! `--profile` (on `des` and `trace`) turns on the latency-attribution
+//! profiler: per-request stage decomposition (queue-wait → solve →
+//! commit attempts → bounce rounds → placement), per-window critical
+//! paths, conflict hotspot tables and tail exemplars, written to
+//! `<out-dir>/profile.json` plus a flamegraph-compatible
+//! `<out-dir>/flame.folded`. `exper profile` is trace replay with the
+//! profiler forced on — the one-command answer to "where does every
+//! microsecond of admission go".
 
 use cpo_exper::chart::{render_chart, ChartOptions};
 use cpo_exper::figures::{self, Figure, Metric};
@@ -77,6 +86,9 @@ struct Options {
     /// `des`/`trace`: shard the window solve across N workers over the
     /// optimistic-commit placement store (1 = unsharded seed path).
     shards: Option<usize>,
+    /// `des`/`trace`: run the latency-attribution profiler and write
+    /// `profile.json` + `flame.folded` under `--out-dir`.
+    profile: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -103,6 +115,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         amplify: 1,
         window: 60.0,
         shards: None,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -162,6 +175,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 ));
             }
             "--strict" => opts.strict = true,
+            "--profile" => opts.profile = true,
             "--dataset" => opts.dataset = it.next().ok_or("--dataset needs a spec")?.clone(),
             "--amplify" => {
                 let v = it.next().ok_or("--amplify needs a factor")?;
@@ -238,6 +252,98 @@ fn finish_dash(opts: &Options, what: &str) -> Result<(), String> {
     cpo_obs::dash::write_html(&bus, path, &title).map_err(|e| format!("writing {path}: {e}"))?;
     println!("  dashboard: {} series -> {path}", bus.series().len());
     print!("{}", cpo_obs::dash::ansi_summary(&bus));
+    Ok(())
+}
+
+/// Snapshots the latency-attribution profiler, prints the breakdown
+/// (stages, critical path, hotspots, tail exemplars) and writes
+/// `profile.json` + `flame.folded` under `--out-dir`.
+fn finish_profile(opts: &Options) -> Result<(), String> {
+    if !cpo_obs::prof::is_enabled() {
+        return Ok(());
+    }
+    let Some(p) = cpo_obs::prof::snapshot() else {
+        return Ok(());
+    };
+    fs::create_dir_all(&opts.out_dir).map_err(|e| format!("creating {}: {e}", opts.out_dir))?;
+    let profile_path = format!("{}/profile.json", opts.out_dir);
+    fs::write(&profile_path, p.to_json(true))
+        .map_err(|e| format!("writing {profile_path}: {e}"))?;
+    let flame_path = format!("{}/flame.folded", opts.out_dir);
+    fs::write(&flame_path, p.flame_folded()).map_err(|e| format!("writing {flame_path}: {e}"))?;
+
+    println!("latency attribution:");
+    println!(
+        "  requests: {} tracked, {} admitted, {} rejected, {} in flight",
+        p.tracked, p.admitted, p.rejected, p.in_flight
+    );
+    println!(
+        "  accounting: {:.2}% of finalized requests have ≥95% of their latency attributed to stages",
+        p.accounted_fraction() * 100.0
+    );
+    println!("  stage            segments       total µs    mean µs     p95 µs");
+    for (stage, agg) in cpo_obs::prof::Stage::ALL.iter().zip(&p.stages) {
+        println!(
+            "    {:<12} {:>10} {:>14} {:>10.1} {:>10}",
+            stage.label(),
+            agg.segments,
+            agg.total_us,
+            agg.summary.mean,
+            agg.summary.p95,
+        );
+    }
+    println!(
+        "    {:<12} {:>10} {:>14} {:>10.1} {:>10}  (end-to-end)",
+        "total", p.total.segments, p.total.total_us, p.total.summary.mean, p.total.summary.p95
+    );
+    println!(
+        "  critical path: {} windows, solve-critical {} µs + commit tail {} µs",
+        p.windows.len(),
+        p.solve_critical_us(),
+        p.commit_tail_us(),
+    );
+    println!(
+        "  commit attempts: {} committed, {} bounced ({} stale / {} capacity)",
+        p.commits, p.bounces, p.stale_bounces, p.capacity_bounces
+    );
+    let hot = p.top_hot_servers(5);
+    if hot.is_empty() {
+        println!("  conflict hotspots: none (no bounced commit attempt)");
+    } else {
+        println!(
+            "  conflict hotspots (top {}, fingerprint {}):",
+            hot.len(),
+            p.hot_fingerprint(8)
+        );
+        for h in hot {
+            println!(
+                "    server {:>6}  {:>6} bounces ({} stale / {} capacity)",
+                h.server, h.conflicts, h.stale, h.capacity
+            );
+        }
+    }
+    for e in p.exemplars.iter().take(3) {
+        println!(
+            "  tail exemplar: request {} — {} µs total ({} bounces), \
+             queue {} / solve {} / commit {} / bounce-wait {} / placement {} µs",
+            e.key,
+            e.total_us,
+            e.bounces,
+            e.stage_us[0],
+            e.stage_us[1],
+            e.stage_us[2],
+            e.stage_us[3],
+            e.stage_us[4],
+        );
+    }
+    if let Some(e) = p.exemplars.first() {
+        println!(
+            "  inspect a tail request: exper timeline {}/flight.jsonl --timeline {}",
+            opts.out_dir, e.key
+        );
+    }
+    println!("  profile: {profile_path}");
+    println!("  flame:   {flame_path} (feed to inferno/flamegraph.pl)");
     Ok(())
 }
 
@@ -356,6 +462,7 @@ fn run_des(opts: &Options) -> Result<(), String> {
             println!("    {e}");
         }
     }
+    finish_profile(opts)?;
     finish_dash(opts, "des")?;
     if let Some(uid) = opts.timeline {
         println!();
@@ -526,6 +633,7 @@ fn run_trace(opts: &Options) -> Result<(), String> {
             set.orphans.len()
         );
     }
+    finish_profile(opts)?;
     finish_dash(opts, "trace")?;
     Ok(())
 }
@@ -651,11 +759,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|trace|timeline <dump>|all> \
+            "usage: exper <table3|fig7|fig8|fig9|fig10|fig11|ext-cpr|ext-rev|ext-conv|scenario <file>|des|trace|profile|timeline <dump>|all> \
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
              [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--dash FILE] \
              [--algo NAME] [--rate R] [--horizon T] [--servers N] [--failures MTBF,MTTR] \
-             [--strict] [--dataset SPEC] [--amplify N] [--window W] [--shards N]"
+             [--strict] [--dataset SPEC] [--amplify N] [--window W] [--shards N] [--profile]"
         );
         return ExitCode::FAILURE;
     };
@@ -700,13 +808,20 @@ fn main() -> ExitCode {
     // Trace replay keeps the recorder off by default (throughput);
     // --telemetry turns it on for the post-run flight dump and --strict
     // additionally arms the full fail-fast monitor set.
-    if command == "trace" && (opts.strict || opts.telemetry) {
+    if (command == "trace" || command == "profile") && (opts.strict || opts.telemetry) {
         cpo_obs::flight::enable();
         let _ = fs::create_dir_all(&opts.out_dir);
         cpo_obs::flight::install_panic_hook(std::path::Path::new(&opts.out_dir));
         if opts.strict {
             cpo_obs::flight::set_strict(true);
         }
+    }
+    // The latency-attribution profiler needs the flight hook for its
+    // correlation keys; `exper profile` is trace replay with it forced
+    // on, `--profile` opts `des`/`trace` in.
+    if command == "profile" || (opts.profile && (command == "des" || command == "trace")) {
+        cpo_obs::flight::enable();
+        cpo_obs::prof::enable();
     }
     // --dash collects per-window fleet-health series through the run.
     if opts.dash.is_some() && (command == "des" || command == "trace") {
@@ -753,6 +868,7 @@ fn main() -> ExitCode {
         }
         "des" => run_des(&opts),
         "trace" => run_trace(&opts),
+        "profile" => run_trace(&opts),
         "timeline" => {
             let path = positional_path.expect("checked above");
             run_timeline(&path, &opts)

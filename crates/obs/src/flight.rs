@@ -84,11 +84,18 @@ pub enum FlightKind {
     /// scheduler shard took the capacity first, or it never fit).
     /// `a` = window, `b` = retry round of the bounced attempt.
     Conflicted = 14,
+    /// One rejected try_commit attempt, attributed to the first server
+    /// whose residual could not absorb the proposal. `a` = server,
+    /// `b` = the conflict-reason tag (0 stale, 1 capacity). Emitted
+    /// alongside [`FlightKind::Conflicted`] so timelines show *where*
+    /// a bounced request hit contention, and the profiler can build
+    /// per-server hotspot tables.
+    CommitAttempt = 15,
 }
 
 impl FlightKind {
     /// All kinds, for iteration in tests and exporters.
-    pub const ALL: [FlightKind; 15] = [
+    pub const ALL: [FlightKind; 16] = [
         FlightKind::Generated,
         FlightKind::Arrived,
         FlightKind::Admitted,
@@ -104,6 +111,7 @@ impl FlightKind {
         FlightKind::Marker,
         FlightKind::Committed,
         FlightKind::Conflicted,
+        FlightKind::CommitAttempt,
     ];
 
     /// Stable lower-case name used in JSONL dumps.
@@ -124,6 +132,7 @@ impl FlightKind {
             FlightKind::Marker => "marker",
             FlightKind::Committed => "committed",
             FlightKind::Conflicted => "conflicted",
+            FlightKind::CommitAttempt => "commit_attempt",
         }
     }
 
@@ -326,14 +335,28 @@ pub fn strict_monitors() -> bool {
             .get_or_init(|| std::env::var_os("CPO_STRICT_MONITORS").is_some_and(|v| v != "0"))
 }
 
-/// Records one event. When disabled this is one relaxed atomic load and
+/// Records one event. When disabled this is two relaxed atomic loads and
 /// no allocation; when enabled it is wait-free except under ring wrap.
+///
+/// Events are fanned out to every enabled consumer off one shared
+/// timestamp: the ring (when the recorder is on) and the latency
+/// profiler ([`crate::prof`], when profiling is on) see the same
+/// microsecond, so ring timelines and profiled stage decompositions
+/// agree exactly.
 #[inline]
 pub fn record(kind: FlightKind, key: u64, tenant: u64, a: u64, b: u64) {
-    if !is_enabled() {
+    let ring_on = is_enabled();
+    let prof_on = crate::prof::is_enabled();
+    if !ring_on && !prof_on {
         return;
     }
-    ring().write([crate::now_us(), kind as u64, key, tenant, a, b]);
+    let ts = crate::now_us();
+    if ring_on {
+        ring().write([ts, kind as u64, key, tenant, a, b]);
+    }
+    if prof_on {
+        crate::prof::observe(ts, kind, key, tenant, a, b);
+    }
 }
 
 /// Drops a free-form [`FlightKind::Marker`] event.

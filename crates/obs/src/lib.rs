@@ -46,6 +46,7 @@ mod export;
 pub mod flight;
 mod histogram;
 pub mod json;
+pub mod prof;
 mod registry;
 pub mod series;
 mod span;

@@ -92,9 +92,10 @@ impl Timeline {
         if count(FlightKind::Arrived) == 1 && count(FlightKind::Generated) == 0 {
             errors.push(format!("request {}: arrived without generation", self.key));
         }
-        // Store commit traffic (committed / conflicted) legally precedes
-        // the admission decision: a sharded scheduler may bounce a
-        // request several times before it is admitted or rejected.
+        // Store commit traffic (committed / conflicted / per-attempt
+        // bounces) legally precedes the admission decision: a sharded
+        // scheduler may bounce a request several times before it is
+        // admitted or rejected.
         if admissions == 0
             && self.events.iter().any(|e| {
                 !matches!(
@@ -103,6 +104,7 @@ impl Timeline {
                         | FlightKind::Arrived
                         | FlightKind::Committed
                         | FlightKind::Conflicted
+                        | FlightKind::CommitAttempt
                 )
             })
         {
@@ -204,6 +206,10 @@ impl Timeline {
                 }
                 FlightKind::Conflicted => {
                     format!("commit bounced in window {} (round {})", e.a, e.b)
+                }
+                FlightKind::CommitAttempt => {
+                    let reason = if e.b == 0 { "stale" } else { "capacity" };
+                    format!("commit attempt bounced off server {} ({reason})", e.a)
                 }
                 _ => format!("{} a={} b={}", e.kind.name(), e.a, e.b),
             };
@@ -463,6 +469,63 @@ mod tests {
         ];
         let errors = reconstruct(&events).all_errors();
         assert!(errors.iter().any(|e| e.contains("rejected yet has placed")));
+    }
+
+    #[test]
+    fn bounced_then_admitted_request_is_a_legal_lifecycle() {
+        let events = vec![
+            ev(0, FlightKind::Generated, 4, NONE, 1, 0),
+            ev(1, FlightKind::Arrived, 4, NONE, 900, 1),
+            ev(2, FlightKind::CommitAttempt, 4, NONE, 17, 1),
+            ev(3, FlightKind::Conflicted, 4, NONE, 0, 0),
+            ev(4, FlightKind::CommitAttempt, 4, NONE, 23, 0),
+            ev(5, FlightKind::Conflicted, 4, NONE, 0, 1),
+            ev(6, FlightKind::Committed, 4, NONE, 0, 2),
+            ev(7, FlightKind::Admitted, 4, 11, 0, 1),
+            ev(8, FlightKind::Placed, 4, 11, 23, 0),
+        ];
+        let set = reconstruct(&events);
+        let t = set.timeline(4).unwrap();
+        assert!(t.admitted());
+        assert_eq!(t.lifecycle_errors(), Vec::<String>::new());
+        let text = t.render();
+        assert!(text.contains("commit attempt bounced off server 17 (capacity)"));
+        assert!(text.contains("commit attempt bounced off server 23 (stale)"));
+    }
+
+    #[test]
+    fn bounced_then_rejected_request_is_a_legal_lifecycle() {
+        // Retry-budget exhaustion: every round bounces, the last round
+        // force-rejects. No commit may survive on a rejected timeline,
+        // but per-attempt bounces and round-level conflicts must.
+        let events = vec![
+            ev(0, FlightKind::Generated, 5, NONE, 1, 0),
+            ev(1, FlightKind::Arrived, 5, NONE, 950, 1),
+            ev(2, FlightKind::CommitAttempt, 5, NONE, 8, 1),
+            ev(3, FlightKind::Conflicted, 5, NONE, 0, 0),
+            ev(4, FlightKind::CommitAttempt, 5, NONE, 8, 1),
+            ev(5, FlightKind::Conflicted, 5, NONE, 0, 1),
+            ev(6, FlightKind::Rejected, 5, NONE, 0, 0),
+        ];
+        let set = reconstruct(&events);
+        let t = set.timeline(5).unwrap();
+        assert!(t.rejected() && !t.admitted());
+        assert_eq!(t.lifecycle_errors(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn undecided_request_with_commit_attempts_is_not_stage_skipping() {
+        // A run cut off mid-window may leave a request bounced but not
+        // yet decided; that must not trip the "lifecycle events before
+        // an admission decision" check.
+        let events = vec![
+            ev(0, FlightKind::Generated, 6, NONE, 1, 0),
+            ev(1, FlightKind::Arrived, 6, NONE, 10, 1),
+            ev(2, FlightKind::CommitAttempt, 6, NONE, 3, 0),
+            ev(3, FlightKind::Conflicted, 6, NONE, 0, 0),
+        ];
+        let errors = reconstruct(&events).all_errors();
+        assert_eq!(errors, Vec::<String>::new());
     }
 
     #[test]

@@ -460,9 +460,20 @@ impl WindowExecutor {
         let window = self.window;
         let mut sp = cpo_obs::span!("platform.window", window = window);
         let (problem, running_requests) = self.build_window_problem(arrivals);
+        let prof_on = cpo_obs::prof::is_enabled();
+        let solve_start_us = if prof_on { cpo_obs::now_us() } else { 0 };
         let solve_start = Instant::now();
         let outcome = allocator.allocate(&problem);
         let solve_time = solve_start.elapsed();
+        if prof_on {
+            cpo_obs::prof::solve_phase(
+                window,
+                0,
+                solve_start_us,
+                cpo_obs::now_us(),
+                &[solve_time.as_micros() as u64],
+            );
+        }
         let accepted = problem.accepted_requests(&outcome.assignment);
 
         // --- Apply to running tenants (never evicted: a tenant whose

@@ -160,9 +160,20 @@ impl FleetExecutor {
         let window = self.window;
         let mut sp = cpo_obs::span!("fleet.window", window = window);
         let problem = AllocationProblem::new(self.store.residual_clone(), arrivals.clone(), None);
+        let prof_on = cpo_obs::prof::is_enabled();
+        let solve_start_us = if prof_on { cpo_obs::now_us() } else { 0 };
         let solve_start = Instant::now();
         let outcome = allocator.allocate(&problem);
         let solve_time = solve_start.elapsed();
+        if prof_on {
+            cpo_obs::prof::solve_phase(
+                window,
+                0,
+                solve_start_us,
+                cpo_obs::now_us(),
+                &[solve_time.as_micros() as u64],
+            );
+        }
         let accepted = problem.accepted_requests(&outcome.assignment);
 
         let mut admitted = 0usize;

@@ -315,7 +315,22 @@ impl<B: ShardBackend> ShardedScheduler<B> {
             for (p, &i) in remaining.iter().enumerate() {
                 parts[p % shard_count].push(i);
             }
+            let prof_on = cpo_obs::prof::is_enabled();
+            let solve_start_us = if prof_on { cpo_obs::now_us() } else { 0 };
             let solutions = solve_round(allocator, arrivals, &snapshot, &parts);
+            if prof_on {
+                let shard_us: Vec<u64> = solutions
+                    .iter()
+                    .map(|s| s.solve_time.as_micros() as u64)
+                    .collect();
+                cpo_obs::prof::solve_phase(
+                    window,
+                    round,
+                    solve_start_us,
+                    cpo_obs::now_us(),
+                    &shard_us,
+                );
+            }
             solve_critical += solutions
                 .iter()
                 .map(|s| s.solve_time)
@@ -370,31 +385,24 @@ impl<B: ShardBackend> ShardedScheduler<B> {
                     Err(_) => bounced.push(i),
                 }
             }
-            commit_wall += commit_start.elapsed();
+            let commit_elapsed = commit_start.elapsed();
+            commit_wall += commit_elapsed;
+            if prof_on {
+                cpo_obs::prof::commit_phase(window, round, commit_elapsed.as_micros() as u64);
+            }
             remaining = bounced;
             round += 1;
         }
 
         let retry_depth_max = round.saturating_sub(1);
-        let delta = {
-            let m = store.metrics();
-            (
-                m.commits - metrics_before.commits,
-                m.conflicts - metrics_before.conflicts,
-            )
-        };
-        let attempts = delta.0 + delta.1;
-        let conflict_rate = if attempts > 0 {
-            delta.1 as f64 / attempts as f64
-        } else {
-            0.0
-        };
-        cpo_obs::counter_add("store.commits", delta.0);
-        cpo_obs::counter_add("store.conflicts", delta.1);
+        let delta = store.metrics().since(&metrics_before);
+        let conflict_rate = delta.conflict_rate();
+        cpo_obs::counter_add("store.commits", delta.commits);
+        cpo_obs::counter_add("store.conflicts", delta.conflicts);
         cpo_obs::gauge_set("store.conflict_rate", conflict_rate);
         if cpo_obs::series::is_enabled() {
-            cpo_obs::series::record("store.commits", window, delta.0 as f64);
-            cpo_obs::series::record("store.conflicts", window, delta.1 as f64);
+            cpo_obs::series::record("store.commits", window, delta.commits as f64);
+            cpo_obs::series::record("store.conflicts", window, delta.conflicts as f64);
             cpo_obs::series::record("store.conflict_rate", window, conflict_rate);
             cpo_obs::series::record("store.retry_depth_max", window, retry_depth_max as f64);
             cpo_obs::series::record_timing(
@@ -414,7 +422,7 @@ impl<B: ShardBackend> ShardedScheduler<B> {
             .shard_finish(n, admitted, rejected, denied_flows, service_time);
         sp.field("admitted", admitted)
             .field("rejected", rejected)
-            .field("conflicts", delta.1 as usize)
+            .field("conflicts", delta.conflicts as usize)
             .field("rounds", round as usize);
         (report, admitted_ids)
     }

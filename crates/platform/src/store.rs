@@ -27,7 +27,10 @@
 //! Every commit decision is recorded on the flight ring
 //! ([`FlightKind::Committed`] / [`FlightKind::Conflicted`], with the
 //! request's correlation key, window and retry round) so a request's
-//! path scheduler → store → executor is one traceable timeline.
+//! path scheduler → store → executor is one traceable timeline. A
+//! bounce additionally emits [`FlightKind::CommitAttempt`] naming the
+//! first server the proposal overdrew and the [`ConflictReason`] tag —
+//! the raw material for per-server conflict hotspot attribution.
 //!
 //! Interior mutability is a single [`Mutex`] around the whole entry
 //! table: commits must observe a consistent multi-server state, and the
@@ -95,6 +98,15 @@ impl ConflictReason {
             ConflictReason::Capacity => "capacity",
         }
     }
+
+    /// Stable numeric tag carried in the `b` slot of
+    /// [`FlightKind::CommitAttempt`] events (0 = stale, 1 = capacity).
+    pub fn tag(self) -> u64 {
+        match self {
+            ConflictReason::Stale => 0,
+            ConflictReason::Capacity => 1,
+        }
+    }
 }
 
 /// Correlation context for one commit attempt, threaded onto the flight
@@ -130,6 +142,34 @@ pub struct StoreMetrics {
     pub conflicts: u64,
     /// Bounces with [`ConflictReason::Capacity`] — should stay zero.
     pub capacity_conflicts: u64,
+}
+
+impl StoreMetrics {
+    /// Total commit attempts (accepted + bounced).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.conflicts
+    }
+
+    /// Fraction of attempts that bounced. A run that attempts nothing
+    /// (empty window, all-rejected) has no conflicts by definition, so
+    /// the rate is 0.0 — never NaN.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.attempts() as f64
+        }
+    }
+
+    /// The per-window delta of `self` over an earlier `baseline`
+    /// reading of the same store.
+    pub fn since(&self, baseline: &StoreMetrics) -> StoreMetrics {
+        StoreMetrics {
+            commits: self.commits - baseline.commits,
+            conflicts: self.conflicts - baseline.conflicts,
+            capacity_conflicts: self.capacity_conflicts - baseline.capacity_conflicts,
+        }
+    }
 }
 
 struct StoreInner {
@@ -236,11 +276,21 @@ impl PlacementStore {
                     ctx.round,
                 );
             }
-            Err(reason) => {
+            Err((reason, server)) => {
                 inner.metrics.conflicts += 1;
                 if reason == ConflictReason::Capacity {
                     inner.metrics.capacity_conflicts += 1;
                 }
+                // One attempt-level event per bounce, carrying the first
+                // server that no longer fits — the profiler's hot-server
+                // tables count these, so their sum equals `conflicts`.
+                flight::record(
+                    FlightKind::CommitAttempt,
+                    ctx.key,
+                    ctx.tenant,
+                    server.index() as u64,
+                    reason.tag(),
+                );
                 flight::record(
                     FlightKind::Conflicted,
                     ctx.key,
@@ -252,7 +302,7 @@ impl PlacementStore {
         }
         drop(inner);
         cpo_obs::record_value("store.commit_ns", start.elapsed().as_nanos() as u64);
-        result
+        result.map_err(|(reason, _)| reason)
     }
 
     /// Carves `demand` out of server `j`'s residual (no-op when the
@@ -308,11 +358,14 @@ impl PlacementStore {
 }
 
 impl StoreInner {
+    /// On a bounce, returns the reason plus the first touched server
+    /// (in first-touch order) whose residual the proposal overdraws —
+    /// the attribution target for hot-server conflict tables.
     fn validate_and_apply(
         &mut self,
         placements: &[(ServerId, &[f64])],
         snapshot_versions: &[u64],
-    ) -> Result<(), ConflictReason> {
+    ) -> Result<(), (ConflictReason, ServerId)> {
         // Touched servers, deduplicated in first-touch order.
         let mut touched: Vec<usize> = Vec::with_capacity(placements.len());
         for &(j, _) in placements {
@@ -339,12 +392,16 @@ impl StoreInner {
                 *c -= d;
             }
         }
-        if rows.iter().any(|row| row.iter().any(|&c| c < -FIT_EPS)) {
-            return Err(if stale {
+        if let Some(slot) = rows
+            .iter()
+            .position(|row| row.iter().any(|&c| c < -FIT_EPS))
+        {
+            let reason = if stale {
                 ConflictReason::Stale
             } else {
                 ConflictReason::Capacity
-            });
+            };
+            return Err((reason, ServerId(touched[slot])));
         }
         // Fits now → apply per VM, in order, through the same
         // adjust_capacity calls the sequential path makes, so the
@@ -503,6 +560,70 @@ mod tests {
             committed.residual_row(ServerId(0)),
             reserved.residual_row(ServerId(0)),
             "commit and reserve must be the same float sequence"
+        );
+    }
+
+    #[test]
+    fn conflict_rate_of_an_idle_store_is_zero_not_nan() {
+        let m = StoreMetrics::default();
+        assert_eq!(m.attempts(), 0);
+        assert_eq!(m.conflict_rate(), 0.0, "empty window must not yield NaN");
+        let busy = StoreMetrics {
+            commits: 3,
+            conflicts: 1,
+            capacity_conflicts: 0,
+        };
+        assert_eq!(busy.attempts(), 4);
+        assert!((busy.conflict_rate() - 0.25).abs() < 1e-12);
+        let delta = busy.since(&StoreMetrics {
+            commits: 2,
+            conflicts: 1,
+            capacity_conflicts: 0,
+        });
+        assert_eq!((delta.commits, delta.conflicts), (1, 0));
+        assert_eq!(
+            delta.conflict_rate(),
+            0.0,
+            "all-commit delta has no conflicts"
+        );
+    }
+
+    #[test]
+    fn bounce_emits_a_commit_attempt_naming_the_offending_server() {
+        let store = PlacementStore::new(&infra(2));
+        let snap = store.snapshot();
+        let row = store.residual_row(ServerId(1));
+        let small = vec![1.0, 1.0, 1.0];
+        let oversized = vec![row[0] * 2.0, 1.0, 1.0];
+        flight::enable();
+        let err = store
+            .try_commit(
+                // Server 0 fits; server 1 is the first overdraw.
+                &[(ServerId(0), &small), (ServerId(1), &oversized)],
+                &snap.versions,
+                &CommitCtx {
+                    key: 77,
+                    tenant: 5,
+                    window: 2,
+                    round: 0,
+                },
+            )
+            .expect_err("server 1 cannot fit twice its row");
+        let events = flight::snapshot().events;
+        flight::disable();
+        flight::reset();
+        assert_eq!(err, ConflictReason::Capacity);
+        let attempt = events
+            .iter()
+            .find(|e| e.kind == FlightKind::CommitAttempt && e.key == 77)
+            .expect("bounce must emit a commit_attempt event");
+        assert_eq!(attempt.a, 1, "names the first infeasible server");
+        assert_eq!(attempt.b, ConflictReason::Capacity.tag());
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == FlightKind::Conflicted && e.key == 77),
+            "round-level conflicted event still follows"
         );
     }
 
