@@ -13,6 +13,12 @@
 //! * `tabu.move_scoring.{delta,full}` — the fig8 seed-42 tabu polish
 //!   under incremental vs full move scoring (wall time, `eval_work`
 //!   model-cell counter), plus the full/delta work ratio;
+//! * `tabu.parallel_scan.t{1,2,4}` — the same polish under the
+//!   exhaustive n·m scan at 1/2/4 logical partitions; the trajectory is
+//!   asserted bit-identical across thread counts, the t1/t4 speedup is
+//!   reported informationally;
+//! * `tabu.candidate_list` — candidate-list neighborhood vs the
+//!   exhaustive scan (scan reduction, deterministic counters);
 //! * `alloc.<label>.flight_{off,on}` — one allocator sweep with the
 //!   flight recorder disabled vs enabled, plus the overhead ratio. The
 //!   recorder's acceptance bar is ≤5% overhead when enabled; the ratio
@@ -26,7 +32,7 @@ use cpo_des::queue::synthetic_churn;
 use cpo_exper::runner::{Algorithm, Effort};
 use cpo_model::prelude::*;
 use cpo_obs::flight;
-use cpo_tabu::{tabu_search, Scoring, TabuConfig};
+use cpo_tabu::{tabu_search, Neighborhood, Scoring, TabuConfig};
 use std::time::Instant;
 
 /// Median wall time of `reps` runs of `f`, in nanoseconds.
@@ -151,6 +157,109 @@ fn main() {
     let work_ratio = works[1] as f64 / works[0] as f64;
     println!("tabu.move_scoring: full/delta eval-work ratio {work_ratio:.1}");
     report.push(Cell::new("tabu.move_scoring.ratio").float("work_ratio", work_ratio));
+
+    // --- tabu: parallel exhaustive scan at 1/2/4 partitions ---------
+    // The fig8 seed-42 polish under the exhaustive n·m scan. The
+    // trajectory is asserted bit-identical across thread counts right
+    // here (placement fingerprint + every counter); wall time and the
+    // speedup are *reported* — physical parallelism is whatever the CI
+    // host provides, so the speedup is informational, not gated.
+    let scan_config = |threads| TabuConfig {
+        tenure: 24,
+        max_iterations: 60,
+        candidates: 48,
+        seed: 42,
+        scoring: Scoring::Delta,
+        neighborhood: Neighborhood::Exhaustive,
+        threads,
+        ..TabuConfig::default()
+    };
+    let fingerprint = |a: &Assignment| -> i128 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for k in 0..a.len() {
+            let v = a.server_of(VmId(k)).map_or(u64::MAX, |j| j.index() as u64);
+            hash ^= v.wrapping_add(1);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash as i128
+    };
+    let mut walls = [0u128; 3];
+    let mut reference = None;
+    for (slot, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let config = scan_config(threads);
+        let mut result = None;
+        let wall_ns = median_ns(3, || {
+            result = Some(tabu_search(&problem, start.clone(), &config));
+        });
+        let result = result.expect("tabu ran");
+        walls[slot] = wall_ns;
+        let probe = (
+            fingerprint(&result.best),
+            result.accepted_moves,
+            result.candidates_scanned,
+            result.delta_evals,
+            result.eval_work,
+        );
+        match &reference {
+            None => reference = Some(probe),
+            Some(r) => assert_eq!(
+                *r, probe,
+                "parallel scan at {threads} threads diverged from serial"
+            ),
+        }
+        let name = format!("tabu.parallel_scan.t{threads}");
+        println!(
+            "{name}: {:.2} ms, {} scanned, eval_work {}",
+            wall_ns as f64 / 1e6,
+            result.candidates_scanned,
+            result.eval_work
+        );
+        report.push(
+            Cell::new(name)
+                .int("wall_ns", wall_ns as i128)
+                .int("fingerprint", probe.0)
+                .int("eval_work", result.eval_work as i128)
+                .int("delta_evals", result.delta_evals as i128)
+                .int("candidates_scanned", result.candidates_scanned as i128),
+        );
+    }
+    let speedup_x4 = walls[0] as f64 / walls[2] as f64;
+    println!("tabu.parallel_scan: t1/t4 speedup {speedup_x4:.2}×");
+    report.push(Cell::new("tabu.parallel_scan.speedup").float("speedup_x4", speedup_x4));
+
+    // --- tabu: candidate lists vs the exhaustive scan ---------------
+    // Same polish, candidate-list neighborhood: the point is reaching a
+    // comparable incumbent while scanning far fewer moves. Scanned and
+    // eval-work counts are deterministic (Exact in the diff policy);
+    // the scan-reduction ratio is derived.
+    {
+        let config = TabuConfig {
+            neighborhood: Neighborhood::Candidates { refresh: 16 },
+            ..scan_config(1)
+        };
+        let mut result = None;
+        let wall_ns = median_ns(3, || {
+            result = Some(tabu_search(&problem, start.clone(), &config));
+        });
+        let result = result.expect("tabu ran");
+        let exhaustive_scanned = reference.expect("scan cells ran").2;
+        let scan_reduction = exhaustive_scanned as f64 / result.candidates_scanned.max(1) as f64;
+        println!(
+            "tabu.candidate_list: {:.2} ms, {} scanned ({scan_reduction:.1}× fewer), eval_work {}",
+            wall_ns as f64 / 1e6,
+            result.candidates_scanned,
+            result.eval_work
+        );
+        report.push(
+            Cell::new("tabu.candidate_list")
+                .int("wall_ns", wall_ns as i128)
+                .int("fingerprint", fingerprint(&result.best))
+                .int("eval_work", result.eval_work as i128)
+                .int("delta_evals", result.delta_evals as i128)
+                .int("candidates_scanned", result.candidates_scanned as i128)
+                .float("scan_reduction", scan_reduction),
+        );
+    }
 
     // --- allocator sweep: flight recorder off vs on -----------------
     let problem = bench_problem(15, false, 42);

@@ -46,8 +46,12 @@
 //! flamegraph-compatible `BENCH_trace_flame.folded`, and the
 //! deterministic attribution counters become pinned report cells.
 
+use cpo_bench::bench_problem;
 use cpo_bench::report::{Cell, Report};
-use cpo_core::prelude::RoundRobinAllocator;
+use cpo_core::prelude::{
+    AllocationOutcome, Allocator, CpAllocator, FilteringAllocator, PortfolioAllocator,
+    PortfolioCriterion, RoundRobinAllocator, TabuSearchAllocator,
+};
 use cpo_des::prelude::*;
 use cpo_model::attr::AttrSet;
 use cpo_model::prelude::*;
@@ -55,9 +59,10 @@ use cpo_platform::prelude::{
     FleetExecutor, ShardConfig, ShardedScheduler, StoreMetrics, WindowReport,
 };
 use cpo_scenario::prelude::ArrivalSpec;
+use cpo_tabu::{tabu_search, Neighborhood, Scoring, TabuConfig};
 use cpo_traces::prelude::*;
 use std::io::Cursor;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The committed 64-row Azure-style seed trace (3600 s span).
 const SAMPLE: &str = include_str!("../../../../examples/data/azure_sample.csv");
@@ -154,6 +159,7 @@ fn replay(args: &Args, factor: usize) -> (DesReport, usize, f64) {
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed: args.seed,
+        solve_deadline: None,
     };
     let backend = FleetExecutor::new(fleet(args.servers));
     let mut sched = WindowedScheduler::with_backend(backend, config, source);
@@ -180,6 +186,7 @@ fn replay_sharded(
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed: args.seed,
+        solve_deadline: None,
     };
     let backend = ShardedScheduler::new(
         FleetExecutor::new(fleet(args.servers)),
@@ -198,6 +205,82 @@ fn replay_sharded(
     let metrics = sched.backend().backend().store().metrics();
     let emitted = sched.source().emitted() as usize;
     (report, emitted, metrics, wall_ns)
+}
+
+/// One down-scaled replay under a per-window solve deadline: the trace
+/// at a reduced amplification on a deliberately tight fleet, so the
+/// allocators compete on admission, not on an empty data center. The
+/// deadline is generous (node budgets, not the wall clock, bound the
+/// members) so the outcome stays deterministic.
+fn replay_raced(
+    args: &Args,
+    factor: usize,
+    servers: usize,
+    allocator: &dyn Allocator,
+    deadline: Duration,
+) -> DesReport {
+    let amp = amplifier(factor, args.seed);
+    let horizon = amp.horizon() + 2.0 * args.window;
+    let source = TraceArrivalSource::new(amp, ArrivalSpec::default(), args.seed);
+    let config = DesConfig {
+        window_length: args.window,
+        latency: LatencyModel::Fixed(0.0),
+        failures: None,
+        seed: args.seed,
+        solve_deadline: Some(deadline),
+    };
+    let backend = FleetExecutor::new(fleet(servers));
+    let mut sched = WindowedScheduler::with_backend(backend, config, source);
+    let report = sched.run(allocator, horizon);
+    if let Some(err) = sched.source().error() {
+        panic!("trace stream failed: {err}");
+    }
+    report
+}
+
+/// Wraps the racing portfolio and, on every window solve, also runs each
+/// member alone on the *same* batch and residual snapshot, asserting the
+/// race never admits fewer than its best member. This is the per-window
+/// dominance the racing reduction guarantees; cumulative admission over
+/// a stateful replay is reported but not asserted, because a cost-better
+/// tie in one window legitimately changes the residual the next window
+/// sees.
+struct RaceDominanceProbe {
+    race: PortfolioAllocator,
+    members: Vec<(&'static str, Box<dyn Allocator>)>,
+    budget: Duration,
+    /// (windows checked, minimum race-minus-best-member margin).
+    stats: std::sync::Mutex<(usize, i64)>,
+}
+
+impl Allocator for RaceDominanceProbe {
+    fn name(&self) -> &'static str {
+        "portfolio-race-probe"
+    }
+
+    fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        let out = self.race.allocate(problem);
+        let (best, best_label) = self
+            .members
+            .iter()
+            .map(|(label, m)| {
+                let solo = m.allocate_with_deadline(problem, Deadline::within(self.budget));
+                (solo.accepted_requests, *label)
+            })
+            .max()
+            .expect("the portfolio has members");
+        assert!(
+            out.accepted_requests >= best,
+            "window of {} requests: race admitted {} but member {best_label} admitted {best}",
+            problem.n(),
+            out.accepted_requests
+        );
+        let margin = out.accepted_requests as i64 - best as i64;
+        let mut s = self.stats.lock().expect("probe stats");
+        s.0 += 1;
+        s.1 = s.1.min(margin);
+        out
+    }
 }
 
 /// Summed per-window service time — for a sharded window the critical
@@ -489,6 +572,134 @@ fn main() {
         profile.hot_fingerprint(16),
     );
 
+    // --- deadline-raced portfolio vs its members --------------------
+    // The anytime admission claim, on the trace itself: a down-scaled
+    // replay on a deliberately tight fleet, all solves under the same
+    // generous per-window deadline. The race keeps the best member
+    // outcome per window, so on every window batch — same residual, same
+    // requests — it can only tie or beat each member; the probe asserts
+    // exactly that, window by window. Each member's *solo trajectory* is
+    // also replayed and reported: cumulative admission is informational,
+    // not asserted, because a cost-better tie in one window legitimately
+    // changes the residual the next window sees. Members are
+    // node-budgeted (never wall-clock-cut) so every count is
+    // deterministic.
+    let race_factor = 8usize;
+    let race_servers = 4usize;
+    let race_deadline = Duration::from_secs(10);
+    let cp_member = || CpAllocator {
+        per_request_deadline: Duration::from_secs(1),
+        max_nodes: Some(20_000),
+        ..CpAllocator::default()
+    };
+    let make_members = || -> Vec<(&'static str, Box<dyn Allocator>)> {
+        vec![
+            ("filtering", Box::new(FilteringAllocator)),
+            ("constraint-programming", Box::new(cp_member())),
+            ("tabu-search", Box::<TabuSearchAllocator>::default()),
+        ]
+    };
+    println!(
+        "deadline-raced portfolio ({} arrivals, {race_servers} servers, {:.0}s deadline):",
+        base_len * race_factor,
+        race_deadline.as_secs_f64()
+    );
+    let mut member_cells = Vec::new();
+    for (label, member) in &make_members() {
+        let rep = replay_raced(
+            &args,
+            race_factor,
+            race_servers,
+            member.as_ref(),
+            race_deadline,
+        );
+        let admitted = rep.total_admitted();
+        println!(
+            "  {label:<24} admitted {admitted:>5}  rejected {:>5}",
+            rep.total_rejected()
+        );
+        member_cells.push((*label, admitted, rep.total_rejected()));
+    }
+    let probe = RaceDominanceProbe {
+        race: PortfolioAllocator::racing(
+            make_members().into_iter().map(|(_, m)| m).collect(),
+            PortfolioCriterion::AcceptanceThenCost,
+            Some(race_deadline),
+        ),
+        members: make_members(),
+        budget: race_deadline,
+        stats: std::sync::Mutex::new((0, i64::MAX)),
+    };
+    let race_rep = replay_raced(&args, race_factor, race_servers, &probe, race_deadline);
+    let race_admitted = race_rep.total_admitted();
+    let (race_windows, race_min_margin) = *probe.stats.lock().expect("probe stats");
+    println!(
+        "  {:<24} admitted {race_admitted:>5}  rejected {:>5}",
+        "portfolio-race",
+        race_rep.total_rejected()
+    );
+    println!(
+        "  per-window dominance held on all {race_windows} windows (min margin {race_min_margin})"
+    );
+
+    // --- parallel-scan scaling table --------------------------------
+    // The exhaustive tabu scan at a thread ladder on the fig8 seed-42
+    // polish. The trajectory is asserted identical at every rung (the
+    // partitioning is logical); wall time and speedup are reported for
+    // whatever cores the host actually has — informational, not gated.
+    let scan_problem = bench_problem(100, false, 42);
+    let mut s = 7u64;
+    let genes: Vec<usize> = (0..scan_problem.n())
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as usize % scan_problem.m()
+        })
+        .collect();
+    let scan_start = Assignment::from_genes(&genes);
+    println!(
+        "parallel exhaustive scan scaling (n·m = {}):",
+        scan_problem.n() * scan_problem.m()
+    );
+    println!("  threads  wall-ms  speedup");
+    let mut scan_cells = Vec::new();
+    let mut t1_ns = 0u128;
+    let mut scan_ref = None;
+    for threads in [1usize, 2, 4, 8] {
+        let config = TabuConfig {
+            tenure: 24,
+            max_iterations: 60,
+            candidates: 48,
+            seed: 42,
+            scoring: Scoring::Delta,
+            neighborhood: Neighborhood::Exhaustive,
+            threads,
+            ..TabuConfig::default()
+        };
+        let t0 = Instant::now();
+        let result = tabu_search(&scan_problem, scan_start.clone(), &config);
+        let wall = t0.elapsed().as_nanos();
+        if threads == 1 {
+            t1_ns = wall;
+        }
+        let probe = (
+            result.accepted_moves,
+            result.candidates_scanned,
+            result.eval_work,
+        );
+        match &scan_ref {
+            None => scan_ref = Some(probe),
+            Some(r) => assert_eq!(*r, probe, "scan at {threads} threads diverged"),
+        }
+        let speedup = t1_ns as f64 / wall as f64;
+        println!(
+            "  {threads:>7}  {:>7.1}  {speedup:>6.2}x",
+            wall as f64 / 1e6
+        );
+        scan_cells.push((threads, wall, speedup));
+    }
+
     let mut out = Report::new("cpo-bench-trace", 1);
     out.push(
         Cell::new("trace.config")
@@ -547,6 +758,28 @@ fn main() {
             .int("conflicts", top_metrics.conflicts as i128)
             .float("conflict_rate", top_conflict_rate),
     );
+    let mut race_cell = Cell::new("trace.race")
+        .int("arrivals", (base_len * race_factor) as i128)
+        .int("servers", race_servers as i128)
+        .int("deadline_ms", race_deadline.as_millis() as i128)
+        .int("admitted", race_admitted as i128)
+        .int("rejected", race_rep.total_rejected() as i128)
+        .int("windows_checked", race_windows as i128)
+        .int("min_window_margin", race_min_margin as i128);
+    for (label, admitted, rejected) in &member_cells {
+        let key = label.replace('-', "_");
+        race_cell = race_cell
+            .int(format!("{key}_admitted"), *admitted as i128)
+            .int(format!("{key}_rejected"), *rejected as i128);
+    }
+    out.push(race_cell);
+    for (threads, wall, speedup) in &scan_cells {
+        out.push(
+            Cell::new(format!("tabu.scan_scaling.t{threads}"))
+                .int("wall_ns", *wall as i128)
+                .float("speedup_vs_t1", *speedup),
+        );
+    }
     out.push(
         Cell::new("profile.attribution")
             .int("tracked", profile.tracked as i128)

@@ -4,6 +4,7 @@
 //! cost (Fig. 11).
 
 use cpo_model::constraints::Violation;
+use cpo_model::deadline::Deadline;
 use cpo_model::prelude::*;
 use std::time::Duration;
 
@@ -122,6 +123,62 @@ pub trait Allocator: Sync {
 
     /// Produces a placement for the problem.
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome;
+
+    /// Produces a placement under a wall-clock [`Deadline`].
+    ///
+    /// Anytime allocators (CP, tabu polish, racing portfolios) override
+    /// this to cut their search at the deadline and return the best
+    /// incumbent found so far; the default ignores the deadline — for a
+    /// one-pass heuristic (round-robin, filtering) there is no search to
+    /// cut, so the plain run *is* the anytime behaviour.
+    fn allocate_with_deadline(
+        &self,
+        problem: &AllocationProblem,
+        deadline: Deadline,
+    ) -> AllocationOutcome {
+        let _ = deadline;
+        self.allocate(problem)
+    }
+}
+
+/// Borrows an allocator and imposes a per-call wall-clock budget on it:
+/// every `allocate` becomes `allocate_with_deadline(now + budget)`, and
+/// an incoming deadline is tightened to whichever bound expires first.
+///
+/// This is how the windowed scheduler enforces `solve_deadline` without
+/// knowing which algorithm it drives — the wrapper composes with any
+/// [`Allocator`], and allocators that ignore deadlines simply run as
+/// before.
+pub struct DeadlineBound<'a> {
+    inner: &'a dyn Allocator,
+    budget: Duration,
+}
+
+impl<'a> DeadlineBound<'a> {
+    /// Bounds every call on `inner` to `budget` from call time.
+    pub fn new(inner: &'a dyn Allocator, budget: Duration) -> Self {
+        Self { inner, budget }
+    }
+}
+
+impl Allocator for DeadlineBound<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        self.inner
+            .allocate_with_deadline(problem, Deadline::within(self.budget))
+    }
+
+    fn allocate_with_deadline(
+        &self,
+        problem: &AllocationProblem,
+        deadline: Deadline,
+    ) -> AllocationOutcome {
+        self.inner
+            .allocate_with_deadline(problem, deadline.earliest(Deadline::within(self.budget)))
+    }
 }
 
 /// Records one `Allocator::allocate` call into the observability

@@ -11,6 +11,7 @@
 
 use crate::allocator::{AllocationOutcome, Allocator};
 use cpo_cpsolve::prelude::*;
+use cpo_model::deadline::Deadline;
 use cpo_model::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -219,6 +220,14 @@ impl Allocator for CpAllocator {
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        self.allocate_with_deadline(problem, Deadline::never())
+    }
+
+    fn allocate_with_deadline(
+        &self,
+        problem: &AllocationProblem,
+        deadline: Deadline,
+    ) -> AllocationOutcome {
         let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
         let mut assignment = Assignment::unassigned(problem.n());
@@ -226,10 +235,25 @@ impl Allocator for CpAllocator {
         let mut rejected = Vec::new();
 
         for req in problem.batch().requests() {
+            // Anytime admission: requests already placed stay placed;
+            // once the overall deadline expires the remaining requests
+            // are rejected without solving (a clean admission-control
+            // rejection, not a violation). Before that, each request's
+            // solve budget is its usual per-request slice, clipped to
+            // the time the overall deadline leaves.
+            let remaining = deadline.remaining();
+            if remaining == Some(Duration::ZERO) {
+                rejected.push(req.id);
+                continue;
+            }
+            let budget = match remaining {
+                Some(r) => self.per_request_deadline.min(r),
+                None => self.per_request_deadline,
+            };
             let mut csp = build_request_csp(problem, req, &tracker);
             let cost = marginal_cost(problem, req, &tracker);
             let config = SearchConfig {
-                deadline: Some(self.per_request_deadline),
+                deadline: Some(budget),
                 max_nodes: self.max_nodes,
                 value_order: ValueOrder::ByCost(cost.clone()),
                 engine: self.engine,
@@ -381,6 +405,21 @@ mod tests {
         let opt = CpAllocator::default().allocate(&p);
         assert!(fast.is_clean() && opt.is_clean());
         assert!(opt.provider_cost() <= fast.provider_cost() + 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_the_rest_cleanly() {
+        let mut batch = RequestBatch::new();
+        for _ in 0..3 {
+            batch.push_request(vec![vm_spec(1.0, 512.0, 5.0)], vec![]);
+        }
+        let p = AllocationProblem::new(infra(4), batch, None);
+        let out =
+            CpAllocator::default().allocate_with_deadline(&p, Deadline::within(Duration::ZERO));
+        assert_eq!(out.rejected.len(), 3, "no request may start past expiry");
+        assert!(out.is_clean(), "deadline rejections are admission control");
+        let unbounded = CpAllocator::default().allocate_with_deadline(&p, Deadline::never());
+        assert_eq!(unbounded.rejected.len(), 0);
     }
 
     #[test]

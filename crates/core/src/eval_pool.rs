@@ -1,149 +1,11 @@
-//! A shared pool of reusable [`DeltaEvaluator`]s for rayon-parallel
-//! genome scoring.
+//! Re-export of [`cpo_model::eval_pool`] — the shared pool of reusable
+//! `DeltaEvaluator`s for parallel scoring.
 //!
-//! Extracted from the two identical inline pools in
-//! [`moea_problem`](crate::moea_problem) and the weighted-GA adapter
-//! after a concurrency audit of the sharded-scheduler work. The audit
-//! question was whether a pool's `Mutex` is ever held across a solve or
-//! a score — which would serialise rayon workers and, worse, would
-//! deadlock if a scoring path ever re-entered the pool. The answer is
-//! no, and this type makes the discipline structural:
-//!
-//! * [`EvaluatorPool::score`] takes the lock **twice, briefly**: once to
-//!   pop an evaluator (or miss and build a fresh one), once to push it
-//!   back. The actual `reset` + `score` — the expensive part, touching
-//!   the tracker matrix and penalty caches — runs on an **owned**
-//!   evaluator with no lock held.
-//! * The pool therefore grows to at most the number of concurrent
-//!   workers, and a worker can never block another for longer than a
-//!   `Vec::pop`/`Vec::push`.
-//!
-//! The sharded scheduler (`cpo_platform::shard`) deliberately does
-//! *not* use this type: shards are long-lived within a round and each
-//! owns a private `DeltaEvaluator` outright, so cross-shard scoring
-//! shares nothing. Pools are for the intra-solve rayon hot loop, where
-//! evaluations are short and churn is high.
-//!
-//! A `Mutex` (not a thread-local) because the evaluators borrow the
-//! problem for `'a` and `thread_local!` requires `'static`.
+//! The implementation moved into `cpo-model` so the parallel tabu
+//! engine (`cpo-tabu`, which `cpo-core` depends on — the dependency
+//! cannot run the other way) can draw scan workers from the same pool
+//! type the MOEA adapters use. This module keeps the documented
+//! `cpo_core::eval_pool::EvaluatorPool` path working; see
+//! [`cpo_model::eval_pool`] for the locking-discipline audit notes.
 
-use cpo_model::delta::{DeltaEvaluator, MoveScore};
-use cpo_model::prelude::*;
-use std::sync::Mutex;
-
-/// Reusable [`DeltaEvaluator`]s for one [`AllocationProblem`], popped
-/// per evaluation. See the module docs for the locking discipline.
-pub struct EvaluatorPool<'a> {
-    problem: &'a AllocationProblem,
-    pool: Mutex<Vec<DeltaEvaluator<'a>>>,
-}
-
-impl<'a> EvaluatorPool<'a> {
-    /// An empty pool over `problem`. Evaluators are built lazily on
-    /// first miss, so an unused pool allocates nothing.
-    pub fn new(problem: &'a AllocationProblem) -> Self {
-        Self {
-            problem,
-            pool: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// Scores `assignment` on a pooled evaluator: pop (brief lock),
-    /// reset + score (no lock), push back (brief lock). Bit-identical
-    /// to a fresh `DeltaEvaluator::new(..).score()` — `reset` rebuilds
-    /// every derived buffer from the new assignment.
-    pub fn score(&self, assignment: Assignment) -> MoveScore {
-        let pooled = self.pool.lock().expect("evaluator pool poisoned").pop();
-        let ev = match pooled {
-            Some(mut ev) => {
-                ev.reset(assignment);
-                ev
-            }
-            None => DeltaEvaluator::new(self.problem, assignment),
-        };
-        let score = ev.score();
-        self.pool.lock().expect("evaluator pool poisoned").push(ev);
-        score
-    }
-
-    /// Evaluators currently parked in the pool (none are checked out
-    /// while this can be observed without a race, so this is primarily
-    /// a post-run diagnostic: it bounds the peak worker concurrency).
-    pub fn idle(&self) -> usize {
-        self.pool.lock().expect("evaluator pool poisoned").len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cpo_model::attr::AttrSet;
-
-    fn problem() -> AllocationProblem {
-        let infra = Infrastructure::new(
-            AttrSet::standard(),
-            vec![("dc".into(), ServerProfile::commodity(3).build_many(3))],
-        );
-        let mut batch = RequestBatch::new();
-        batch.push_request(vec![vm_spec(2.0, 4096.0, 40.0); 2], vec![]);
-        batch.push_request(vec![vm_spec(1.0, 2048.0, 20.0)], vec![]);
-        AllocationProblem::new(infra, batch, None)
-    }
-
-    fn spread(problem: &AllocationProblem) -> Assignment {
-        let mut a = Assignment::unassigned(problem.n());
-        for k in 0..problem.n() {
-            a.assign(VmId(k), ServerId(k % problem.m()));
-        }
-        a
-    }
-
-    #[test]
-    fn pooled_score_matches_fresh_evaluator() {
-        let p = problem();
-        let pool = EvaluatorPool::new(&p);
-        let direct = DeltaEvaluator::new(&p, spread(&p)).score();
-        let pooled_cold = pool.score(spread(&p));
-        let pooled_warm = pool.score(spread(&p)); // exercises reset()
-        assert_eq!(
-            direct.total_cost().to_bits(),
-            pooled_cold.total_cost().to_bits()
-        );
-        assert_eq!(
-            direct.total_cost().to_bits(),
-            pooled_warm.total_cost().to_bits()
-        );
-        assert_eq!(direct.violation, pooled_warm.violation);
-    }
-
-    #[test]
-    fn sequential_use_parks_exactly_one_evaluator() {
-        let p = problem();
-        let pool = EvaluatorPool::new(&p);
-        for _ in 0..8 {
-            pool.score(spread(&p));
-        }
-        assert_eq!(pool.idle(), 1, "no concurrency ⇒ no pool growth");
-    }
-
-    #[test]
-    fn concurrent_use_grows_to_at_most_worker_count() {
-        let p = problem();
-        let pool = EvaluatorPool::new(&p);
-        let threads = 4;
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
-                    for _ in 0..32 {
-                        pool.score(spread(&p));
-                    }
-                });
-            }
-        });
-        let idle = pool.idle();
-        assert!(
-            idle >= 1 && idle <= threads,
-            "pool size {idle} out of range"
-        );
-    }
-}
+pub use cpo_model::eval_pool::EvaluatorPool;

@@ -17,6 +17,14 @@
 //! with exact filters) and the weighted mono-objective GA the paper
 //! considers and rejects ([`weighted_ga`]).
 //!
+//! Anytime admission is a cross-cutting concern here: every allocator
+//! can be called through
+//! [`Allocator::allocate_with_deadline`](allocator::Allocator::allocate_with_deadline)
+//! (solvers with a search cut it at the deadline and return their best
+//! incumbent), [`allocator::DeadlineBound`] imposes a per-call budget on
+//! any allocator, [`tabu_alloc`] polishes a greedy seed under the
+//! deadline, and [`portfolio`] can *race* its members against it.
+//!
 //! ```
 //! use cpo_core::prelude::*;
 //! use cpo_model::prelude::*;
@@ -55,11 +63,12 @@ pub mod moea_problem;
 pub mod monitor;
 pub mod portfolio;
 pub mod round_robin;
+pub mod tabu_alloc;
 pub mod weighted_ga;
 
 /// The most-used allocator types.
 pub mod prelude {
-    pub use crate::allocator::{AllocationOutcome, Allocator};
+    pub use crate::allocator::{AllocationOutcome, Allocator, DeadlineBound};
     pub use crate::cp_alloc::{CpAllocator, CpMode};
     pub use crate::cp_repair::CpRepair;
     pub use crate::encoding::GenomeCodec;
@@ -67,8 +76,9 @@ pub mod prelude {
     pub use crate::evolutionary::{EvoAllocator, Hybrid};
     pub use crate::filtering::FilteringAllocator;
     pub use crate::moea_problem::AllocMoeaProblem;
-    pub use crate::portfolio::{PortfolioAllocator, PortfolioCriterion};
+    pub use crate::portfolio::{PortfolioAllocator, PortfolioCriterion, PortfolioMode};
     pub use crate::round_robin::RoundRobinAllocator;
+    pub use crate::tabu_alloc::TabuSearchAllocator;
     pub use crate::weighted_ga::WeightedGaAllocator;
     pub use cpo_moea::prelude::{NsgaConfig, Variant};
 }

@@ -8,8 +8,9 @@
 //! (optionally bounded by their own deadlines).
 
 use crate::allocator::{AllocationOutcome, Allocator};
+use cpo_model::deadline::Deadline;
 use cpo_model::prelude::AllocationProblem;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What the portfolio optimises when ranking member outcomes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,22 +22,73 @@ pub enum PortfolioCriterion {
     NetRevenue,
 }
 
+/// How the portfolio runs its members.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PortfolioMode {
+    /// Members run one after another; the portfolio's wall-clock is the
+    /// sum of the members'. Under a deadline, members still to start are
+    /// skipped once it expires (the first member always runs, so the
+    /// portfolio returns a placement).
+    #[default]
+    Sequential,
+    /// Members race on scoped threads, every one handed the same
+    /// deadline; the portfolio's wall-clock is the slowest member (on
+    /// enough cores, the slowest *anytime-cut* member). Reduction stays
+    /// in member order, so with a deadline generous enough for every
+    /// member to finish its budget the pick is deterministic.
+    Racing,
+}
+
 /// The portfolio allocator.
 pub struct PortfolioAllocator {
     /// Member algorithms, tried in order.
     pub members: Vec<Box<dyn Allocator>>,
     /// Ranking criterion.
     pub criterion: PortfolioCriterion,
+    /// Member execution mode.
+    pub mode: PortfolioMode,
+    /// Per-call wall-clock budget imposed on the members *in addition*
+    /// to any deadline the caller passes (whichever expires first wins).
+    pub budget: Option<Duration>,
 }
 
 impl PortfolioAllocator {
-    /// Builds a portfolio.
+    /// Builds a sequential, unbudgeted portfolio.
     ///
     /// # Panics
     /// Panics when `members` is empty.
     pub fn new(members: Vec<Box<dyn Allocator>>, criterion: PortfolioCriterion) -> Self {
         assert!(!members.is_empty(), "a portfolio needs at least one member");
-        Self { members, criterion }
+        Self {
+            members,
+            criterion,
+            mode: PortfolioMode::Sequential,
+            budget: None,
+        }
+    }
+
+    /// Builds a deadline-racing portfolio: members run concurrently,
+    /// each bounded by `budget` from call time (tightened further by any
+    /// caller-passed deadline).
+    ///
+    /// # Panics
+    /// Panics when `members` is empty.
+    pub fn racing(
+        members: Vec<Box<dyn Allocator>>,
+        criterion: PortfolioCriterion,
+        budget: Option<Duration>,
+    ) -> Self {
+        let mut p = Self::new(members, criterion);
+        p.mode = PortfolioMode::Racing;
+        p.budget = budget;
+        p
+    }
+
+    fn effective_deadline(&self, outer: Deadline) -> Deadline {
+        match self.budget {
+            Some(b) => outer.earliest(Deadline::within(b)),
+            None => outer,
+        }
     }
 
     fn better(&self, a: &AllocationOutcome, b: &AllocationOutcome) -> bool {
@@ -57,15 +109,55 @@ impl PortfolioAllocator {
 
 impl Allocator for PortfolioAllocator {
     fn name(&self) -> &'static str {
-        "portfolio"
+        match self.mode {
+            PortfolioMode::Sequential => "portfolio",
+            PortfolioMode::Racing => "portfolio-race",
+        }
     }
 
     fn allocate(&self, problem: &AllocationProblem) -> AllocationOutcome {
+        self.allocate_with_deadline(problem, Deadline::never())
+    }
+
+    fn allocate_with_deadline(
+        &self,
+        problem: &AllocationProblem,
+        deadline: Deadline,
+    ) -> AllocationOutcome {
         let mut sp = cpo_obs::span!("allocator.allocate", algo = self.name());
         let start = Instant::now();
+        let deadline = self.effective_deadline(deadline);
+        let outcomes: Vec<AllocationOutcome> = match self.mode {
+            PortfolioMode::Sequential => {
+                let mut outs = Vec::with_capacity(self.members.len());
+                for member in &self.members {
+                    // Budget enforcement between members: once the
+                    // deadline has expired, a member not yet started
+                    // would only be cut immediately — skip it. The first
+                    // member always runs so the portfolio returns a
+                    // placement; *within* a member the deadline is the
+                    // member's own anytime cut.
+                    if !outs.is_empty() && deadline.expired() {
+                        break;
+                    }
+                    outs.push(member.allocate_with_deadline(problem, deadline));
+                }
+                outs
+            }
+            PortfolioMode::Racing => std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .members
+                    .iter()
+                    .map(|member| s.spawn(move || member.allocate_with_deadline(problem, deadline)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("portfolio member panicked"))
+                    .collect()
+            }),
+        };
         let mut best: Option<AllocationOutcome> = None;
-        for member in &self.members {
-            let outcome = member.allocate(problem);
+        for outcome in outcomes {
             best = Some(match best {
                 None => outcome,
                 Some(current) => {
@@ -78,7 +170,8 @@ impl Allocator for PortfolioAllocator {
             });
         }
         let mut outcome = best.expect("at least one member");
-        // The portfolio's wall-clock is the sum of its members' runs.
+        // Sequential wall-clock is the sum of the members' runs; racing
+        // wall-clock is the slowest member.
         outcome.elapsed = start.elapsed();
         crate::allocator::observe_outcome(&mut sp, self.name(), &outcome);
         outcome
@@ -166,5 +259,49 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_portfolio_rejected() {
         let _ = PortfolioAllocator::new(vec![], PortfolioCriterion::NetRevenue);
+    }
+
+    #[test]
+    fn racing_portfolio_is_at_least_as_good_as_each_member() {
+        // A generous budget lets every member finish, so the race picks
+        // exactly what the sequential reduction would.
+        let p = problem();
+        let race = PortfolioAllocator::racing(
+            vec![
+                Box::new(RoundRobinAllocator),
+                Box::new(FilteringAllocator),
+                Box::new(CpAllocator::default()),
+            ],
+            PortfolioCriterion::AcceptanceThenCost,
+            Some(std::time::Duration::from_secs(60)),
+        );
+        assert_eq!(race.name(), "portfolio-race");
+        let out = race.allocate(&p);
+        for member in [
+            RoundRobinAllocator.allocate(&p),
+            FilteringAllocator.allocate(&p),
+            CpAllocator::default().allocate(&p),
+        ] {
+            assert!(
+                (out.rejection_rate, out.provider_cost())
+                    <= (member.rejection_rate, member.provider_cost() + 1e-9),
+                "racing portfolio must not lose to a member"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_skips_members_past_the_first() {
+        let p = problem();
+        let seq = portfolio(PortfolioCriterion::AcceptanceThenCost);
+        let out = seq.allocate_with_deadline(
+            &p,
+            cpo_model::deadline::Deadline::within(std::time::Duration::ZERO),
+        );
+        // The first member (round-robin) still ran and fully places this
+        // easy batch; the expensive tail members were never started.
+        assert_eq!(out.rejected.len(), 0);
+        let rr = RoundRobinAllocator.allocate(&p);
+        assert_eq!(out.provider_cost(), rr.provider_cost());
     }
 }

@@ -84,6 +84,13 @@ pub struct DesConfig {
     /// Master seed for the failure processes (arrival streams carry their
     /// own seeds).
     pub seed: u64,
+    /// Optional *wall-clock* budget per window solve. When set, the
+    /// allocator is wrapped in [`DeadlineBound`](cpo_core::prelude::DeadlineBound)
+    /// for every window close, so anytime members (tabu polish, racing
+    /// portfolios, CP admission) cut their search at the deadline and
+    /// return their best incumbent instead of overrunning the window.
+    /// `None` (the default) leaves the allocator unbounded.
+    pub solve_deadline: Option<std::time::Duration>,
 }
 
 impl Default for DesConfig {
@@ -93,6 +100,7 @@ impl Default for DesConfig {
             latency: LatencyModel::Measured(1.0),
             failures: None,
             seed: 0,
+            solve_deadline: None,
         }
     }
 }
@@ -500,7 +508,13 @@ impl<S: ArrivalSource, B: WindowBackend> WindowedScheduler<S, B> {
             self.exec.bind_request_keys(&ids, &keys);
         }
         let problem_requests = self.exec.resident_requests() + batch.request_count();
-        let (window_report, admitted) = self.exec.execute_window(allocator, &batch, &ids);
+        let (window_report, admitted) = match self.config.solve_deadline {
+            Some(budget) => {
+                let bounded = cpo_core::prelude::DeadlineBound::new(allocator, budget);
+                self.exec.execute_window(&bounded, &batch, &ids)
+            }
+            None => self.exec.execute_window(allocator, &batch, &ids),
+        };
         let latency = self
             .config
             .latency
@@ -603,6 +617,7 @@ mod tests {
             latency,
             failures: None,
             seed: 7,
+            solve_deadline: None,
         };
         WindowedScheduler::new(
             infra(servers),
@@ -640,6 +655,42 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn solve_deadline_reaches_the_allocator() {
+        // An already-expired budget makes the deadline-aware CP
+        // allocator reject every request as admission control; without
+        // the budget the same runs admit. This proves close_window
+        // actually threads the deadline through to the solve.
+        let run = |solve_deadline| {
+            let spec = ArrivalSpec {
+                rate: 3.0,
+                lifetime: (2.0, 5.0),
+                ..Default::default()
+            };
+            let config = DesConfig {
+                window_length: 1.0,
+                latency: LatencyModel::Fixed(0.0),
+                failures: None,
+                seed: 7,
+                solve_deadline,
+            };
+            let mut s = WindowedScheduler::new(
+                infra(10),
+                SimConfig::default(),
+                config,
+                PoissonArrivals::new(spec, 7),
+            );
+            s.run(&cpo_core::prelude::CpAllocator::default(), 10.0)
+                .total_admitted()
+        };
+        assert!(run(None) > 0, "unbounded CP must admit");
+        assert_eq!(
+            run(Some(std::time::Duration::ZERO)),
+            0,
+            "expired budget must turn every solve into clean rejections"
+        );
     }
 
     #[test]
@@ -693,6 +744,7 @@ mod tests {
                 mttr: 2.0,
             }),
             seed: 3,
+            solve_deadline: None,
         };
         let mut s = WindowedScheduler::new(
             infra(8),
@@ -724,6 +776,7 @@ mod tests {
             latency: LatencyModel::Fixed(0.0),
             failures: None,
             seed: 7,
+            solve_deadline: None,
         };
         let mut s = WindowedScheduler::with_backend(
             FleetExecutor::new(infra(10)),

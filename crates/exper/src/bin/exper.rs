@@ -29,6 +29,15 @@
 //! `exper timeline <dump.jsonl>` reconstructs timelines offline from a
 //! previously written flight dump (e.g. a panic dump).
 //!
+//! `--search-threads N` sets the tabu engine's scan partitions for the
+//! `tabu-search` and `race` allocators; `--solve-deadline MS` bounds
+//! each window solve with a wall-clock deadline (anytime allocators cut
+//! and return their best incumbent; the `race` portfolio runs its
+//! members concurrently under it). Both also read the environment —
+//! `CPO_SEARCH_THREADS` / `CPO_SOLVE_DEADLINE_MS` — with explicit flags
+//! taking precedence over the environment, which takes precedence over
+//! the defaults (1 thread, no deadline).
+//!
 //! `--profile` (on `des` and `trace`) turns on the latency-attribution
 //! profiler: per-request stage decomposition (queue-wait → solve →
 //! commit attempts → bounce rounds → placement), per-window critical
@@ -89,6 +98,23 @@ struct Options {
     /// `des`/`trace`: run the latency-attribution profiler and write
     /// `profile.json` + `flame.folded` under `--out-dir`.
     profile: bool,
+    /// Scan partitions for the tabu engine (`tabu-search`/`race`).
+    /// Precedence: `--search-threads` > `CPO_SEARCH_THREADS` > 1.
+    search_threads: usize,
+    /// Per-window solve budget in wall-clock milliseconds; wraps the
+    /// allocator in a `DeadlineBound` and races the portfolio under it.
+    /// Precedence: `--solve-deadline` > `CPO_SOLVE_DEADLINE_MS` > none.
+    solve_deadline_ms: Option<u64>,
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+    match env::var(name) {
+        Ok(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name}: invalid value {v:?}")),
+        Err(_) => Ok(None),
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -116,6 +142,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         window: 60.0,
         shards: None,
         profile: false,
+        // Environment supplies the defaults; explicit flags overwrite
+        // them below (flag > env > built-in default).
+        search_threads: env_parse("CPO_SEARCH_THREADS")?.unwrap_or(1),
+        solve_deadline_ms: env_parse("CPO_SOLVE_DEADLINE_MS")?,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -195,6 +225,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--shards must be >= 1".into());
                 }
                 opts.shards = Some(n);
+            }
+            "--search-threads" => {
+                let v = it.next().ok_or("--search-threads needs a count")?;
+                let n: usize = v.parse().map_err(|e| format!("--search-threads: {e}"))?;
+                if n < 1 {
+                    return Err("--search-threads must be >= 1".into());
+                }
+                opts.search_threads = n;
+            }
+            "--solve-deadline" => {
+                let v = it.next().ok_or("--solve-deadline needs milliseconds")?;
+                opts.solve_deadline_ms =
+                    Some(v.parse().map_err(|e| format!("--solve-deadline: {e}"))?);
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -383,9 +426,15 @@ fn run_des(opts: &Options) -> Result<(), String> {
         },
         failures: opts.failures.map(|(mtbf, mttr)| FailureSpec { mtbf, mttr }),
         seed: opts.seed,
+        solve_deadline: opts.solve_deadline_ms.map(std::time::Duration::from_millis),
         ..Default::default()
     };
-    let allocator = opts.algo.build(opts.effort, opts.seed);
+    let allocator = opts.algo.build_tuned(
+        opts.effort,
+        opts.seed,
+        opts.search_threads,
+        opts.solve_deadline_ms.map(std::time::Duration::from_millis),
+    );
     let report = match opts.shards {
         Some(shards) => {
             use cpo_platform::prelude::{ShardConfig, ShardedScheduler, WindowExecutor};
@@ -520,8 +569,14 @@ fn run_trace(opts: &Options) -> Result<(), String> {
         latency: LatencyModel::Fixed(0.0),
         failures: opts.failures.map(|(mtbf, mttr)| FailureSpec { mtbf, mttr }),
         seed: opts.seed,
+        solve_deadline: opts.solve_deadline_ms.map(std::time::Duration::from_millis),
     };
-    let allocator = opts.algo.build(opts.effort, opts.seed);
+    let allocator = opts.algo.build_tuned(
+        opts.effort,
+        opts.seed,
+        opts.search_threads,
+        opts.solve_deadline_ms.map(std::time::Duration::from_millis),
+    );
     let start = std::time::Instant::now();
     let (report, wall, emitted, skipped, store_metrics) = match opts.shards {
         Some(shards) => {
@@ -763,7 +818,8 @@ fn main() -> ExitCode {
              [--runs N] [--paper|--quick] [--seed S] [--csv FILE] [--csv-dir DIR] [--md] [--chart] \
              [--telemetry] [--trace FILE] [--timeline ID] [--out-dir DIR] [--dash FILE] \
              [--algo NAME] [--rate R] [--horizon T] [--servers N] [--failures MTBF,MTTR] \
-             [--strict] [--dataset SPEC] [--amplify N] [--window W] [--shards N] [--profile]"
+             [--strict] [--dataset SPEC] [--amplify N] [--window W] [--shards N] [--profile] \
+             [--search-threads N] [--solve-deadline MS]"
         );
         return ExitCode::FAILURE;
     };

@@ -39,6 +39,8 @@ fn glyph(a: Algorithm) -> char {
         Algorithm::Nsga3Tabu => 'T',
         Algorithm::Filtering => 'f',
         Algorithm::WeightedGa => 'w',
+        Algorithm::TabuSearch => 't',
+        Algorithm::Race => 'R',
     }
 }
 

@@ -74,6 +74,12 @@ pub enum Algorithm {
     /// Weighted mono-objective GA (the alternative §III discusses) —
     /// not part of the paper's figures; used by ablations.
     WeightedGa,
+    /// Anytime tabu-search admission (greedy seed → deadline-bounded
+    /// candidate-list polish), honoring `--search-threads`.
+    TabuSearch,
+    /// Deadline-racing portfolio (filtering ∥ CP ∥ tabu-search) under
+    /// `--solve-deadline`.
+    Race,
 }
 
 impl Algorithm {
@@ -89,9 +95,10 @@ impl Algorithm {
         ]
     }
 
-    /// The paper's six plus the two extra comparators (Table II filtering,
-    /// weighted mono-objective GA).
-    pub fn extended() -> [Algorithm; 8] {
+    /// The paper's six plus the extra comparators: Table II filtering,
+    /// the weighted mono-objective GA, the anytime tabu-search
+    /// allocator, and the deadline-racing portfolio.
+    pub fn extended() -> [Algorithm; 10] {
         [
             Algorithm::RoundRobin,
             Algorithm::ConstraintProgramming,
@@ -101,6 +108,8 @@ impl Algorithm {
             Algorithm::Nsga3Tabu,
             Algorithm::Filtering,
             Algorithm::WeightedGa,
+            Algorithm::TabuSearch,
+            Algorithm::Race,
         ]
     }
 
@@ -115,6 +124,43 @@ impl Algorithm {
             Algorithm::Nsga3Tabu => "nsga3-tabu",
             Algorithm::Filtering => "filtering",
             Algorithm::WeightedGa => "weighted-ga",
+            Algorithm::TabuSearch => "tabu-search",
+            Algorithm::Race => "race",
+        }
+    }
+
+    /// Instantiates the allocator at the given effort and seed, with the
+    /// search tuned: `threads` scan partitions for the tabu engine and an
+    /// optional per-call wall-clock `budget` (the racing portfolio's
+    /// deadline; other allocators receive it through the driver's
+    /// [`DeadlineBound`] wrapping instead).
+    pub fn build_tuned(
+        self,
+        effort: Effort,
+        seed: u64,
+        threads: usize,
+        budget: Option<Duration>,
+    ) -> Box<dyn Allocator> {
+        match self {
+            Algorithm::TabuSearch => {
+                let mut a = TabuSearchAllocator::with_threads(threads);
+                a.config.seed = seed;
+                Box::new(a)
+            }
+            Algorithm::Race => {
+                let mut tabu = TabuSearchAllocator::with_threads(threads);
+                tabu.config.seed = seed;
+                Box::new(PortfolioAllocator::racing(
+                    vec![
+                        Box::new(FilteringAllocator),
+                        Box::new(effort.cp_allocator()),
+                        Box::new(tabu),
+                    ],
+                    PortfolioCriterion::AcceptanceThenCost,
+                    budget,
+                ))
+            }
+            other => other.build(effort, seed),
         }
     }
 
@@ -137,6 +183,7 @@ impl Algorithm {
                 alloc.config.seed = seed;
                 Box::new(alloc)
             }
+            Algorithm::TabuSearch | Algorithm::Race => self.build_tuned(effort, seed, 1, None),
         }
     }
 }

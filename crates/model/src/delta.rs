@@ -290,6 +290,31 @@ impl<'p> DeltaEvaluator<'p> {
         !self.overloads[j.index()].is_empty()
     }
 
+    /// VMs currently hosted on server `j`, ascending `VmId` — the
+    /// maintained occupant list candidate-generation strategies read
+    /// instead of re-deriving occupancy from the assignment.
+    #[inline]
+    pub fn occupants(&self, j: ServerId) -> &[VmId] {
+        &self.per_server[j.index()]
+    }
+
+    /// Number of VMs hosted on server `j` (O(1) from the occupant list).
+    #[inline]
+    pub fn occupancy(&self, j: ServerId) -> usize {
+        self.per_server[j.index()].len()
+    }
+
+    /// Servers currently violating the capacity constraint, ascending id
+    /// — read off the maintained overload buffers without a tracker
+    /// rebuild.
+    pub fn overloaded_server_ids(&self) -> Vec<ServerId> {
+        self.overloads
+            .iter()
+            .enumerate()
+            .filter_map(|(j, per)| (!per.is_empty()).then_some(ServerId(j)))
+            .collect()
+    }
+
     /// `true` when VM `k` is named by at least one currently-broken rule.
     pub fn vm_has_broken_rule(&self, k: VmId) -> bool {
         self.vm_rules[k.index()]

@@ -23,6 +23,8 @@
 //! * [`qos`] — the Eq. 24 piecewise QoS curve
 //! * [`cost`] — the Eq. 15 objective vector (Eqs. 22, 23, 26)
 //! * [`delta`] — incremental O(h) move scoring for local search
+//! * [`eval_pool`] — reusable [`delta::DeltaEvaluator`] pool for parallel scoring
+//! * [`deadline`] — wall-clock deadlines for anytime solvers
 //! * [`fleet`] — packed VM/server-load tables for production-scale replay
 //! * [`ilp`] — the explicit 0/1 integer program (Section III's LP view)
 //! * [`constraints`] — violation checking and reporting (Fig. 10 metric)
@@ -64,7 +66,9 @@ pub mod assignment;
 pub mod attr;
 pub mod constraints;
 pub mod cost;
+pub mod deadline;
 pub mod delta;
+pub mod eval_pool;
 pub mod fleet;
 pub mod ilp;
 pub mod infrastructure;
@@ -81,7 +85,9 @@ pub mod prelude {
     pub use crate::attr::{AttrId, AttrKind, AttrSet};
     pub use crate::constraints::{Violation, ViolationReport};
     pub use crate::cost::ObjectiveVector;
+    pub use crate::deadline::Deadline;
     pub use crate::delta::{DeltaEvaluator, MoveScore};
+    pub use crate::eval_pool::EvaluatorPool;
     pub use crate::fleet::{ServerLoadTable, VmTable, NO_SLOT};
     pub use crate::infrastructure::{
         Datacenter, DatacenterId, Infrastructure, Server, ServerId, ServerProfile,

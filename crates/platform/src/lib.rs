@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::executor::{LifetimePolicy, WindowExecutor};
     pub use crate::fleet::FleetExecutor;
     pub use crate::network::{FlowAdmission, NetworkModel};
-    pub use crate::shard::{ShardBackend, ShardConfig, ShardedScheduler};
+    pub use crate::shard::{PartitionStrategy, ShardBackend, ShardConfig, ShardedScheduler};
     pub use crate::sim::{PlatformSim, SimConfig};
     pub use crate::sla::{SlaLedger, SlaRecord};
     pub use crate::store::{

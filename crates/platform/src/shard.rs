@@ -21,10 +21,12 @@
 //! Progress is guaranteed: the first commit of every round validates
 //! against the very snapshot it was solved on, so each round terminates
 //! at least one request. Determinism is by construction — partitioning
-//! is round-robin on arrival order, commits are applied sequentially in
-//! arrival order, and shard solves are pure functions of (snapshot,
-//! slice) — so a run is bit-reproducible for a fixed seed and shard
-//! count whether the shards solved on real threads or serially.
+//! ([`PartitionStrategy`]: hash-by-region by default, round-robin on
+//! arrival order for comparison) is a pure function of (snapshot,
+//! remaining order), commits are applied sequentially in arrival order,
+//! and shard solves are pure functions of (snapshot, slice) — so a run
+//! is bit-reproducible for a fixed seed and shard count whether the
+//! shards solved on real threads or serially.
 //!
 //! Shard solves run on `std::thread::scope` threads when the host has
 //! ≥2 CPUs; on a single CPU they run serially with each solve timed
@@ -52,6 +54,34 @@ use cpo_obs::flight;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How a round's remaining requests are divided among the shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartitionStrategy {
+    /// `remaining[p] → shard p % N`. Spreads every region's demand over
+    /// *all* shards — which maximises the chance that two shards race
+    /// for the same servers and one of them bounces.
+    RoundRobin,
+    /// Hash-by-region (the default): each request's likely placement
+    /// region is predicted by a greedy first-fit dry run on the
+    /// snapshot's residual, and requests predicted into the same region
+    /// hash to the same shard. Colocated contenders are then solved
+    /// *jointly* by one shard, against a view of the residual masked to
+    /// the regions that shard owns this round — so its internally
+    /// consistent solution fits the live residual and cannot stray onto
+    /// servers another shard's region owns. Shards therefore stop racing
+    /// each other at commit time, which is what cuts the conflict rate
+    /// at equal shard counts (the `store.conflict_rate` series and the
+    /// PR 9 hotspot tables show the before/after). A solver rejection
+    /// under a masked view is *not* final — the shard only saw part of
+    /// the fleet — so it bounces into the next round like a commit
+    /// conflict; the final retry round always solves unmasked, keeping
+    /// rejections there genuinely final. The prediction is a pure
+    /// function of (snapshot, remaining order), so determinism is
+    /// preserved.
+    #[default]
+    RegionHash,
+}
+
 /// Sharding parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardConfig {
@@ -60,6 +90,8 @@ pub struct ShardConfig {
     /// Retry rounds a conflicted request may consume after its first
     /// attempt before it is force-rejected.
     pub retry_budget: usize,
+    /// Request-to-shard partitioning.
+    pub partition: PartitionStrategy,
 }
 
 impl Default for ShardConfig {
@@ -67,8 +99,175 @@ impl Default for ShardConfig {
         Self {
             shards: 1,
             retry_budget: 3,
+            partition: PartitionStrategy::default(),
         }
     }
+}
+
+/// FNV-1a — tiny, stable, and good enough to spread region keys.
+fn fnv1a(key: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A request's predicted placement region, from the first-fit dry run.
+#[derive(Clone, Copy, Debug)]
+enum Region {
+    /// Fits: predicted into a datacenter (multi-datacenter fleets).
+    Dc(usize),
+    /// Fits: predicted onto a server (single-datacenter fleets).
+    Server(usize),
+    /// Fits nowhere whole; carries the arrival index so the hopeless
+    /// tail spreads across shards instead of piling onto one.
+    Unplaced(usize),
+}
+
+impl Region {
+    fn shard_key(self) -> u64 {
+        match self {
+            Region::Dc(d) => fnv1a(d as u64),
+            Region::Server(j) => fnv1a(j as u64),
+            Region::Unplaced(i) => fnv1a(u64::MAX - i as u64),
+        }
+    }
+}
+
+/// Predicts each remaining request's placement region by a greedy
+/// first-fit dry run over a scratch copy of the snapshot residual:
+/// demands are subtracted as predicted so successive requests see the
+/// space earlier ones are about to take, and a rolling cursor amortises
+/// the server scan across requests. The region is the predicted
+/// server's datacenter on multi-datacenter fleets (the paper's region
+/// notion) and the server itself on single-datacenter ones.
+fn region_plan(
+    residual: &Infrastructure,
+    arrivals: &RequestBatch,
+    remaining: &[usize],
+) -> Vec<Region> {
+    let m = residual.server_count();
+    let h = residual.attr_count();
+    let by_datacenter = residual.datacenter_count() > 1;
+    let mut room: Vec<Vec<f64>> = (0..m)
+        .map(|j| residual.effective_row(ServerId(j)).to_vec())
+        .collect();
+    let mut cursor = 0usize;
+    let mut demand = vec![0.0f64; h];
+    remaining
+        .iter()
+        .map(|&i| {
+            let req = arrivals.request(RequestId(i));
+            demand.fill(0.0);
+            for &k in &req.vms {
+                for (d, x) in demand.iter_mut().zip(&arrivals.vm(k).demand) {
+                    *d += x;
+                }
+            }
+            let mut predicted: Option<ServerId> = None;
+            for step in 0..m {
+                let j = (cursor + step) % m;
+                if room[j].iter().zip(&demand).all(|(r, d)| d <= r) {
+                    for (r, d) in room[j].iter_mut().zip(&demand) {
+                        *r -= d;
+                    }
+                    predicted = Some(ServerId(j));
+                    cursor = j;
+                    break;
+                }
+            }
+            match predicted {
+                Some(j) if by_datacenter => Region::Dc(residual.datacenter_of(j).index()),
+                Some(j) => Region::Server(j.index()),
+                None => Region::Unplaced(i),
+            }
+        })
+        .collect()
+}
+
+/// The snapshot residual as one masked shard sees it: servers outside
+/// the regions the shard owns this round are zeroed, so its solve
+/// cannot stray onto servers another shard's region owns.
+fn masked_residual(residual: &Infrastructure, mask: &[bool]) -> Infrastructure {
+    let zeros = vec![0.0; residual.attr_count()];
+    let mut masked = residual.clone();
+    for (j, &keep) in mask.iter().enumerate() {
+        if !keep {
+            masked.set_capacity(ServerId(j), &zeros);
+        }
+    }
+    masked
+}
+
+/// One round's partitioning: the per-part request lists, each remaining
+/// request's `(part, local index)` slot, and one optional server mask
+/// per part.
+type RoundPartition = (Vec<Vec<usize>>, Vec<(usize, usize)>, Vec<Option<Vec<bool>>>);
+
+/// Splits `remaining` into `shard_count` parts and returns, aligned with
+/// `remaining`, each request's `(part, local index)` slot — the commit
+/// loop uses the slots to find a request's solution regardless of the
+/// partitioning shape — plus one optional server mask per part.
+///
+/// Masks exist only under [`PartitionStrategy::RegionHash`] with more
+/// than one shard and `mask_regions` set (the driver clears it on the
+/// final retry round): a part whose requests were *all* predicted to
+/// fit is masked to the union of its regions, making the shards'
+/// solves disjoint by construction; a part holding any
+/// [`Region::Unplaced`] request keeps the full fleet view, since the
+/// dry run has no region to confine it to.
+fn partition_round(
+    strategy: PartitionStrategy,
+    residual: &Infrastructure,
+    arrivals: &RequestBatch,
+    remaining: &[usize],
+    shard_count: usize,
+    mask_regions: bool,
+) -> RoundPartition {
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    let mut slots: Vec<(usize, usize)> = Vec::with_capacity(remaining.len());
+    let mut masks: Vec<Option<Vec<bool>>> = vec![None; shard_count];
+    match strategy {
+        PartitionStrategy::RoundRobin => {
+            for (p, &i) in remaining.iter().enumerate() {
+                let part = p % shard_count;
+                slots.push((part, parts[part].len()));
+                parts[part].push(i);
+            }
+        }
+        PartitionStrategy::RegionHash => {
+            let regions = region_plan(residual, arrivals, remaining);
+            let m = residual.server_count();
+            let mut owned: Vec<Vec<bool>> = vec![vec![false; m]; shard_count];
+            let mut confinable: Vec<bool> = vec![true; shard_count];
+            for (&i, &region) in remaining.iter().zip(&regions) {
+                let part = (region.shard_key() % shard_count as u64) as usize;
+                slots.push((part, parts[part].len()));
+                parts[part].push(i);
+                match region {
+                    Region::Dc(d) => {
+                        for (j, own) in owned[part].iter_mut().enumerate() {
+                            if residual.datacenter_of(ServerId(j)).index() == d {
+                                *own = true;
+                            }
+                        }
+                    }
+                    Region::Server(j) => owned[part][j] = true,
+                    Region::Unplaced(_) => confinable[part] = false,
+                }
+            }
+            if mask_regions && shard_count > 1 {
+                for (p, owned) in owned.into_iter().enumerate() {
+                    if confinable[p] && !parts[p].is_empty() {
+                        masks[p] = Some(owned);
+                    }
+                }
+            }
+        }
+    }
+    (parts, slots, masks)
 }
 
 /// What a window engine must expose for [`ShardedScheduler`] to drive
@@ -209,19 +408,24 @@ fn solve_round(
     arrivals: &RequestBatch,
     snapshot: &StoreSnapshot,
     parts: &[Vec<usize>],
+    masks: &[Option<Vec<bool>>],
 ) -> Vec<ShardSolution> {
     let full_batch = parts.len() == 1 && parts[0].len() == arrivals.request_count();
+    let solve_one = |p: usize, indices: &[usize]| match &masks[p] {
+        Some(mask) => {
+            let masked = masked_residual(&snapshot.residual, mask);
+            solve_shard(allocator, arrivals, &masked, indices, false)
+        }
+        None => solve_shard(allocator, arrivals, &snapshot.residual, indices, full_batch),
+    };
     let parallel =
         parts.len() > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() >= 2);
     if parallel {
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .iter()
-                .map(|indices| {
-                    s.spawn(move || {
-                        solve_shard(allocator, arrivals, &snapshot.residual, indices, false)
-                    })
-                })
+                .enumerate()
+                .map(|(p, indices)| s.spawn(move || solve_one(p, indices)))
                 .collect();
             handles
                 .into_iter()
@@ -231,9 +435,8 @@ fn solve_round(
     } else {
         parts
             .iter()
-            .map(|indices| {
-                solve_shard(allocator, arrivals, &snapshot.residual, indices, full_batch)
-            })
+            .enumerate()
+            .map(|(p, indices)| solve_one(p, indices))
             .collect()
     }
 }
@@ -309,15 +512,17 @@ impl<B: ShardBackend> ShardedScheduler<B> {
             let last_round = round >= self.config.retry_budget as u64;
             let snapshot = store.snapshot();
             let shard_count = self.config.shards.clamp(1, remaining.len());
-            // Round-robin partition: remaining[p] → shard p % N, local
-            // request p / N (shards preserve arrival order internally).
-            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
-            for (p, &i) in remaining.iter().enumerate() {
-                parts[p % shard_count].push(i);
-            }
+            let (parts, slots, masks) = partition_round(
+                self.config.partition,
+                &snapshot.residual,
+                arrivals,
+                &remaining,
+                shard_count,
+                !last_round,
+            );
             let prof_on = cpo_obs::prof::is_enabled();
             let solve_start_us = if prof_on { cpo_obs::now_us() } else { 0 };
-            let solutions = solve_round(allocator, arrivals, &snapshot, &parts);
+            let solutions = solve_round(allocator, arrivals, &snapshot, &parts, &masks);
             if prof_on {
                 let shard_us: Vec<u64> = solutions
                     .iter()
@@ -342,14 +547,23 @@ impl<B: ShardBackend> ShardedScheduler<B> {
             let commit_start = Instant::now();
             let mut bounced: Vec<usize> = Vec::new();
             for (p, &i) in remaining.iter().enumerate() {
-                let sol = &solutions[p % shard_count];
-                let local = RequestId(p / shard_count);
+                let (part, local) = slots[p];
+                let sol = &solutions[part];
+                let local = RequestId(local);
                 let tid = arrival_tenant_ids[i];
                 if !sol.accepted[local.index()] {
-                    // Solver rejection is final: the residual only
-                    // shrinks within a window.
-                    self.backend.shard_reject(tid, window);
-                    rejected += 1;
+                    if masks[part].is_some() {
+                        // A masked solve only saw the regions its shard
+                        // owns — its rejection is not evidence the fleet
+                        // is full. Bounce like a conflict; the final
+                        // round solves unmasked and decides for real.
+                        bounced.push(i);
+                    } else {
+                        // Unmasked solver rejection is final: the
+                        // residual only shrinks within a window.
+                        self.backend.shard_reject(tid, window);
+                        rejected += 1;
+                    }
                     continue;
                 }
                 let local_req = sol.problem.batch().request(local);
@@ -694,6 +908,9 @@ mod tests {
                 ShardConfig {
                     shards,
                     retry_budget: 3,
+                    // Round-robin deliberately: this test exercises the
+                    // commit races region hashing is designed to avoid.
+                    partition: PartitionStrategy::RoundRobin,
                 },
             );
             // More demand than fits: forces both rejections and, with
@@ -719,6 +936,78 @@ mod tests {
     }
 
     #[test]
+    fn region_hash_partitioning_cuts_conflicts_versus_round_robin() {
+        // Two datacenters, contended servers: round-robin spreads each
+        // region's contenders over all shards (maximal racing), while
+        // hash-by-region colocates them into one shard that solves them
+        // jointly against the snapshot.
+        let run = |partition: PartitionStrategy| {
+            let infra = Infrastructure::new(
+                AttrSet::standard(),
+                vec![
+                    ("dc0".into(), ServerProfile::commodity(3).build_many(2)),
+                    ("dc1".into(), ServerProfile::commodity(3).build_many(2)),
+                ],
+            );
+            let mut sched = ShardedScheduler::new(
+                FleetExecutor::new(infra),
+                ShardConfig {
+                    shards: 4,
+                    retry_budget: 3,
+                    partition,
+                },
+            );
+            // Demand exactly fills the fleet (5 of these VMs per server,
+            // 4 servers): round-robin partitioning has every shard spread
+            // from server 0, overdrawing the early servers at commit time
+            // even though everything fits; region hashing solves each
+            // datacenter's contenders jointly inside its own masked view.
+            let mut arrivals = RequestBatch::new();
+            for _ in 0..20 {
+                arrivals.push_request(vec![vm_spec(4.0, 8_192.0, 40.0)], vec![]);
+            }
+            let (report, _) = run_window(&mut sched, &arrivals);
+            assert!(sched.backend().verify().is_ok());
+            let m = sched.backend().store().metrics();
+            (report.admitted, m.conflicts)
+        };
+        let (admitted_rr, conflicts_rr) = run(PartitionStrategy::RoundRobin);
+        let (admitted_rh, conflicts_rh) = run(PartitionStrategy::RegionHash);
+        assert!(conflicts_rr > 0, "round-robin sharding must actually race");
+        assert!(
+            admitted_rh >= admitted_rr,
+            "region hashing must not lose admissions: {admitted_rh} vs {admitted_rr}"
+        );
+        assert!(
+            conflicts_rh < conflicts_rr,
+            "region hashing must bounce less: {conflicts_rh} vs {conflicts_rr}"
+        );
+    }
+
+    #[test]
+    fn region_hash_partitioning_is_deterministic() {
+        let run = || {
+            let mut sched = ShardedScheduler::new(
+                fleet(3),
+                ShardConfig {
+                    shards: 4,
+                    retry_budget: 3,
+                    partition: PartitionStrategy::RegionHash,
+                },
+            );
+            let arrivals = batch(12, 2);
+            let (report, admitted) = run_window(&mut sched, &arrivals);
+            let ids: Vec<u64> = admitted.iter().map(|t| t.0).collect();
+            (report.admitted, ids, sched.backend().store().metrics())
+        };
+        let (a1, ids1, m1) = run();
+        let (a2, ids2, m2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(ids1, ids2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
     fn conflicted_requests_terminate_within_budget() {
         // One server, many shards, every request wants most of it: a
         // conflict storm. Everyone must terminate as admitted or
@@ -728,6 +1017,7 @@ mod tests {
             ShardConfig {
                 shards: 6,
                 retry_budget: 2,
+                partition: PartitionStrategy::RoundRobin,
             },
         );
         let mut arrivals = RequestBatch::new();
@@ -754,6 +1044,7 @@ mod tests {
             ShardConfig {
                 shards: 2,
                 retry_budget: 2,
+                ..ShardConfig::default()
             },
         );
         let arrivals = batch(6, 1);

@@ -12,7 +12,11 @@
 //!   scan orders (first-fit, nearest-first, best-cost) for ablations;
 //! * [`search`] — a standalone tabu-search optimiser over assignments
 //!   (relocation neighbourhood, aspiration criterion) used for polishing
-//!   and ablation baselines.
+//!   and ablation baselines; anytime (deadline-bounded) and observable;
+//! * [`parallel`] — partitioned neighborhood scanning behind
+//!   [`search`]'s deterministic modes: contiguous chunks of the
+//!   canonical scan order, one pooled `DeltaEvaluator` per worker, and a
+//!   first-wins reduction that is bit-identical to the serial scan.
 //!
 //! ```
 //! use cpo_model::prelude::*;
@@ -36,9 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod list;
+pub mod parallel;
 pub mod repair;
 pub mod search;
 
 pub use list::{TabuList, TabuMove};
 pub use repair::{faulty_vms, find_neighbour, repair, RepairConfig, RepairOutcome, ScanOrder};
-pub use search::{score, tabu_search, Neighborhood, Score, Scoring, TabuConfig, TabuResult};
+pub use search::{
+    score, tabu_search, tabu_search_observed, Neighborhood, NoObserver, Score, Scoring,
+    SearchObserver, TabuConfig, TabuResult,
+};

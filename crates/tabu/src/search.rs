@@ -11,8 +11,19 @@
 //! differential oracle. Delta scores are bit-identical to full scores, so
 //! the two modes walk the exact same trajectory (pinned by
 //! `tests/delta_differential.rs`).
+//!
+//! Deterministic scans ([`Neighborhood::Exhaustive`] and
+//! [`Neighborhood::Candidates`]) can additionally be partitioned across
+//! [`TabuConfig::threads`] scan workers (see [`crate::parallel`]); the
+//! partitioning is *logical* — the trajectory and every `TabuResult`
+//! counter are bit-identical at any thread count (pinned by
+//! `tests/parallel_search_differential.rs`) — and the search is
+//! *anytime*: [`TabuConfig::deadline`] cuts it at the next iteration
+//! boundary and the best incumbent so far is returned.
 
 use crate::list::{TabuList, TabuMove};
+use crate::parallel::{Candidate, ScanSet, ScanWorkers};
+use cpo_model::deadline::Deadline;
 use cpo_model::delta::{DeltaEvaluator, MoveScore};
 use cpo_model::prelude::*;
 use rand::rngs::SmallRng;
@@ -40,6 +51,17 @@ pub enum Neighborhood {
     /// Deterministic scan of all `n·m` relocations per iteration — no
     /// RNG involved; affordable now that scoring is incremental.
     Exhaustive,
+    /// Deterministic *candidate-list* scan: only pairs the evaluator's
+    /// maintained caches implicate (faulty VMs while infeasible, the
+    /// least-occupied quartile of active servers once feasible — see
+    /// `candidate_pairs`) are scored, with a full exhaustive scan every
+    /// `refresh` iterations (and whenever the list comes back empty) so
+    /// the restricted neighborhood cannot hide improving moves forever.
+    Candidates {
+        /// Period of the exhaustive refresh scan, in iterations
+        /// (clamped to ≥ 1; `1` degenerates to [`Self::Exhaustive`]).
+        refresh: usize,
+    },
 }
 
 /// Tabu-search configuration.
@@ -58,6 +80,18 @@ pub struct TabuConfig {
     pub scoring: Scoring,
     /// Candidate generation mode.
     pub neighborhood: Neighborhood,
+    /// Scan partitions for the deterministic neighborhoods under
+    /// [`Scoring::Delta`] (`0`/`1` = serial). A *logical* partitioning:
+    /// the trajectory and all counters are bit-identical at any value,
+    /// while physical parallelism is whatever the machine provides.
+    /// [`Neighborhood::Sampled`] stays serial (its RNG is sequential)
+    /// and so does [`Scoring::Full`] (it is the differential oracle).
+    pub threads: usize,
+    /// Wall-clock bound checked at iteration boundaries; on expiry the
+    /// search stops and returns the best incumbent found so far
+    /// ([`TabuResult::deadline_hit`] is set). [`Deadline::never`]
+    /// (the default) leaves the trajectory untouched.
+    pub deadline: Deadline,
 }
 
 impl Default for TabuConfig {
@@ -69,6 +103,8 @@ impl Default for TabuConfig {
             seed: 0,
             scoring: Scoring::Delta,
             neighborhood: Neighborhood::Sampled,
+            threads: 1,
+            deadline: Deadline::never(),
         }
     }
 }
@@ -136,6 +172,27 @@ pub struct TabuResult {
     /// [`DeltaEvaluator::work`] defines) — the quantity the ≥5×
     /// delta-vs-full regression test pins.
     pub eval_work: u64,
+    /// `true` when [`TabuConfig::deadline`] expired before the
+    /// iteration budget did; `best` is then the anytime incumbent.
+    pub deadline_hit: bool,
+}
+
+/// Callback surface for anytime consumers of the search: the driver
+/// reports every incumbent improvement as it happens, so a caller racing
+/// a deadline can harvest the trajectory without waiting for the run to
+/// finish. `tests/parallel_search_differential.rs` uses it to prove the
+/// incumbent sequence is strictly improving (anytime monotonicity).
+pub trait SearchObserver {
+    /// The incumbent improved at `iteration` (`0` reports the starting
+    /// assignment's score before any move).
+    fn on_incumbent(&mut self, iteration: usize, score: Score);
+}
+
+/// The do-nothing observer behind plain [`tabu_search`].
+pub struct NoObserver;
+
+impl SearchObserver for NoObserver {
+    fn on_incumbent(&mut self, _iteration: usize, _score: Score) {}
 }
 
 /// The two scoring backends behind one interface. `Delta` owns the current
@@ -272,6 +329,42 @@ impl<'p> ScoreEngine<'p> {
             ScoreEngine::Full { work, evals, .. } => (0, *evals, *work),
         }
     }
+
+    /// VMs implicated in the current violations. Both variants return
+    /// the same ascending-id set (an over-`0..n` flag scan in each), so
+    /// candidate lists built from it are identical across scoring modes
+    /// — the property the candidate-list differential test relies on.
+    fn faulty_vms(&self) -> Vec<VmId> {
+        match self {
+            ScoreEngine::Delta { ev, .. } => ev.faulty_vms(),
+            ScoreEngine::Full {
+                problem, current, ..
+            } => crate::repair::faulty_vms(problem, current),
+        }
+    }
+
+    /// Per-server VM counts. `Delta` reads the maintained occupant
+    /// lists in O(m); `Full` rebuilds the histogram from the assignment
+    /// in O(n + m) — same values either way.
+    fn occupancies(&self) -> Vec<usize> {
+        match self {
+            ScoreEngine::Delta { ev, .. } => {
+                let m = ev.problem().m();
+                (0..m).map(|j| ev.occupancy(ServerId(j))).collect()
+            }
+            ScoreEngine::Full {
+                problem, current, ..
+            } => {
+                let mut occ = vec![0usize; problem.m()];
+                for k in (0..problem.n()).map(VmId) {
+                    if let Some(j) = current.server_of(k) {
+                        occ[j.index()] += 1;
+                    }
+                }
+                occ
+            }
+        }
+    }
 }
 
 /// One full (tracker-rebuilding) score plus its analytic model-cell cost,
@@ -323,16 +416,113 @@ fn consider_candidate(
     }
 }
 
+/// Builds one iteration's candidate list from the engine's maintained
+/// state, in canonical (vm-major, server-minor ascending) order:
+///
+/// * **infeasible** (`violation > 0`) — only relocations of implicated
+///   VMs can reduce the violation, so sources are [`ScoreEngine::faulty_vms`]
+///   and targets are *all* servers;
+/// * **feasible** — consolidation: sources are the VMs on the
+///   least-occupied quartile (`ceil(active/4)`, ties by server id) of
+///   active servers, targets the active servers — draining light hosts
+///   into the rest is where the Eq. 15 cost decreases live.
+///
+/// No-op pairs (`server_of(k) == j`) may appear; every scan skips them
+/// before scoring, so they cost nothing and never count. An empty list
+/// makes the caller fall back to a full exhaustive scan this iteration.
+fn candidate_pairs(
+    engine: &ScoreEngine<'_>,
+    current_score: &Score,
+    n: usize,
+    m: usize,
+) -> Vec<(VmId, ServerId)> {
+    if current_score.violation > 0.0 {
+        let sources = engine.faulty_vms();
+        let mut pairs = Vec::with_capacity(sources.len() * m);
+        for &k in &sources {
+            for j in (0..m).map(ServerId) {
+                pairs.push((k, j));
+            }
+        }
+        return pairs;
+    }
+    let occ = engine.occupancies();
+    let active: Vec<ServerId> = (0..m)
+        .map(ServerId)
+        .filter(|j| occ[j.index()] > 0)
+        .collect();
+    if active.len() < 2 {
+        return Vec::new();
+    }
+    let mut by_load = active.clone();
+    by_load.sort_by_key(|j| (occ[j.index()], j.index()));
+    let mut is_drain = vec![false; m];
+    for &j in &by_load[..active.len().div_ceil(4)] {
+        is_drain[j.index()] = true;
+    }
+    let mut pairs = Vec::new();
+    for k in (0..n).map(VmId) {
+        if let Some(s) = engine.server_of(k) {
+            if is_drain[s.index()] {
+                for &j in &active {
+                    pairs.push((k, j));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Serially scans a [`ScanSet`] through the engine — the single-thread
+/// counterpart of [`ScanWorkers::scan`], sharing `consider_candidate`
+/// with the sampled path.
+fn scan_set_serial(
+    engine: &mut ScoreEngine<'_>,
+    tabu: &TabuList,
+    set: &ScanSet<'_>,
+    best_score: &Score,
+    best_cand: &mut Option<Candidate>,
+    candidates_scanned: &mut usize,
+) {
+    for idx in 0..set.len() {
+        let (k, j) = set.pair(idx);
+        if engine.server_of(k) == Some(j) {
+            continue;
+        }
+        consider_candidate(
+            engine,
+            tabu,
+            k,
+            j,
+            best_score,
+            best_cand,
+            candidates_scanned,
+        );
+    }
+}
+
 /// Runs tabu search from `start`, relocating one VM per iteration.
 ///
-/// Per iteration, the candidate set (random samples or the exhaustive
-/// `n·m` scan, per [`TabuConfig::neighborhood`]) is scored incrementally;
-/// the best non-tabu candidate (or a tabu one that beats the best known —
-/// the aspiration criterion) is applied.
+/// Per iteration, the candidate set (random samples, the exhaustive
+/// `n·m` scan, or a cache-driven candidate list, per
+/// [`TabuConfig::neighborhood`]) is scored incrementally; the best
+/// non-tabu candidate (or a tabu one that beats the best known — the
+/// aspiration criterion) is applied.
 pub fn tabu_search(
     problem: &AllocationProblem,
     start: Assignment,
     config: &TabuConfig,
+) -> TabuResult {
+    tabu_search_observed(problem, start, config, &mut NoObserver)
+}
+
+/// [`tabu_search`] with an incumbent-reporting [`SearchObserver`] — the
+/// anytime entry point.
+pub fn tabu_search_observed(
+    problem: &AllocationProblem,
+    start: Assignment,
+    config: &TabuConfig,
+    observer: &mut dyn SearchObserver,
 ) -> TabuResult {
     let n = problem.n();
     let m = problem.m();
@@ -347,8 +537,16 @@ pub fn tabu_search(
     let mut iterations = 0usize;
     let mut aspiration_hits = 0usize;
     let mut candidates_scanned = 0usize;
+    let mut deadline_hit = false;
+    // Scan work done by parallel workers, folded into the engine totals
+    // at the end (their sync commits are deliberately excluded — see
+    // `ScanWorkers::commit`).
+    let mut scan_evals_extra = 0usize;
+    let mut scan_work_extra = 0u64;
 
     let mut sp = cpo_obs::span!("tabu.search", vms = n, servers = m);
+
+    observer.on_incumbent(0, best_score);
 
     if n == 0 || m < 2 {
         let (delta_evals, full_evals, eval_work) = engine.stats();
@@ -362,8 +560,18 @@ pub fn tabu_search(
             delta_evals,
             full_evals,
             eval_work,
+            deadline_hit,
         };
     }
+
+    // The scan-worker team exists only where partitioning is sound:
+    // deterministic neighborhoods under delta scoring. Sampled draws its
+    // candidates from a sequential RNG and Full is the differential
+    // oracle — both keep the single-engine path.
+    let workers = (config.threads > 1
+        && config.scoring == Scoring::Delta
+        && !matches!(config.neighborhood, Neighborhood::Sampled))
+    .then(|| ScanWorkers::new(problem, engine.current(), config.threads));
 
     // Dedupe buffer for sampled candidates: the same (vm, server) pair can
     // be drawn more than once per iteration; scoring it again cannot change
@@ -371,12 +579,34 @@ pub fn tabu_search(
     // scored. The RNG is still advanced per draw to keep trajectories
     // comparable across configurations.
     let mut seen: Vec<(VmId, ServerId)> = Vec::with_capacity(config.candidates);
+    let mut pairs: Vec<(VmId, ServerId)> = Vec::new();
 
     for _ in 0..config.max_iterations {
+        if config.deadline.expired() {
+            deadline_hit = true;
+            break;
+        }
         iterations += 1;
-        let mut best_cand: Option<(VmId, ServerId, Score, bool)> = None;
-        match config.neighborhood {
-            Neighborhood::Sampled => {
+        let mut best_cand: Option<Candidate> = None;
+        // `None` = sampled path; `Some(set)` = deterministic scan,
+        // dispatched to the worker team when one exists.
+        let scan_set = match config.neighborhood {
+            Neighborhood::Sampled => None,
+            Neighborhood::Exhaustive => Some(ScanSet::Flat { n, m }),
+            Neighborhood::Candidates { refresh } => {
+                let full_scan = (iterations - 1).is_multiple_of(refresh.max(1));
+                if !full_scan {
+                    pairs = candidate_pairs(&engine, &current_score, n, m);
+                }
+                if full_scan || pairs.is_empty() {
+                    Some(ScanSet::Flat { n, m })
+                } else {
+                    Some(ScanSet::Pairs(&pairs))
+                }
+            }
+        };
+        match scan_set {
+            None => {
                 seen.clear();
                 for _ in 0..config.candidates {
                     let k = VmId(rng.gen_range(0..n));
@@ -399,22 +629,22 @@ pub fn tabu_search(
                     );
                 }
             }
-            Neighborhood::Exhaustive => {
-                for k in (0..n).map(VmId) {
-                    for j in (0..m).map(ServerId) {
-                        if engine.server_of(k) == Some(j) {
-                            continue;
-                        }
-                        consider_candidate(
-                            &mut engine,
-                            &tabu,
-                            k,
-                            j,
-                            &best_score,
-                            &mut best_cand,
-                            &mut candidates_scanned,
-                        );
-                    }
+            Some(set) => {
+                if let Some(team) = workers.as_ref() {
+                    let out = team.scan(&set, &tabu, best_score);
+                    candidates_scanned += out.scanned;
+                    scan_evals_extra += out.evals;
+                    scan_work_extra += out.work;
+                    best_cand = out.best;
+                } else {
+                    scan_set_serial(
+                        &mut engine,
+                        &tabu,
+                        &set,
+                        &best_score,
+                        &mut best_cand,
+                        &mut candidates_scanned,
+                    );
                 }
             }
         }
@@ -428,17 +658,29 @@ pub fn tabu_search(
             tabu.push(TabuMove { vm: k, from });
         }
         engine.commit(k, j);
+        if let Some(team) = workers.as_ref() {
+            team.commit(k, j);
+        }
         current_score = s;
         accepted += 1;
         if current_score.better_than(&best_score) {
             best = engine.current().clone();
             best_score = current_score;
+            observer.on_incumbent(iterations, best_score);
         }
         // Early exit once feasible and stagnating is handled by budget;
         // a perfect zero-cost solution cannot exist (opex > 0), so run on.
     }
 
-    let (delta_evals, full_evals, eval_work) = engine.stats();
+    if let Some(team) = workers {
+        let slots = team.len();
+        let pool = team.into_pool();
+        debug_assert_eq!(pool.idle(), slots, "every scan worker checked back in");
+    }
+
+    let (engine_delta_evals, full_evals, engine_work) = engine.stats();
+    let delta_evals = engine_delta_evals + scan_evals_extra;
+    let eval_work = engine_work + scan_work_extra;
     sp.field("iterations", iterations)
         .field("accepted", accepted)
         .field("aspiration_hits", aspiration_hits);
@@ -448,6 +690,7 @@ pub fn tabu_search(
     cpo_obs::counter_add("tabu.candidates_scanned", candidates_scanned as u64);
     cpo_obs::counter_add("tabu.delta_evals", delta_evals as u64);
     cpo_obs::counter_add("tabu.full_evals", full_evals as u64);
+    cpo_obs::counter_add("tabu.deadline_hits", deadline_hit as u64);
     TabuResult {
         best,
         best_score,
@@ -458,6 +701,7 @@ pub fn tabu_search(
         delta_evals,
         full_evals,
         eval_work,
+        deadline_hit,
     }
 }
 
@@ -629,6 +873,148 @@ mod tests {
         let p = AllocationProblem::new(infra, RequestBatch::new(), None);
         let r = tabu_search(&p, Assignment::unassigned(0), &TabuConfig::default());
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_bit_for_bit() {
+        let p = problem(5, 12);
+        let mut start = Assignment::unassigned(12);
+        for k in 0..12 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        let cfg = |threads| TabuConfig {
+            max_iterations: 80,
+            neighborhood: Neighborhood::Exhaustive,
+            threads,
+            ..Default::default()
+        };
+        let serial = tabu_search(&p, start.clone(), &cfg(1));
+        for threads in [2, 4, 7] {
+            let par = tabu_search(&p, start.clone(), &cfg(threads));
+            assert_eq!(serial.best, par.best, "threads={threads}");
+            assert_eq!(
+                serial.best_score.total_cost.to_bits(),
+                par.best_score.total_cost.to_bits()
+            );
+            assert_eq!(serial.accepted_moves, par.accepted_moves);
+            assert_eq!(serial.aspiration_hits, par.aspiration_hits);
+            assert_eq!(serial.candidates_scanned, par.candidates_scanned);
+            assert_eq!(serial.delta_evals, par.delta_evals);
+            assert_eq!(serial.eval_work, par.eval_work, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn candidate_list_reaches_feasibility_with_less_scanning() {
+        let p = problem(4, 10);
+        let mut start = Assignment::unassigned(10);
+        for k in 0..10 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        let exhaustive = tabu_search(
+            &p,
+            start.clone(),
+            &TabuConfig {
+                max_iterations: 60,
+                neighborhood: Neighborhood::Exhaustive,
+                ..Default::default()
+            },
+        );
+        let candidates = tabu_search(
+            &p,
+            start,
+            &TabuConfig {
+                max_iterations: 60,
+                neighborhood: Neighborhood::Candidates { refresh: 16 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(candidates.best_score.violation, 0.0);
+        assert!(p.is_feasible(&candidates.best));
+        assert!(
+            candidates.candidates_scanned < exhaustive.candidates_scanned,
+            "candidate list must scan less: {} vs {}",
+            candidates.candidates_scanned,
+            exhaustive.candidates_scanned
+        );
+    }
+
+    #[test]
+    fn candidate_list_is_identical_across_scoring_modes() {
+        let p = problem(5, 12);
+        let mut start = Assignment::unassigned(12);
+        for k in 0..12 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        let cfg = |scoring| TabuConfig {
+            max_iterations: 80,
+            neighborhood: Neighborhood::Candidates { refresh: 10 },
+            scoring,
+            ..Default::default()
+        };
+        let d = tabu_search(&p, start.clone(), &cfg(Scoring::Delta));
+        let f = tabu_search(&p, start, &cfg(Scoring::Full));
+        assert_eq!(d.best, f.best);
+        assert_eq!(d.accepted_moves, f.accepted_moves);
+        assert_eq!(d.candidates_scanned, f.candidates_scanned);
+        assert_eq!(
+            d.best_score.total_cost.to_bits(),
+            f.best_score.total_cost.to_bits()
+        );
+    }
+
+    #[test]
+    fn unbounded_deadline_never_fires_and_expired_deadline_stops_at_once() {
+        let p = problem(4, 8);
+        let start = Assignment::from_genes(&[0; 8]);
+        let r = tabu_search(&p, start.clone(), &TabuConfig::default());
+        assert!(!r.deadline_hit);
+        let expired = tabu_search(
+            &p,
+            start.clone(),
+            &TabuConfig {
+                deadline: Deadline::within(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(expired.deadline_hit);
+        assert_eq!(expired.iterations, 0, "no iteration may start past expiry");
+        // Anytime contract: the incumbent is still the (scored) start.
+        assert_eq!(expired.best, start);
+    }
+
+    #[test]
+    fn observer_sees_a_strictly_improving_incumbent_sequence() {
+        struct Recorder(Vec<(usize, Score)>);
+        impl SearchObserver for Recorder {
+            fn on_incumbent(&mut self, iteration: usize, score: Score) {
+                self.0.push((iteration, score));
+            }
+        }
+        let p = problem(4, 10);
+        let mut start = Assignment::unassigned(10);
+        for k in 0..10 {
+            start.assign(VmId(k), ServerId(0));
+        }
+        let mut rec = Recorder(Vec::new());
+        let r = tabu_search_observed(
+            &p,
+            start,
+            &TabuConfig {
+                max_iterations: 120,
+                neighborhood: Neighborhood::Candidates { refresh: 12 },
+                ..Default::default()
+            },
+            &mut rec,
+        );
+        assert!(rec.0.len() >= 2, "search must improve at least once");
+        assert_eq!(rec.0[0].0, 0, "first report is the start");
+        for w in rec.0.windows(2) {
+            assert!(w[1].0 > w[0].0, "iterations strictly increase");
+            assert!(w[1].1.better_than(&w[0].1), "incumbents strictly improve");
+        }
+        let last = rec.0.last().unwrap().1;
+        assert_eq!(last.total_cost.to_bits(), r.best_score.total_cost.to_bits());
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
             mttr: 3.0,
         }),
         seed: 7,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::new(infra, SimConfig::default(), config, arrivals);
     let report = sched.run(&RoundRobinAllocator, horizon);

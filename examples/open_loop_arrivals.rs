@@ -37,6 +37,7 @@ fn run_with(latency: LatencyModel, label: &str, horizon: f64) {
             mttr: 4.0,
         }),
         seed: 2024,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::new(infra, SimConfig::default(), config, arrivals);
     let report = sched.run(&RoundRobinAllocator, horizon);

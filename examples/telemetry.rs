@@ -52,6 +52,7 @@ fn main() {
         latency: LatencyModel::Fixed(0.1),
         failures: None,
         seed: 7,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::new(infra, SimConfig::default(), config, arrivals);
     let report = sched.run(&RoundRobinAllocator, 20.0);

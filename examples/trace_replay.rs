@@ -56,6 +56,7 @@ fn main() {
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed: 7,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), config, source);
     let report = sched.run(&RoundRobinAllocator, horizon);

@@ -62,6 +62,7 @@ fn des_failure_run_yields_complete_timelines_for_every_request() {
             mttr: 2.5,
         }),
         seed: 11,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::new(infra, SimConfig::default(), config, arrivals);
     let report = sched.run(&RoundRobinAllocator, 30.0);

@@ -59,6 +59,7 @@ fn profiled_trace_replay(
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed,
+        solve_deadline: None,
     };
     cpo_obs::flight::enable();
     prof::enable_with(config);
@@ -66,6 +67,9 @@ fn profiled_trace_replay(
         FleetExecutor::new(infra(servers)),
         ShardConfig {
             shards,
+            // Round-robin partitioning on purpose: these tests attribute
+            // commit *conflicts*, which region hashing is built to avoid.
+            partition: cpo_platform::prelude::PartitionStrategy::RoundRobin,
             ..ShardConfig::default()
         },
     );
@@ -112,6 +116,9 @@ fn profiled_des_run(
         WindowExecutor::new(infra(servers), SimConfig::default()),
         ShardConfig {
             shards,
+            // Round-robin partitioning on purpose: these tests attribute
+            // commit *conflicts*, which region hashing is built to avoid.
+            partition: cpo_platform::prelude::PartitionStrategy::RoundRobin,
             ..ShardConfig::default()
         },
     );

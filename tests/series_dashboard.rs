@@ -40,6 +40,7 @@ fn des_config(seed: u64) -> DesConfig {
         latency: LatencyModel::Fixed(0.02),
         failures: None,
         seed,
+        solve_deadline: None,
     }
 }
 

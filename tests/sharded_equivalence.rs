@@ -209,6 +209,7 @@ fn fleet_single_shard_is_bit_identical_on_trace_replay() {
             latency: LatencyModel::Fixed(0.0),
             failures: None,
             seed: 7,
+            solve_deadline: None,
         };
         match shards {
             None => {

@@ -198,6 +198,10 @@ fn run_sharded_window(
         ShardConfig {
             shards,
             retry_budget,
+            // Round-robin keeps contending requests spread across shards,
+            // which is exactly the commit-race surface these properties
+            // probe.
+            partition: PartitionStrategy::RoundRobin,
         },
     );
     let mut arrivals = RequestBatch::new();

@@ -46,6 +46,7 @@ fn replay(seed: u64, factor: usize) -> Vec<(usize, usize, usize)> {
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), config, source);
     let report = sched.run(&RoundRobinAllocator, horizon);
@@ -166,6 +167,7 @@ fn zero_duration_vms_flow_through_and_depart_immediately() {
         latency: LatencyModel::Fixed(0.0),
         failures: None,
         seed: 3,
+        solve_deadline: None,
     };
     let mut sched = WindowedScheduler::with_backend(FleetExecutor::new(infra), config, source);
     let report = sched.run(&RoundRobinAllocator, 200.0);
